@@ -1,0 +1,336 @@
+// Benchmarks regenerating the paper's evaluation artifacts. One benchmark
+// family per table/figure:
+//
+//   - BenchmarkTable1Selection  — Table I (selection time per app × spec)
+//   - BenchmarkTable2Overhead   — Table II (instrumented runs per variant)
+//   - BenchmarkFig4PackedID     — Fig. 4 (packed ID encode/decode)
+//   - BenchmarkFactsInit        — §VI-B DynCaPI initialization (resolution,
+//     hidden-symbol handling, patching)
+//   - BenchmarkAblation*        — design-choice ablations from DESIGN.md
+//
+// The workloads are scaled down (Scale, timesteps) so a full -bench=. pass
+// stays in CI budgets; `cmd/capi-bench -scale 1.0` reproduces paper-scale
+// counts. Shapes (who wins, by what factor) are scale-independent.
+package capi_test
+
+import (
+	"testing"
+
+	capi "capi"
+	"capi/internal/callgraph"
+	"capi/internal/compiler"
+	"capi/internal/core"
+	"capi/internal/dyncapi"
+	"capi/internal/experiments"
+	"capi/internal/metacg"
+	"capi/internal/mpi"
+	"capi/internal/workload"
+	"capi/internal/xray"
+)
+
+// benchOpts keeps every benchmark iteration bounded.
+var benchOpts = experiments.Options{
+	Scale:           0.02,
+	Ranks:           2,
+	LuleshTimesteps: 10,
+	OFTimesteps:     2,
+	PCGIters:        4,
+}
+
+// BenchmarkTable1Selection regenerates Table I: one sub-benchmark per
+// application × specification, timing the full selection pipeline
+// (parse, evaluate, post-process) per iteration.
+func BenchmarkTable1Selection(b *testing.B) {
+	for _, prep := range []struct {
+		name string
+		fn   func(experiments.Options) (*experiments.AppBundle, error)
+	}{
+		{"lulesh", experiments.PrepareLulesh},
+		{"openfoam", experiments.PrepareOpenFOAM},
+	} {
+		bundle, err := prep.fn(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, spec := range experiments.SpecNames {
+			b.Run(prep.name+"/"+spec, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					row, err := experiments.RunSelection(bundle, spec)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if row.Selected == 0 {
+						b.Fatal("empty selection")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable2Overhead regenerates Table II: one sub-benchmark per
+// application × backend × variant, executing the instrumented run per
+// iteration and reporting the virtual overhead as a custom metric.
+func BenchmarkTable2Overhead(b *testing.B) {
+	for _, prep := range []struct {
+		name string
+		fn   func(experiments.Options) (*experiments.AppBundle, error)
+	}{
+		{"lulesh", experiments.PrepareLulesh},
+		{"openfoam", experiments.PrepareOpenFOAM},
+	} {
+		bundle, err := prep.fn(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		van, err := experiments.RunVariant(bundle, experiments.BackendNone, experiments.VariantVanilla, nil, benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vanSec := van.Row.TotalSeconds
+
+		variants := []string{experiments.VariantInactive, experiments.VariantFull, "mpi", "kernels"}
+		for _, backend := range []string{experiments.BackendTALP, experiments.BackendScoreP} {
+			for _, variant := range variants {
+				if variant == experiments.VariantInactive && backend != experiments.BackendTALP {
+					continue // backend-independent; bench once
+				}
+				name := prep.name + "/" + backend + "/" + variant
+				var cfg = (*capi.IC)(nil)
+				if variant != experiments.VariantInactive && variant != experiments.VariantFull {
+					row, err := experiments.RunSelection(bundle, variant)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cfg = row.IC
+				}
+				b.Run(name, func(b *testing.B) {
+					var overhead float64
+					for i := 0; i < b.N; i++ {
+						run, err := experiments.RunVariant(bundle, backend, variant, cfg, benchOpts)
+						if err != nil {
+							b.Fatal(err)
+						}
+						overhead = (run.Row.TotalSeconds - vanSec) / vanSec
+					}
+					b.ReportMetric(100*overhead, "overhead%")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig4PackedID measures the packed object/function ID encode and
+// decode of Fig. 4 — the operation every dispatched event performs.
+func BenchmarkFig4PackedID(b *testing.B) {
+	b.Run("pack", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			obj, fn := uint8(i%255), uint32(i)%(1<<24)
+			id, err := xray.PackID(obj, fn)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Object IDs ≥ 128 set the int32 sign bit — only the
+			// round-trip is meaningful.
+			if gotObj, gotFn := xray.UnpackID(id); gotObj != obj || gotFn != fn {
+				b.Fatalf("roundtrip (%d,%d) -> %d -> (%d,%d)", obj, fn, id, gotObj, gotFn)
+			}
+		}
+	})
+	b.Run("unpack", func(b *testing.B) {
+		id, _ := xray.PackID(7, 123456)
+		for i := 0; i < b.N; i++ {
+			obj, fn := xray.UnpackID(id)
+			if obj != 7 || fn != 123456 {
+				b.Fatal("roundtrip broken")
+			}
+		}
+	})
+}
+
+// BenchmarkFactsInit measures DynCaPI initialization on the OpenFOAM case —
+// function-ID resolution across 6 DSOs (with unresolvable hidden symbols)
+// plus sled patching, the §VI-B(a) path and the dominant T_init component.
+func BenchmarkFactsInit(b *testing.B) {
+	bundle, err := experiments.PrepareOpenFOAM(benchOpts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	row, err := experiments.RunSelection(bundle, "mpi")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		proc, err := bundle.Build.LoadProcess()
+		if err != nil {
+			b.Fatal(err)
+		}
+		xr, err := xray.NewRuntime(proc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt, err := dyncapi.New(proc, xr, row.IC, &dyncapi.CygBackend{}, dyncapi.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rt.Report().Patched == 0 {
+			b.Fatal("nothing patched")
+		}
+	}
+}
+
+// BenchmarkAblationCoarse isolates the coarse selector (§V-D): the same
+// openfoam mpi pipeline with and without the final coarse stage.
+func BenchmarkAblationCoarse(b *testing.B) {
+	bundle, err := experiments.PrepareOpenFOAM(benchOpts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, spec := range []string{"mpi", "mpi coarse"} {
+		b.Run(spec, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunSelection(bundle, spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationInliningCompensation isolates the §V-E post-pass by
+// running the same pipeline with and without a symbol oracle.
+func BenchmarkAblationInliningCompensation(b *testing.B) {
+	p := workload.OpenFOAM(workload.OpenFOAMOptions{Scale: benchOpts.Scale, Timesteps: 2, PCGIters: 4})
+	g := metacg.BuildWholeProgram(p, metacg.Options{})
+	build, err := compiler.Compile(p, compiler.Options{XRay: true, OptLevel: workload.OpenFOAMOptLevel})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := experiments.SpecSource("mpi")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, variant := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"with-compensation", core.Options{Symbols: build}},
+		{"without", core.Options{}},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			eng := core.NewEngine(g)
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.RunSource(src, variant.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRuntimeFilter compares patch-time selection (the
+// paper's approach) against Score-P runtime filtering with every sled
+// patched (§II-B: "the overhead of invoking the probe and cross-checking
+// the filter list is retained").
+func BenchmarkAblationRuntimeFilter(b *testing.B) {
+	bundle, err := experiments.PrepareOpenFOAM(benchOpts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	row, err := experiments.RunSelection(bundle, "kernels")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("patch-selected", func(b *testing.B) {
+		var virtual float64
+		for i := 0; i < b.N; i++ {
+			run, err := experiments.RunVariant(bundle, experiments.BackendScoreP, "kernels", row.IC, benchOpts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			virtual = run.Row.TotalSeconds
+		}
+		b.ReportMetric(virtual, "virtual-s")
+	})
+	b.Run("runtime-filter", func(b *testing.B) {
+		var virtual float64
+		for i := 0; i < b.N; i++ {
+			run, err := experiments.RunRuntimeFiltered(bundle, row.IC, benchOpts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			virtual = run.Row.TotalSeconds
+		}
+		b.ReportMetric(virtual, "virtual-s")
+	})
+}
+
+// BenchmarkCallGraphConstruction measures the MetaCG whole-program build
+// (Fig. 2 steps 3–4), the preparation-phase cost Table I's Time column sits
+// on top of.
+func BenchmarkCallGraphConstruction(b *testing.B) {
+	p := workload.OpenFOAM(workload.OpenFOAMOptions{Scale: benchOpts.Scale, Timesteps: 2, PCGIters: 4})
+	b.ResetTimer()
+	var g *callgraph.Graph
+	for i := 0; i < b.N; i++ {
+		g = metacg.BuildWholeProgram(p, metacg.Options{})
+	}
+	b.ReportMetric(float64(g.Len()), "nodes")
+}
+
+// BenchmarkPatching measures the xray sled patch/unpatch cycle under
+// mprotect over the executable and all DSOs (§V-A/B).
+func BenchmarkPatching(b *testing.B) {
+	bundle, err := experiments.PrepareOpenFOAM(benchOpts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	proc, err := bundle.Build.LoadProcess()
+	if err != nil {
+		b.Fatal(err)
+	}
+	xr, err := xray.NewRuntime(proc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	xr.SetHandler(func(tc xray.ThreadCtx, id int32, kind xray.EntryType) {})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := xr.PatchAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n == 0 {
+			b.Fatal("nothing patched")
+		}
+		if _, err := xr.UnpatchAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMPICollectives measures the simulated MPI substrate itself
+// (virtual-clock synchronization), isolating simulator cost from
+// measurement cost.
+func BenchmarkMPICollectives(b *testing.B) {
+	world, err := mpi.NewWorld(4, mpi.DefaultCostModel())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	err = world.Run(func(r *mpi.Rank) error {
+		if err := r.Init(); err != nil {
+			return err
+		}
+		for i := 0; i < b.N; i++ {
+			if err := r.Allreduce(8); err != nil {
+				return err
+			}
+		}
+		return r.Finalize()
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,335 @@
+package capi
+
+import (
+	"fmt"
+	"time"
+
+	"capi/internal/callgraph"
+	"capi/internal/compiler"
+	"capi/internal/core"
+	"capi/internal/dyncapi"
+	"capi/internal/exec"
+	"capi/internal/ic"
+	"capi/internal/metacg"
+	"capi/internal/mpi"
+	"capi/internal/prog"
+	"capi/internal/scorep"
+	"capi/internal/spec"
+	"capi/internal/talp"
+	"capi/internal/workload"
+	"capi/internal/xray"
+)
+
+// Re-exported types, so library users can drive the full workflow without
+// importing internal packages directly.
+type (
+	// Program is the synthetic application model fed to the toolchain.
+	Program = prog.Program
+	// Graph is a whole-program call graph (MetaCG result).
+	Graph = callgraph.Graph
+	// Build is a compiled program (object images + layout).
+	Build = compiler.Build
+	// IC is an instrumentation configuration.
+	IC = ic.Config
+	// TALPReport is TALP's end-of-run region summary.
+	TALPReport = talp.Report
+	// Profile is Score-P's aggregated call-path profile.
+	Profile = scorep.Profile
+	// LuleshOptions sizes the LULESH workload generator.
+	LuleshOptions = workload.LuleshOptions
+	// OpenFOAMOptions sizes the OpenFOAM workload generator.
+	OpenFOAMOptions = workload.OpenFOAMOptions
+	// ModuleLoader resolves !import directives in specifications.
+	ModuleLoader = spec.ModuleLoader
+	// MapModules serves specification modules from an in-memory map.
+	MapModules = spec.MapLoader
+)
+
+// Workload generators (stand-ins for the paper's two test cases plus a
+// small app for quick starts).
+var (
+	// Lulesh generates the LULESH 2.0 proxy-app stand-in (§VI).
+	Lulesh = workload.Lulesh
+	// OpenFOAM generates the icoFoam / lid-driven-cavity stand-in (§VI).
+	OpenFOAM = workload.OpenFOAM
+	// Quickstart generates a ~35-function miniature MPI application.
+	Quickstart = workload.Quickstart
+)
+
+// Backend selects the measurement system a Run feeds (Fig. 3).
+type Backend string
+
+// The available measurement backends.
+const (
+	// BackendNone patches but discards events through the generic
+	// cyg-profile interface (overhead studies).
+	BackendNone Backend = "none"
+	// BackendTALP records POP parallel-efficiency metrics per region.
+	BackendTALP Backend = "talp"
+	// BackendScoreP records call-path profiles.
+	BackendScoreP Backend = "scorep"
+)
+
+// SessionOptions configures session preparation.
+type SessionOptions struct {
+	// OptLevel is the modelled optimization level (2 or 3; default 2). It
+	// controls auto-inlining and therefore which functions lose symbols
+	// and sleds (§V-E).
+	OptLevel int
+	// XRayThreshold is the sled pre-filter ("-fxray-instruction-
+	// threshold"); the DynCaPI default of 1 prepares every function (§IV).
+	XRayThreshold int
+	// Modules resolves !import directives beyond the built-in ones.
+	Modules ModuleLoader
+	// RankWorkSkew scales per-rank work to model load imbalance; defaults
+	// to a balanced run. Index = rank.
+	RankWorkSkew []float64
+}
+
+// Session is one application prepared for runtime-adaptable instrumentation:
+// generated (or supplied), analysed into a whole-program call graph, and
+// compiled once with XRay sleds everywhere. The Fig. 1 loop then iterates
+// Select and Run without ever rebuilding.
+type Session struct {
+	prog    *prog.Program
+	graph   *callgraph.Graph
+	build   *compiler.Build
+	vanilla *compiler.Build // built lazily for baselines
+	opts    SessionOptions
+}
+
+// NewSession analyses and compiles the program for dynamic instrumentation.
+func NewSession(p *Program, opts SessionOptions) (*Session, error) {
+	if p == nil {
+		return nil, fmt.Errorf("capi: nil program")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("capi: %w", err)
+	}
+	g := metacg.BuildWholeProgram(p, metacg.Options{})
+	b, err := compiler.Compile(p, compiler.Options{
+		XRay:          true,
+		XRayThreshold: opts.XRayThreshold,
+		OptLevel:      opts.OptLevel,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("capi: %w", err)
+	}
+	return &Session{prog: p, graph: g, build: b, opts: opts}, nil
+}
+
+// Graph returns the whole-program call graph.
+func (s *Session) Graph() *Graph { return s.graph }
+
+// Build returns the XRay-instrumented build.
+func (s *Session) Build() *Build { return s.build }
+
+// Program returns the underlying program.
+func (s *Session) Program() *Program { return s.prog }
+
+// Selection is the outcome of one Select call: the IC plus the paper's
+// Table I statistics.
+type Selection struct {
+	// IC is the instrumentation configuration to apply at run time.
+	IC *IC
+	// Pre is the number of selected functions before post-processing.
+	Pre int
+	// Selected is the count after removing inlined functions (§V-E).
+	Selected int
+	// Added is the number of compensation functions added (§V-E).
+	Added int
+	// RemovedInlined and AddedCompensation list the affected functions.
+	RemovedInlined    []string
+	AddedCompensation []string
+	// Seconds is the wall-clock selection time (Table I's Time column).
+	Seconds float64
+}
+
+// Select evaluates a CaPI specification against the session's call graph
+// and returns the resulting instrumentation configuration. Inlining
+// compensation runs against the session's build (§V-E).
+func (s *Session) Select(specSource string) (*Selection, error) {
+	eng := core.NewEngine(s.graph)
+	res, err := eng.RunSource(specSource, core.Options{
+		Symbols: s.build,
+		Loader:  s.loader(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Selection{
+		IC:                res.IC(s.prog.Name, ""),
+		Pre:               res.Pre.Count(),
+		Selected:          res.Selected.Count(),
+		Added:             len(res.AddedCompensation),
+		RemovedInlined:    res.RemovedInlined,
+		AddedCompensation: res.AddedCompensation,
+		Seconds:           res.SelectionTime.Seconds(),
+	}, nil
+}
+
+func (s *Session) loader() spec.ModuleLoader {
+	if s.opts.Modules == nil {
+		return spec.BuiltinModules{}
+	}
+	return spec.ChainLoader{s.opts.Modules, spec.BuiltinModules{}}
+}
+
+// AttachStaticIDs augments the selection's IC with statically determined
+// packed XRay IDs (the §VI-B(a) extension the paper proposes): with IDs in
+// the IC, Run can patch hidden DSO functions that name resolution cannot
+// reach. The selection is modified in place.
+func (s *Session) AttachStaticIDs(sel *Selection) error {
+	if sel == nil || sel.IC == nil {
+		return fmt.Errorf("capi: nil selection")
+	}
+	ids, err := s.build.StaticPackedIDs()
+	if err != nil {
+		return err
+	}
+	sel.IC = sel.IC.WithIDs(ids)
+	return nil
+}
+
+// RunOptions configures one measured execution.
+type RunOptions struct {
+	// Backend selects the measurement system (default BackendNone).
+	Backend Backend
+	// Ranks is the simulated MPI world size (default 4).
+	Ranks int
+	// PatchAll patches every sled regardless of the selection (the
+	// paper's "xray full" variant).
+	PatchAll bool
+	// EmulateTALPBug enables TALP's re-entry bug compat mode (§VI-B(b)).
+	EmulateTALPBug bool
+}
+
+// RunResult is the outcome of one measured execution.
+type RunResult struct {
+	// InitSeconds is the virtual DynCaPI start-up time (Table II T_init);
+	// negative when no instrumentation runtime ran.
+	InitSeconds float64
+	// TotalSeconds is the virtual end-to-end runtime including init
+	// (Table II T_total).
+	TotalSeconds float64
+	// Events is the number of instrumentation events dispatched.
+	Events int64
+	// Patched is the number of functions whose sleds were patched.
+	Patched int
+	// TALP carries the region report when Backend was BackendTALP.
+	TALP *TALPReport
+	// Profile carries the profile when Backend was BackendScoreP.
+	Profile *Profile
+	// WallSeconds is the real time the simulation took (diagnostics).
+	WallSeconds float64
+}
+
+// Run executes the session's build with the selection patched in at
+// start-up, under the chosen measurement backend. A nil selection with
+// RunOptions.PatchAll false runs with inactive sleds (the "xray inactive"
+// baseline).
+func (s *Session) Run(sel *Selection, opts RunOptions) (*RunResult, error) {
+	start := time.Now()
+	if opts.Ranks <= 0 {
+		opts.Ranks = 4
+	}
+	proc, err := s.build.LoadProcess()
+	if err != nil {
+		return nil, err
+	}
+	world, err := mpi.NewWorld(opts.Ranks, mpi.DefaultCostModel())
+	if err != nil {
+		return nil, err
+	}
+	xr, err := xray.NewRuntime(proc)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &RunResult{InitSeconds: -1}
+	var cfg *ic.Config
+	if sel != nil {
+		cfg = sel.IC
+	}
+	var backend dyncapi.Backend
+	var mon *talp.Monitor
+	var meas *scorep.Measurement
+	instrumented := cfg != nil || opts.PatchAll
+	if instrumented {
+		switch opts.Backend {
+		case BackendTALP:
+			mon = talp.New(world, talp.Options{EmulateReentryBug: opts.EmulateTALPBug})
+			backend = dyncapi.NewTALPBackend(mon)
+		case BackendScoreP:
+			meas, err = scorep.New(scorep.Options{Ranks: opts.Ranks})
+			if err != nil {
+				return nil, err
+			}
+			backend = dyncapi.NewScorePBackend(meas, scorep.NewResolverFromExecutable(proc))
+		case BackendNone, "":
+			backend = &dyncapi.CygBackend{}
+		default:
+			return nil, fmt.Errorf("capi: unknown backend %q", opts.Backend)
+		}
+		rt, err := dyncapi.New(proc, xr, cfg, backend, dyncapi.Options{PatchAll: opts.PatchAll})
+		if err != nil {
+			return nil, err
+		}
+		out.InitSeconds = rt.InitSeconds()
+		out.Patched = rt.Report().Patched
+	}
+
+	eng, err := exec.New(exec.Config{
+		Build:        s.build,
+		Proc:         proc,
+		XRay:         xr,
+		World:        world,
+		RankWorkSkew: s.opts.RankWorkSkew,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Run(); err != nil {
+		return nil, err
+	}
+
+	for _, r := range world.Ranks() {
+		if sec := r.Clock().Seconds(); sec > out.TotalSeconds {
+			out.TotalSeconds = sec
+		}
+	}
+	if out.InitSeconds > 0 {
+		out.TotalSeconds += out.InitSeconds
+	}
+	out.Events = eng.TotalEvents()
+	if mon != nil {
+		out.TALP = mon.Report()
+	}
+	if meas != nil {
+		out.Profile = meas.Profile()
+	}
+	out.WallSeconds = time.Since(start).Seconds()
+	return out, nil
+}
+
+// RunVanilla executes the uninstrumented build (no sleds at all) and
+// returns the virtual runtime — the Table II baseline. The vanilla build is
+// compiled on first use and cached.
+func (s *Session) RunVanilla(ranks int) (float64, error) {
+	if s.vanilla == nil {
+		vb, err := compiler.Compile(s.prog, compiler.Options{OptLevel: s.opts.OptLevel})
+		if err != nil {
+			return 0, err
+		}
+		s.vanilla = vb
+	}
+	if ranks <= 0 {
+		ranks = 4
+	}
+	return workload.RunVanilla(s.vanilla, ranks)
+}
+
+// RecompileSeconds returns the modelled wall-clock cost of a full rebuild —
+// what every IC adjustment costs under the *static* workflow the paper
+// replaces (§VII-A; ~50 minutes for full-scale OpenFOAM).
+func (s *Session) RecompileSeconds() float64 { return s.build.CompileSeconds }

@@ -1,0 +1,260 @@
+package capi_test
+
+import (
+	"strings"
+	"testing"
+
+	capi "capi"
+)
+
+const quickSpec = `!import("mpi.capi")
+excluded = join(inSystemHeader(%%), inlineSpecified(%%))
+subtract(%mpi_comm, %excluded)
+`
+
+func newQuickSession(t *testing.T) *capi.Session {
+	t.Helper()
+	s, err := capi.NewSession(capi.Quickstart(), capi.SessionOptions{OptLevel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSessionValidation(t *testing.T) {
+	if _, err := capi.NewSession(nil, capi.SessionOptions{}); err == nil {
+		t.Fatal("nil program must fail")
+	}
+}
+
+func TestSessionSelect(t *testing.T) {
+	s := newQuickSession(t)
+	sel, err := s.Select(quickSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.IC.Len() == 0 {
+		t.Fatal("empty selection")
+	}
+	for _, want := range []string{"main", "exchange_halo", "compute_residual"} {
+		if !sel.IC.Contains(want) {
+			t.Fatalf("selection misses %s: %v", want, sel.IC.Include)
+		}
+	}
+	if sel.IC.Contains("stencil_kernel") {
+		t.Fatal("pure compute kernel must not be on the MPI selection")
+	}
+	if sel.Pre < sel.Selected {
+		t.Fatalf("pre %d < selected %d", sel.Pre, sel.Selected)
+	}
+}
+
+func TestSessionSelectBadSpec(t *testing.T) {
+	s := newQuickSession(t)
+	if _, err := s.Select(`bogus(%%`); err == nil {
+		t.Fatal("syntax error must be reported")
+	}
+	if _, err := s.Select(`unknownSelector(%%)`); err == nil {
+		t.Fatal("unknown selector must be reported")
+	}
+	if _, err := s.Select(""); err == nil {
+		t.Fatal("empty spec must be reported")
+	}
+}
+
+func TestSessionRunBackends(t *testing.T) {
+	s := newQuickSession(t)
+	sel, err := s.Select(quickSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	van, err := s.RunVanilla(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	talpRes, err := s.Run(sel, capi.RunOptions{Backend: capi.BackendTALP, Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if talpRes.TALP == nil {
+		t.Fatal("no TALP report")
+	}
+	if talpRes.TALP.Region("exchange_halo") == nil {
+		t.Fatal("exchange_halo region not measured by TALP")
+	}
+	if talpRes.TotalSeconds <= van {
+		t.Fatalf("instrumented run %v not above vanilla %v", talpRes.TotalSeconds, van)
+	}
+
+	spRes, err := s.Run(sel, capi.RunOptions{Backend: capi.BackendScoreP, Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spRes.Profile == nil {
+		t.Fatal("no Score-P profile")
+	}
+	if spRes.Profile.Region("compute_residual") == nil {
+		t.Fatal("compute_residual not in profile")
+	}
+}
+
+func TestSessionRunInactiveSledsNearVanilla(t *testing.T) {
+	s := newQuickSession(t)
+	van, err := s.RunVanilla(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// nil selection + no PatchAll: sleds inserted but never patched.
+	res, err := s.Run(nil, capi.RunOptions{Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Patched != 0 || res.Events != 0 {
+		t.Fatalf("inactive run patched %d, events %d", res.Patched, res.Events)
+	}
+	delta := (res.TotalSeconds - van) / van
+	if delta < 0 || delta > 0.01 {
+		t.Fatalf("inactive sled overhead %.4f outside [0,1%%]", delta)
+	}
+}
+
+func TestSessionRunPatchAll(t *testing.T) {
+	s := newQuickSession(t)
+	full, err := s.Run(nil, capi.RunOptions{Backend: capi.BackendTALP, Ranks: 2, PatchAll: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := s.Select(quickSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered, err := s.Run(sel, capi.RunOptions{Backend: capi.BackendTALP, Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Patched <= filtered.Patched {
+		t.Fatalf("full patched %d <= filtered %d", full.Patched, filtered.Patched)
+	}
+	if full.TotalSeconds <= filtered.TotalSeconds {
+		t.Fatalf("full run %v not above filtered %v", full.TotalSeconds, filtered.TotalSeconds)
+	}
+}
+
+// TestRefinementLoop exercises the Fig. 1 adjust cycle: measure, find the
+// most expensive region, exclude it by name, re-select and re-run without
+// recompiling; the refined run must patch fewer functions and cost less.
+func TestRefinementLoop(t *testing.T) {
+	s := newQuickSession(t)
+	sel1, err := s.Select(`excluded = join(inSystemHeader(%%), inlineSpecified(%%))
+subtract(callPathTo(flops(">=", 10, %%)), %excluded)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run1, err := s.Run(sel1, capi.RunOptions{Backend: capi.BackendScoreP, Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "stencil_kernel produced too much overhead" — refine it away.
+	if !sel1.IC.Contains("stencil_kernel") {
+		t.Fatal("precondition: stencil_kernel selected")
+	}
+	sel2, err := s.Select(`excluded = join(inSystemHeader(%%), inlineSpecified(%%))
+hot = byName("^stencil_kernel$", %%)
+subtract(subtract(callPathTo(flops(">=", 10, %%)), %excluded), %hot)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel2.IC.Contains("stencil_kernel") {
+		t.Fatal("refinement did not exclude stencil_kernel")
+	}
+	if sel2.IC.Len() >= sel1.IC.Len() {
+		t.Fatalf("refined IC %d not smaller than %d", sel2.IC.Len(), sel1.IC.Len())
+	}
+	run2, err := s.Run(sel2, capi.RunOptions{Backend: capi.BackendScoreP, Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run2.TotalSeconds >= run1.TotalSeconds {
+		t.Fatalf("refined run %v not below %v", run2.TotalSeconds, run1.TotalSeconds)
+	}
+	// The dynamic turnaround must beat the static recompile by a wide
+	// margin (§VII-A).
+	if run2.InitSeconds >= s.RecompileSeconds() {
+		t.Fatalf("patch init %v not below recompile %v", run2.InitSeconds, s.RecompileSeconds())
+	}
+}
+
+func TestSessionUnknownBackend(t *testing.T) {
+	s := newQuickSession(t)
+	sel, err := s.Select(quickSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(sel, capi.RunOptions{Backend: "vampir", Ranks: 2}); err == nil ||
+		!strings.Contains(err.Error(), "backend") {
+		t.Fatalf("unknown backend error missing, got %v", err)
+	}
+}
+
+// TestAttachStaticIDs exercises the §VI-B(a) extension through the facade:
+// a hidden DSO function can only be patched once static IDs are attached.
+func TestAttachStaticIDs(t *testing.T) {
+	s, err := capi.NewSession(capi.OpenFOAM(capi.OpenFOAMOptions{Scale: 0.02, Timesteps: 1, PCGIters: 2}),
+		capi.SessionOptions{OptLevel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Select the hidden static initializers by name — unreachable for
+	// name-based resolution.
+	sel, err := s.Select(`byName("^_GLOBAL__sub_I_", %%)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.IC.Len() == 0 {
+		t.Fatal("no static initializers selected")
+	}
+	plain, err := s.Run(sel, capi.RunOptions{Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Patched != 0 {
+		t.Fatalf("hidden functions patched by name: %d", plain.Patched)
+	}
+	if err := s.AttachStaticIDs(sel); err != nil {
+		t.Fatal(err)
+	}
+	withIDs, err := s.Run(sel, capi.RunOptions{Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withIDs.Patched == 0 {
+		t.Fatal("static IDs did not patch the hidden functions")
+	}
+	if withIDs.Events == 0 {
+		t.Fatal("patched static initializers produced no events")
+	}
+}
+
+func TestSessionCustomModules(t *testing.T) {
+	s, err := capi.NewSession(capi.Quickstart(), capi.SessionOptions{
+		OptLevel: 2,
+		Modules: capi.MapModules{
+			"site.capi": "site_excluded = inSystemHeader(%%)\n",
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := s.Select(`!import("site.capi")
+subtract(%%, %site_excluded)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.IC.Len() == 0 {
+		t.Fatal("empty selection via custom module")
+	}
+}

@@ -1,0 +1,127 @@
+// Command dyncapi executes a workload under runtime-adaptable
+// instrumentation: the IC is applied by patching XRay sleds at start-up (no
+// recompilation), events flow to the chosen measurement backend, and the
+// tool report is printed — the Instrumentation + Measurement stages of
+// Fig. 1/3.
+//
+// Usage:
+//
+//	dyncapi -app lulesh -builtin mpi -backend scorep -ranks 4
+//	dyncapi -app openfoam -builtin "mpi coarse" -backend talp
+//	dyncapi -app openfoam -full -backend talp       # patch everything
+//	dyncapi -app quickstart -ic my.ic.json -backend scorep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	capi "capi"
+	"capi/internal/experiments"
+	"capi/internal/ic"
+)
+
+func main() {
+	var (
+		app     = flag.String("app", "quickstart", "workload: quickstart, lulesh or openfoam")
+		scale   = flag.Float64("scale", 0.1, "openfoam call-graph scale")
+		icFile  = flag.String("ic", "", "instrumentation configuration (JSON) to apply")
+		spec    = flag.String("spec", "", "specification file to select with")
+		builtin = flag.String("builtin", "", `built-in spec name (e.g. "mpi", "kernels coarse")`)
+		full    = flag.Bool("full", false, "patch every sled (xray full)")
+		backend = flag.String("backend", "talp", "measurement backend: talp, scorep or none")
+		ranks   = flag.Int("ranks", 4, "simulated MPI ranks")
+		talpBug = flag.Bool("talp-bug", false, "emulate the TALP re-entry bug (§VI-B(b))")
+		asJSON  = flag.Bool("json", false, "emit the tool report as JSON")
+	)
+	flag.Parse()
+
+	session, err := newSession(*app, *scale)
+	if err != nil {
+		fatal(err)
+	}
+
+	var sel *capi.Selection
+	switch {
+	case *full:
+		// nothing to select
+	case *icFile != "":
+		f, err := os.Open(*icFile)
+		if err != nil {
+			fatal(err)
+		}
+		cfg, err := ic.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		sel = &capi.Selection{IC: cfg, Selected: cfg.Len()}
+	case *spec != "" || *builtin != "":
+		src, err := specSource(*spec, *builtin)
+		if err != nil {
+			fatal(err)
+		}
+		sel, err = session.Select(src)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dyncapi: selected %d functions (%d pre, %d added) in %.2fs\n",
+			sel.IC.Len(), sel.Pre, sel.Added, sel.Seconds)
+	default:
+		fatal(fmt.Errorf("one of -ic, -spec, -builtin or -full is required"))
+	}
+
+	res, err := session.Run(sel, capi.RunOptions{
+		Backend:        capi.Backend(*backend),
+		Ranks:          *ranks,
+		PatchAll:       *full,
+		EmulateTALPBug: *talpBug,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Fprintf(os.Stderr, "dyncapi: T_init %.2fs, T_total %.2fs (virtual), %d functions patched, %d events\n",
+		res.InitSeconds, res.TotalSeconds, res.Patched, res.Events)
+	switch {
+	case res.TALP != nil && *asJSON:
+		err = res.TALP.WriteJSON(os.Stdout)
+	case res.TALP != nil:
+		err = res.TALP.WriteText(os.Stdout)
+	case res.Profile != nil:
+		err = res.Profile.WriteText(os.Stdout)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func newSession(app string, scale float64) (*capi.Session, error) {
+	switch app {
+	case "quickstart":
+		return capi.NewSession(capi.Quickstart(), capi.SessionOptions{OptLevel: 2})
+	case "lulesh":
+		return capi.NewSession(capi.Lulesh(capi.LuleshOptions{}), capi.SessionOptions{OptLevel: 3})
+	case "openfoam":
+		return capi.NewSession(capi.OpenFOAM(capi.OpenFOAMOptions{Scale: scale}), capi.SessionOptions{OptLevel: 2})
+	default:
+		return nil, fmt.Errorf("unknown app %q", app)
+	}
+}
+
+func specSource(specFile, builtin string) (string, error) {
+	if specFile != "" {
+		data, err := os.ReadFile(specFile)
+		if err != nil {
+			return "", err
+		}
+		return string(data), nil
+	}
+	return experiments.SpecSource(builtin)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dyncapi:", err)
+	os.Exit(1)
+}

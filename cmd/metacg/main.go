@@ -1,0 +1,72 @@
+// Command metacg builds a whole-program call graph for one of the bundled
+// workloads and writes it as MetaCG-style JSON (Fig. 2, steps 3–4 of the
+// paper).
+//
+// Usage:
+//
+//	metacg -app lulesh -o lulesh.cg.json
+//	metacg -app openfoam -scale 0.1 -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"capi/internal/metacg"
+	"capi/internal/prog"
+	"capi/internal/workload"
+)
+
+func main() {
+	var (
+		app     = flag.String("app", "quickstart", "workload: quickstart, lulesh or openfoam")
+		scale   = flag.Float64("scale", 0.1, "openfoam call-graph scale (1.0 = paper size)")
+		cgNodes = flag.Int("cgnodes", 0, "lulesh call-graph size override (default 3,360)")
+		out     = flag.String("o", "", "output file (default stdout)")
+		stats   = flag.Bool("stats", false, "print node/edge statistics instead of JSON")
+	)
+	flag.Parse()
+
+	p, err := buildApp(*app, *scale, *cgNodes)
+	if err != nil {
+		fatal(err)
+	}
+	g := metacg.BuildWholeProgram(p, metacg.Options{})
+
+	if *stats {
+		fmt.Printf("program: %s\nnodes:   %d\nedges:   %d\nmain:    %s\n",
+			p.Name, g.Len(), g.NumEdges(), g.Main)
+		return
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := g.WriteJSON(w); err != nil {
+		fatal(err)
+	}
+}
+
+func buildApp(app string, scale float64, cgNodes int) (*prog.Program, error) {
+	switch app {
+	case "quickstart":
+		return workload.Quickstart(), nil
+	case "lulesh":
+		return workload.Lulesh(workload.LuleshOptions{CGNodes: cgNodes}), nil
+	case "openfoam":
+		return workload.OpenFOAM(workload.OpenFOAMOptions{Scale: scale}), nil
+	default:
+		return nil, fmt.Errorf("unknown app %q (want quickstart, lulesh or openfoam)", app)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "metacg:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+// Command scorep-score reproduces the scorep-score workflow the paper
+// positions CaPI against (§II-B): run a fully instrumented measurement,
+// rank regions by their estimated measurement-overhead share, and emit an
+// initial exclusion filter. Unlike CaPI's call-graph-aware selection, this
+// is purely metric-driven — "very effective in eliminating overhead but
+// [taking] no account of the wider application context".
+//
+// Usage:
+//
+//	scorep-score -app lulesh -ranks 4 -o initial.filter
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	capi "capi"
+	"capi/internal/scorep"
+)
+
+func main() {
+	var (
+		app      = flag.String("app", "quickstart", "workload: quickstart, lulesh or openfoam")
+		scale    = flag.Float64("scale", 0.05, "openfoam call-graph scale")
+		ranks    = flag.Int("ranks", 4, "simulated MPI ranks")
+		minVisit = flag.Int64("min-visits", 0, "only exclude regions with at least this many visits (0 = default)")
+		out      = flag.String("o", "", "filter output file (default stdout)")
+	)
+	flag.Parse()
+
+	session, err := newSession(*app, *scale)
+	if err != nil {
+		fatal(err)
+	}
+	// Full instrumentation profile — the expensive survey run.
+	res, err := session.Run(nil, capi.RunOptions{
+		Backend:  capi.BackendScoreP,
+		Ranks:    *ranks,
+		PatchAll: true,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "scorep-score: survey run %.2fs (virtual), %d events, %d regions\n",
+		res.TotalSeconds, res.Events, len(res.Profile.Regions))
+
+	opts := scorep.DefaultScoreOptions()
+	if *minVisit > 0 {
+		opts.MinVisits = *minVisit
+	}
+	sug, filter := scorep.SuggestFilter(res.Profile, opts)
+	fmt.Fprintf(os.Stderr, "scorep-score: excluding %d regions removes ~%d event pairs\n",
+		len(sug.Exclude), sug.EventsRemoved)
+	for i, name := range sug.Exclude {
+		if i >= 10 {
+			fmt.Fprintf(os.Stderr, "  ... and %d more\n", len(sug.Exclude)-10)
+			break
+		}
+		fmt.Fprintf(os.Stderr, "  EXCLUDE %s\n", name)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if _, err := filter.WriteTo(w); err != nil {
+		fatal(err)
+	}
+}
+
+func newSession(app string, scale float64) (*capi.Session, error) {
+	switch app {
+	case "quickstart":
+		return capi.NewSession(capi.Quickstart(), capi.SessionOptions{OptLevel: 2})
+	case "lulesh":
+		return capi.NewSession(capi.Lulesh(capi.LuleshOptions{}), capi.SessionOptions{OptLevel: 3})
+	case "openfoam":
+		return capi.NewSession(capi.OpenFOAM(capi.OpenFOAMOptions{Scale: scale}), capi.SessionOptions{OptLevel: 2})
+	default:
+		return nil, fmt.Errorf("unknown app %q", app)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scorep-score:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+// Package capi is a from-scratch Go reproduction of "Runtime-Adaptable
+// Selective Performance Instrumentation" (Kreutzer, Iwainsky,
+// Garcia-Gasulla, Lopez, Bischof; IPPS/IPDPS-W 2023, arXiv:2303.11110): the
+// CaPI compiler-assisted instrumentation-selection tool together with every
+// substrate its evaluation depends on.
+//
+// The paper's system selects which functions of a large HPC application to
+// instrument by evaluating a user-defined selector pipeline over a
+// whole-program call graph, and — the paper's core contribution — applies
+// that selection at program start by patching XRay NOP sleds instead of
+// recompiling, including inside dynamic shared objects (DSOs). Measurement
+// flows to Score-P (fine-grained profiles) or TALP (POP parallel-efficiency
+// metrics per region).
+//
+// # Architecture (paper Fig. 2/3)
+//
+//	prog      synthetic program model (stand-in for C++ sources)
+//	metacg    whole-program call-graph construction
+//	spec      the CaPI selection DSL        ─┐
+//	selector  selector implementations       ├─ "Selection"
+//	core      pipeline engine + post-passes ─┘
+//	ic        instrumentation configuration (IC) files
+//	compiler  Clang/-fxray-instrument model: inlining, symbols, sleds
+//	obj/mem   object images, dynamic loader, page protection
+//	xray      sled patching runtime with packed DSO/function IDs (Fig. 4)
+//	dyncapi   the DynCaPI runtime: ID resolution, patching, event bridge
+//	mpi       simulated MPI with PMPI interception
+//	scorep    Score-P measurement substrate
+//	talp/pop  TALP regions + POP efficiency metrics
+//	exec      deterministic virtual-time execution engine
+//	workload  LULESH / OpenFOAM-icoFoam workload generators
+//
+// # The Fig. 1 loop
+//
+// A Session wraps an application prepared for runtime-adaptable
+// instrumentation. The user iterates: Select (evaluate a spec into an IC),
+// Run (patch at start-up, measure), inspect, adjust the spec, repeat — no
+// recompilation between iterations:
+//
+//	app := capi.Lulesh(capi.LuleshOptions{})
+//	s, _ := capi.NewSession(app, capi.SessionOptions{OptLevel: 3})
+//	sel, _ := s.Select(`!import("mpi.capi")
+//	excluded = join(inSystemHeader(%%), inlineSpecified(%%))
+//	subtract(%mpi_comm, %excluded)`)
+//	res, _ := s.Run(sel, capi.RunOptions{Backend: capi.BackendScoreP, Ranks: 4})
+//	res.Profile.WriteText(os.Stdout)
+//
+// Everything is deterministic: workloads are generated from fixed seeds and
+// time is virtual, so measurements are reproducible bit-for-bit.
+package capi

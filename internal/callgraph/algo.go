@@ -1,0 +1,219 @@
+package callgraph
+
+// This file contains the graph algorithms backing the selectors:
+// reachability, call-path sets, strongly connected components and
+// statement aggregation (Iwainsky & Bischof, IPDPS 2016 — the heuristic
+// cited in §II-B of the paper).
+
+// Reachable returns the set of nodes reachable from any node in from,
+// following callee edges when forward is true and caller edges otherwise.
+// The seed nodes themselves are included.
+func (g *Graph) Reachable(from *Set, forward bool) *Set {
+	out := from.Clone()
+	stack := from.Members()
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		next := n.callees
+		if !forward {
+			next = n.callers
+		}
+		for _, m := range next {
+			if !out.Has(m) {
+				out.Add(m)
+				stack = append(stack, m)
+			}
+		}
+	}
+	return out
+}
+
+// OnCallPath returns every node that lies on some call path from the node
+// named root to any node in targets — i.e. descendants(root) ∩
+// ancestors(targets), endpoints included. This implements the paper's
+// "on a call path from main to ..." selector semantics. If root is unknown
+// the result is empty.
+func (g *Graph) OnCallPath(root string, targets *Set) *Set {
+	rn := g.Node(root)
+	if rn == nil {
+		return g.NewSet()
+	}
+	seed := g.NewSet()
+	seed.Add(rn)
+	down := g.Reachable(seed, true)
+	up := g.Reachable(targets, false)
+	return down.Intersect(up)
+}
+
+// SCC computes the strongly connected components of the graph using an
+// iterative Tarjan algorithm (the graphs are far too deep for recursion at
+// OpenFOAM scale). It returns the component index per node ID and the number
+// of components. Component indices are in reverse topological order of the
+// condensation: if component a calls component b then scc[a] > scc[b].
+func (g *Graph) SCC() (comp []int, n int) {
+	const unvisited = -1
+	nn := g.Len()
+	comp = make([]int, nn)
+	index := make([]int, nn)
+	low := make([]int, nn)
+	onStack := make([]bool, nn)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var stack []int
+	next := 0
+
+	type frame struct {
+		v  int
+		ci int // next callee index to process
+	}
+	for root := 0; root < nn; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		work := []frame{{v: root}}
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			v := f.v
+			if f.ci == 0 {
+				index[v] = next
+				low[v] = next
+				next++
+				stack = append(stack, v)
+				onStack[v] = true
+			}
+			advanced := false
+			callees := g.order[v].callees
+			for f.ci < len(callees) {
+				w := callees[f.ci].id
+				f.ci++
+				if index[w] == unvisited {
+					work = append(work, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// All callees processed: close v.
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = n
+					if w == v {
+						break
+					}
+				}
+				n++
+			}
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				p := work[len(work)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+		}
+	}
+	return comp, n
+}
+
+// StatementAggregation computes, for every node, the maximum aggregated
+// statement count along any call chain from the node named root, where each
+// function contributes its own statement count once per chain. Cycles are
+// collapsed to their SCC: all members of a component share the component's
+// total statement count. Unreachable nodes have aggregate 0.
+func (g *Graph) StatementAggregation(root string) []int64 {
+	rn := g.Node(root)
+	agg := make([]int64, g.Len())
+	if rn == nil {
+		return agg
+	}
+	comp, ncomp := g.SCC()
+
+	// Total statements and membership per component.
+	compStmts := make([]int64, ncomp)
+	for _, n := range g.order {
+		compStmts[comp[n.id]] += int64(n.Meta.Statements)
+	}
+	members := make([][]int32, ncomp)
+	for _, n := range g.order {
+		c := comp[n.id]
+		members[c] = append(members[c], int32(n.id))
+	}
+	// Condensation edges: comp(u) -> comp(v) for u->v with different comps.
+	// Tarjan yields components in reverse topological order: an edge always
+	// goes from a higher comp index to a lower one, so iterating components
+	// from high to low visits all callers of a component before the
+	// component itself.
+	compAgg := make([]int64, ncomp)
+	reached := make([]bool, ncomp)
+	rootComp := comp[rn.id]
+	compAgg[rootComp] = compStmts[rootComp]
+	reached[rootComp] = true
+	for c := ncomp - 1; c >= 0; c-- {
+		if !reached[c] {
+			continue
+		}
+		for _, id := range members[c] {
+			for _, m := range g.order[id].callees {
+				mc := comp[m.id]
+				if mc == c {
+					continue
+				}
+				cand := compAgg[c] + compStmts[mc]
+				if !reached[mc] || cand > compAgg[mc] {
+					compAgg[mc] = cand
+					reached[mc] = true
+				}
+			}
+		}
+	}
+	for _, n := range g.order {
+		if reached[comp[n.id]] {
+			agg[n.id] = compAgg[comp[n.id]]
+		}
+	}
+	return agg
+}
+
+// Coarse implements the paper's coarse selector (§V-D): traversing the call
+// graph top-down from the node named root, a callee of a selected function
+// is removed from the selection when that function is its only caller —
+// collapsing trivial single-caller call chains such as the nested OpenFOAM
+// solve() wrappers (Listing 3). The parent's selection is judged against the
+// *input* set so that removals cascade down a chain. Functions in critical
+// are always retained. The input set is not modified.
+func (g *Graph) Coarse(root string, in *Set, critical *Set) *Set {
+	out := in.Clone()
+	rn := g.Node(root)
+	if rn == nil {
+		return out
+	}
+	visited := g.NewSet()
+	queue := []*Node{rn}
+	visited.Add(rn)
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, callee := range n.callees {
+			if in.Has(n) && in.Has(callee) && len(callee.callers) == 1 {
+				if critical == nil || !critical.Has(callee) {
+					out.Remove(callee)
+				}
+			}
+			if !visited.Has(callee) {
+				visited.Add(callee)
+				queue = append(queue, callee)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+// Package callgraph provides the whole-program call-graph representation the
+// CaPI selection pipeline operates on (§III-A of the paper), together with
+// dense node sets and the graph algebra used by the selectors: reachability,
+// call-path computation, strongly connected components and statement
+// aggregation.
+//
+// Graphs are append-only: nodes and edges are added during construction
+// (internal/metacg) and then only read. Node identity is the function name.
+package callgraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Meta is the per-function static metadata carried by a node. It mirrors the
+// annotation set MetaCG attaches to call-graph nodes.
+type Meta struct {
+	Statements   int    `json:"numStatements"`
+	LOC          int    `json:"loc"`
+	Flops        int    `json:"numFlops"`
+	LoopDepth    int    `json:"loopDepth"`
+	Cyclomatic   int    `json:"cyclomatic"`
+	Inline       bool   `json:"inline"`
+	SystemHeader bool   `json:"systemHeader"`
+	Virtual      bool   `json:"virtual"`
+	Unit         string `json:"unit,omitempty"`
+	TU           string `json:"tu,omitempty"`
+}
+
+// Node is one function in the call graph.
+type Node struct {
+	id      int
+	Name    string
+	Display string // demangled name for reports; may equal Name
+	Meta    Meta
+
+	callees []*Node
+	callers []*Node
+}
+
+// ID returns the node's dense index, stable for the life of the graph.
+func (n *Node) ID() int { return n.id }
+
+// Callees returns the outgoing edges. Callers must not modify the slice.
+func (n *Node) Callees() []*Node { return n.callees }
+
+// Callers returns the incoming edges. Callers must not modify the slice.
+func (n *Node) Callers() []*Node { return n.callers }
+
+func (n *Node) String() string { return n.Name }
+
+// Graph is a whole-program call graph.
+type Graph struct {
+	Name string
+	Main string // entry-point function name ("" if unknown)
+
+	nodes map[string]*Node
+	order []*Node
+
+	edgeSeen map[[2]int]struct{}
+}
+
+// New returns an empty graph.
+func New(name string) *Graph {
+	return &Graph{
+		Name:     name,
+		nodes:    map[string]*Node{},
+		edgeSeen: map[[2]int]struct{}{},
+	}
+}
+
+// AddNode inserts a node with the given metadata and returns it. If the node
+// already exists it is returned unchanged (use SetMeta to replace a stub's
+// metadata during translation-unit merging).
+func (g *Graph) AddNode(name string, meta Meta) *Node {
+	if n, ok := g.nodes[name]; ok {
+		return n
+	}
+	n := &Node{id: len(g.order), Name: name, Display: name, Meta: meta}
+	g.nodes[name] = n
+	g.order = append(g.order, n)
+	return n
+}
+
+// SetMeta replaces the metadata of an existing node. It reports whether the
+// node exists.
+func (g *Graph) SetMeta(name string, meta Meta) bool {
+	n, ok := g.nodes[name]
+	if !ok {
+		return false
+	}
+	n.Meta = meta
+	return true
+}
+
+// Node returns the named node, or nil.
+func (g *Graph) Node(name string) *Node { return g.nodes[name] }
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.order) }
+
+// Nodes returns all nodes in insertion order. Callers must not modify the
+// returned slice.
+func (g *Graph) Nodes() []*Node { return g.order }
+
+// NodeByID returns the node with the given dense index.
+func (g *Graph) NodeByID(id int) *Node {
+	if id < 0 || id >= len(g.order) {
+		return nil
+	}
+	return g.order[id]
+}
+
+// AddEdge inserts a caller→callee edge, creating missing nodes with empty
+// metadata (declaration stubs). Duplicate edges are ignored.
+func (g *Graph) AddEdge(caller, callee string) {
+	from := g.AddNode(caller, Meta{})
+	to := g.AddNode(callee, Meta{})
+	key := [2]int{from.id, to.id}
+	if _, dup := g.edgeSeen[key]; dup {
+		return
+	}
+	g.edgeSeen[key] = struct{}{}
+	from.callees = append(from.callees, to)
+	to.callers = append(to.callers, from)
+}
+
+// HasEdge reports whether the caller→callee edge exists.
+func (g *Graph) HasEdge(caller, callee string) bool {
+	from, to := g.nodes[caller], g.nodes[callee]
+	if from == nil || to == nil {
+		return false
+	}
+	_, ok := g.edgeSeen[[2]int{from.id, to.id}]
+	return ok
+}
+
+// NumEdges returns the number of distinct edges.
+func (g *Graph) NumEdges() int { return len(g.edgeSeen) }
+
+// MainNode returns the entry-point node, or nil if unset/unknown.
+func (g *Graph) MainNode() *Node {
+	if g.Main == "" {
+		return nil
+	}
+	return g.nodes[g.Main]
+}
+
+// Merge folds other into g: nodes are created as needed, non-empty metadata
+// from other overrides stub (zero) metadata in g, and all edges are added.
+// This implements the whole-program merge step of the MetaCG workflow
+// (Fig. 2 step 4).
+func (g *Graph) Merge(other *Graph) {
+	for _, n := range other.order {
+		existing, ok := g.nodes[n.Name]
+		if !ok {
+			nn := g.AddNode(n.Name, n.Meta)
+			nn.Display = n.Display
+			continue
+		}
+		if existing.Meta == (Meta{}) && n.Meta != (Meta{}) {
+			existing.Meta = n.Meta
+			existing.Display = n.Display
+		}
+	}
+	for _, n := range other.order {
+		for _, c := range n.callees {
+			g.AddEdge(n.Name, c.Name)
+		}
+	}
+	if g.Main == "" {
+		g.Main = other.Main
+	}
+}
+
+// SortedNames returns all node names sorted lexicographically (for stable
+// test output).
+func (g *Graph) SortedNames() []string {
+	out := make([]string, len(g.order))
+	for i, n := range g.order {
+		out[i] = n.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate performs internal consistency checks and is used by tests.
+func (g *Graph) Validate() error {
+	for i, n := range g.order {
+		if n.id != i {
+			return fmt.Errorf("callgraph: node %q has id %d at position %d", n.Name, n.id, i)
+		}
+		if g.nodes[n.Name] != n {
+			return fmt.Errorf("callgraph: node %q index mismatch", n.Name)
+		}
+	}
+	if len(g.nodes) != len(g.order) {
+		return fmt.Errorf("callgraph: %d named vs %d ordered nodes", len(g.nodes), len(g.order))
+	}
+	return nil
+}

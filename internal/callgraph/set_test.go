@@ -1,0 +1,192 @@
+package callgraph
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// lineGraph returns a graph with n isolated nodes named "f0".."f(n-1)".
+func lineGraph(n int) *Graph {
+	g := New("line")
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("f%d", i), Meta{})
+	}
+	return g
+}
+
+func TestUniverseSet(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 130} {
+		g := lineGraph(n)
+		u := g.UniverseSet()
+		if u.Count() != n {
+			t.Fatalf("UniverseSet(%d).Count = %d", n, u.Count())
+		}
+		for _, node := range g.Nodes() {
+			if !u.Has(node) {
+				t.Fatalf("universe missing %s", node.Name)
+			}
+		}
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	g := lineGraph(100)
+	s := g.NewSet()
+	if !s.Empty() {
+		t.Fatal("new set not empty")
+	}
+	n42 := g.Node("f42")
+	s.Add(n42)
+	s.AddID(g.Node("f77").ID())
+	if !s.Has(n42) || !s.HasName("f77") || !s.HasID(77) {
+		t.Fatal("membership lost")
+	}
+	if s.Has(nil) {
+		t.Fatal("Has(nil) must be false")
+	}
+	if s.Count() != 2 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	s.Remove(n42)
+	if s.Has(n42) || s.Count() != 1 {
+		t.Fatal("Remove failed")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	g := lineGraph(200)
+	a := g.SetOf("f1", "f2", "f3")
+	b := g.SetOf("f3", "f4")
+
+	if got := a.Union(b).Names(); len(got) != 4 {
+		t.Fatalf("Union = %v", got)
+	}
+	if got := a.Subtract(b).Names(); len(got) != 2 || got[0] != "f1" || got[1] != "f2" {
+		t.Fatalf("Subtract = %v", got)
+	}
+	if got := a.Intersect(b).Names(); len(got) != 1 || got[0] != "f3" {
+		t.Fatalf("Intersect = %v", got)
+	}
+	// Originals untouched.
+	if a.Count() != 3 || b.Count() != 2 {
+		t.Fatal("set algebra must not mutate operands")
+	}
+	c := a.Clone()
+	c.UnionWith(b)
+	if c.Count() != 4 || a.Count() != 3 {
+		t.Fatal("UnionWith wrong")
+	}
+}
+
+func TestSetOfIgnoresUnknown(t *testing.T) {
+	g := lineGraph(5)
+	s := g.SetOf("f1", "ghost")
+	if s.Count() != 1 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+}
+
+func TestCrossGraphPanics(t *testing.T) {
+	g1, g2 := lineGraph(5), lineGraph(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for cross-graph set op")
+		}
+	}()
+	g1.NewSet().Union(g2.NewSet())
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	g := lineGraph(10)
+	s := g.UniverseSet()
+	seen := 0
+	s.ForEach(func(n *Node) bool {
+		seen++
+		return seen < 3
+	})
+	if seen != 3 {
+		t.Fatalf("seen = %d, want 3", seen)
+	}
+}
+
+func TestMembersOrder(t *testing.T) {
+	g := lineGraph(70)
+	s := g.SetOf("f65", "f2", "f64")
+	m := s.Members()
+	if len(m) != 3 || m[0].Name != "f2" || m[1].Name != "f64" || m[2].Name != "f65" {
+		t.Fatalf("Members order = %v", m)
+	}
+}
+
+// Properties of the set algebra, checked with testing/quick over random
+// membership vectors.
+
+func setFromBools(g *Graph, bs []bool) *Set {
+	s := g.NewSet()
+	for i, b := range bs {
+		if b && i < g.Len() {
+			s.AddID(i)
+		}
+	}
+	return s
+}
+
+func TestSetAlgebraProperties(t *testing.T) {
+	g := lineGraph(130)
+	trim := func(bs []bool) []bool {
+		if len(bs) > g.Len() {
+			return bs[:g.Len()]
+		}
+		return bs
+	}
+
+	t.Run("DeMorgan-ish: (a∪b)\\b ⊆ a", func(t *testing.T) {
+		f := func(ab, bb []bool) bool {
+			a, b := setFromBools(g, trim(ab)), setFromBools(g, trim(bb))
+			diff := a.Union(b).Subtract(b)
+			ok := true
+			diff.ForEach(func(n *Node) bool {
+				if !a.Has(n) {
+					ok = false
+					return false
+				}
+				return true
+			})
+			return ok
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("union count = |a|+|b|-|a∩b|", func(t *testing.T) {
+		f := func(ab, bb []bool) bool {
+			a, b := setFromBools(g, trim(ab)), setFromBools(g, trim(bb))
+			return a.Union(b).Count() == a.Count()+b.Count()-a.Intersect(b).Count()
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("subtract then intersect is empty", func(t *testing.T) {
+		f := func(ab, bb []bool) bool {
+			a, b := setFromBools(g, trim(ab)), setFromBools(g, trim(bb))
+			return a.Subtract(b).Intersect(b).Empty()
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("clone equality", func(t *testing.T) {
+		f := func(ab []bool) bool {
+			a := setFromBools(g, trim(ab))
+			return a.Clone().Equal(a)
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

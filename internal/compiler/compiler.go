@@ -1,0 +1,302 @@
+// Package compiler lowers a synthetic program (internal/prog) into object
+// images (internal/obj), modelling the parts of Clang/LLVM the paper's
+// system interacts with:
+//
+//   - the inlining pass, which runs *before* the XRay machine pass — the
+//     root cause of the paper's inlining-compensation problem (§V-E):
+//     a fully inlined function has no sleds and usually no symbol;
+//   - symbol emission: inlined functions lose their symbol unless they are
+//     exported from a DSO (the paper's "symbols may be retained after
+//     inlining" caveat), and hidden-visibility functions stay out of the
+//     dynamic symbol table;
+//   - the XRay machine pass: entry/exit sleds for every remaining function
+//     whose instruction count passes the pre-filter threshold (functions
+//     containing loops are always instrumented, as in real XRay);
+//   - a build-time model for the recompilation-turnaround comparison of
+//     §VII-A (a full OpenFOAM rebuild costs ~50 minutes).
+package compiler
+
+import (
+	"fmt"
+
+	"capi/internal/ic"
+	"capi/internal/obj"
+	"capi/internal/prog"
+	"capi/internal/xray"
+)
+
+// Options configures a build.
+type Options struct {
+	// XRay enables sled insertion ("-fxray-instrument").
+	XRay bool
+	// XRayThreshold is the instruction-count pre-filter
+	// ("-fxray-instruction-threshold"). Functions below it get no sleds
+	// unless they contain a loop. Values <= 0 default to 1, matching the
+	// DynCaPI workflow where every available function is prepared (§IV).
+	XRayThreshold int
+	// OptLevel (2 or 3) controls the auto-inlining aggressiveness.
+	// Values outside {2,3} default to 2.
+	OptLevel int
+	// StaticIC, when set, enables the static instrumentation mode: direct
+	// measurement-hook calls are compiled into exactly the listed
+	// functions (CaPI's original workflow, Fig. 2 step 7).
+	StaticIC *ic.Config
+}
+
+func (o Options) withDefaults() Options {
+	if o.XRayThreshold <= 0 {
+		o.XRayThreshold = 1
+	}
+	if o.OptLevel != 3 {
+		o.OptLevel = 2
+	}
+	return o
+}
+
+// autoInlineMaxStatements returns the statement-count limit below which the
+// compiler inlines functions even without the inline keyword.
+func autoInlineMaxStatements(optLevel int) int {
+	if optLevel >= 3 {
+		return 10
+	}
+	return 6
+}
+
+// InstrBytesPerStatement scales statements to modelled instruction bytes.
+const instrPerStatement = 3
+
+// InstructionCount returns the modelled post-codegen instruction count of a
+// function, the quantity the XRay pre-filter compares against.
+func InstructionCount(f *prog.Function) int {
+	return f.Statements*instrPerStatement + 8
+}
+
+// FuncLayout describes where (and whether) a function landed in the build.
+type FuncLayout struct {
+	Name        string
+	Unit        string
+	Inlined     bool   // inlined at every call site; no standalone code runs
+	HasSymbol   bool   // a symbol for the function exists in some image
+	EntryOffset uint64 // offset of the function within its image (if emitted)
+	Size        uint64
+	HasSleds    bool
+	FuncID      uint32 // XRay function ID within its image (if HasSleds)
+	EntrySled   int    // sled indexes within the image (if HasSleds)
+	ExitSled    int
+	StaticInstr bool // compiled-in measurement hooks (static mode)
+}
+
+// Build is the result of compiling a program.
+type Build struct {
+	Prog    *prog.Program
+	Options Options
+	// Images holds one image per link unit, in program unit order (the
+	// executable first if the program declared it first).
+	Images []*obj.Image
+	// Layout maps every function name to its placement.
+	Layout map[string]*FuncLayout
+	// CompileSeconds is the modelled wall-clock duration of the build.
+	CompileSeconds float64
+
+	imageByName map[string]*obj.Image
+}
+
+// HasSymbol implements core.SymbolOracle over all images' full symbol
+// tables (the `nm` view CaPI's inlining compensation uses, §V-E).
+func (b *Build) HasSymbol(name string) bool {
+	l, ok := b.Layout[name]
+	return ok && l.HasSymbol
+}
+
+// Image returns the image built for the named link unit, or nil.
+func (b *Build) Image(unit string) *obj.Image { return b.imageByName[unit] }
+
+// ExecutableImage returns the image of the executable unit.
+func (b *Build) ExecutableImage() *obj.Image {
+	for _, im := range b.Images {
+		if im.Exe {
+			return im
+		}
+	}
+	return nil
+}
+
+// PatchableImages returns the XRay-instrumented images (executable + DSOs
+// built from application code). The paper's OpenFOAM case has 6 patchable
+// DSOs besides the executable.
+func (b *Build) PatchableImages() []*obj.Image {
+	var out []*obj.Image
+	for _, im := range b.Images {
+		if im.Patchable {
+			out = append(out, im)
+		}
+	}
+	return out
+}
+
+// StaticPackedIDs determines the packed XRay ID of every sled-carrying
+// function statically, assuming the deterministic load order LoadProcess
+// produces (executable = object 0, then patchable DSOs in image order).
+// This is the mapping the paper proposes shipping inside the IC so that
+// hidden DSO symbols can be instrumented without run-time name resolution
+// (§VI-B(a)). Functions without sleds are absent.
+func (b *Build) StaticPackedIDs() (map[string]int32, error) {
+	objID := map[string]uint8{}
+	next := uint8(1)
+	for _, im := range b.Images {
+		if !im.Patchable {
+			continue
+		}
+		if im.Exe {
+			objID[im.Name] = 0
+			continue
+		}
+		objID[im.Name] = next
+		next++
+	}
+	out := make(map[string]int32)
+	for name, lay := range b.Layout {
+		if !lay.HasSleds {
+			continue
+		}
+		oid, ok := objID[lay.Unit]
+		if !ok {
+			continue
+		}
+		packed, err := xray.PackID(oid, lay.FuncID)
+		if err != nil {
+			return nil, fmt.Errorf("compiler: static ID for %s: %w", name, err)
+		}
+		out[name] = packed
+	}
+	return out, nil
+}
+
+// align16 rounds up to the next multiple of 16 (function alignment).
+func align16(n uint64) uint64 { return (n + 15) &^ 15 }
+
+// Compile builds the program into object images.
+func Compile(p *prog.Program, opts Options) (*Build, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("compiler: %w", err)
+	}
+	opts = opts.withDefaults()
+	b := &Build{
+		Prog:        p,
+		Options:     opts,
+		Layout:      make(map[string]*FuncLayout, p.NumFunctions()),
+		imageByName: map[string]*obj.Image{},
+	}
+	autoInline := autoInlineMaxStatements(opts.OptLevel)
+
+	// Pass 1: inlining decisions (before sled insertion, as in LLVM).
+	inlined := make(map[string]bool, p.NumFunctions())
+	for _, name := range p.Functions() {
+		f := p.Func(name)
+		u := p.Unit(f.Unit)
+		if u.Kind == prog.SystemLibrary || f.StaticInit || f.Virtual || f.AddressTaken || name == p.Main {
+			continue
+		}
+		if f.Inline || f.Statements <= autoInline {
+			inlined[name] = true
+		}
+	}
+
+	// Pass 2: per-unit code generation.
+	for _, u := range p.Units() {
+		im := &obj.Image{
+			Name:      u.Name,
+			Exe:       u.Kind == prog.Executable,
+			Patchable: opts.XRay && u.Kind != prog.SystemLibrary,
+		}
+		var off uint64
+		for _, name := range u.Funcs {
+			f := p.Func(name)
+			lay := &FuncLayout{Name: name, Unit: u.Name, Inlined: inlined[name]}
+			b.Layout[name] = lay
+
+			// An inlined function keeps an out-of-line copy (and hence a
+			// symbol) only when it is exported from a DSO and is not a
+			// vague-linkage (template-style) definition, whose copies are
+			// discarded when all calls were inlined. The retained-copy
+			// case is the caveat that makes the paper's symbol-absence
+			// approximation imperfect (§V-E).
+			emitCopy := !lay.Inlined ||
+				(u.Kind == prog.SharedObject && f.Visibility == prog.Default && !f.VagueLinkage)
+			if !emitCopy {
+				continue
+			}
+
+			instr := InstructionCount(f)
+			size := align16(uint64(instr)*4 + 2*obj.SledBytes)
+			lay.EntryOffset = off
+			lay.Size = size
+			lay.HasSymbol = true
+			im.Symbols = append(im.Symbols, obj.Symbol{
+				Name:   name,
+				Value:  off,
+				Size:   size,
+				Kind:   obj.SymFunc,
+				Hidden: f.Visibility == prog.Hidden,
+			})
+			if im.Patchable && (instr >= opts.XRayThreshold || f.LoopDepth > 0) {
+				id := im.NumFuncIDs
+				im.NumFuncIDs++
+				lay.HasSleds = true
+				lay.FuncID = id
+				lay.EntrySled = len(im.Sleds)
+				im.Sleds = append(im.Sleds, obj.Sled{Offset: off, FuncID: id, Kind: obj.SledEntry})
+				lay.ExitSled = len(im.Sleds)
+				im.Sleds = append(im.Sleds, obj.Sled{Offset: off + size - obj.SledBytes, FuncID: id, Kind: obj.SledExit})
+			}
+			if opts.StaticIC != nil && !lay.Inlined && u.Kind != prog.SystemLibrary && opts.StaticIC.Contains(name) {
+				lay.StaticInstr = true
+			}
+			off += size
+		}
+		im.TextSize = off
+		if im.TextSize == 0 {
+			im.TextSize = 16 // keep empty units mappable
+		}
+		if err := im.Finalize(); err != nil {
+			return nil, fmt.Errorf("compiler: finalizing %s: %w", u.Name, err)
+		}
+		b.Images = append(b.Images, im)
+		b.imageByName[u.Name] = im
+	}
+
+	b.CompileSeconds = buildTimeSeconds(p)
+	return b, nil
+}
+
+// buildTimeSeconds models the wall-clock cost of a full (re)build: a small
+// per-TU constant plus a per-statement cost. Calibrated so that LULESH
+// rebuilds in tens of seconds and full-scale OpenFOAM in ~50 minutes
+// (§VII-A).
+func buildTimeSeconds(p *prog.Program) float64 {
+	return 1.5 + 0.05*float64(len(p.TranslationUnits())) + 0.001*float64(p.TotalStatements())
+}
+
+// LoadProcess creates a process from the build: the executable is mapped
+// and every shared object is loaded through the dynamic loader (firing any
+// registered load hooks). System libraries are loaded too — they resolve
+// symbols but are not patchable.
+func (b *Build) LoadProcess() (*obj.Process, error) {
+	exe := b.ExecutableImage()
+	if exe == nil {
+		return nil, fmt.Errorf("compiler: build has no executable image")
+	}
+	proc, err := obj.NewProcess(exe)
+	if err != nil {
+		return nil, err
+	}
+	for _, im := range b.Images {
+		if im.Exe {
+			continue
+		}
+		if _, err := proc.Load(im); err != nil {
+			return nil, err
+		}
+	}
+	return proc, nil
+}

@@ -1,0 +1,244 @@
+package compiler
+
+import (
+	"testing"
+
+	"capi/internal/ic"
+	"capi/internal/obj"
+	"capi/internal/prog"
+)
+
+// buildProg constructs a program exercising all symbol/inline/sled rules:
+//
+//	exe:   main (large), tiny (auto-inline), marked (inline kw, large),
+//	       looper (small but has a loop), taken (small, address-taken)
+//	dso:   exported_inline (inline kw, Default vis), hidden_inline
+//	       (inline kw, Hidden vis), dso_fn (large), init fn (hidden)
+//	sys:   MPI_Send
+func buildProg(t *testing.T) *prog.Program {
+	t.Helper()
+	p := prog.New("app", "main")
+	p.MustAddUnit("app.exe", prog.Executable)
+	p.MustAddUnit("lib.so", prog.SharedObject)
+	p.MustAddUnit("libmpi.so", prog.SystemLibrary)
+
+	p.MustAddFunc(&prog.Function{Name: "MPI_Send", Unit: "libmpi.so", Statements: 3})
+	p.MustAddFunc(&prog.Function{
+		Name: "main", Unit: "app.exe", Statements: 50,
+		Ops: []prog.Op{prog.Call("tiny", 1), prog.Call("dso_fn", 1), prog.MPICall("MPI_Send", 8)},
+	})
+	p.MustAddFunc(&prog.Function{Name: "tiny", Unit: "app.exe", Statements: 3})
+	p.MustAddFunc(&prog.Function{Name: "marked", Unit: "app.exe", Statements: 40, Inline: true})
+	p.MustAddFunc(&prog.Function{Name: "looper", Unit: "app.exe", Statements: 30, LoopDepth: 2})
+	p.MustAddFunc(&prog.Function{Name: "taken", Unit: "app.exe", Statements: 2, AddressTaken: true})
+	p.MustAddFunc(&prog.Function{Name: "exported_inline", Unit: "lib.so", Statements: 4, Inline: true})
+	p.MustAddFunc(&prog.Function{Name: "hidden_inline", Unit: "lib.so", Statements: 4, Inline: true, Visibility: prog.Hidden})
+	p.MustAddFunc(&prog.Function{Name: "dso_fn", Unit: "lib.so", Statements: 60})
+	p.MustAddFunc(&prog.Function{Name: "_GLOBAL__sub_I_lib", Unit: "lib.so", Statements: 5, StaticInit: true, Visibility: prog.Hidden})
+	return p
+}
+
+func TestCompileInliningAndSymbols(t *testing.T) {
+	b, err := Compile(buildProg(t), Options{XRay: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// main: never inlined.
+	if b.Layout["main"].Inlined || !b.HasSymbol("main") {
+		t.Fatal("main must not be inlined")
+	}
+	// tiny: auto-inlined in the exe -> no symbol.
+	if !b.Layout["tiny"].Inlined || b.HasSymbol("tiny") {
+		t.Fatalf("tiny layout = %+v", b.Layout["tiny"])
+	}
+	// marked: inline keyword wins regardless of size -> inlined, no symbol.
+	if !b.Layout["marked"].Inlined || b.HasSymbol("marked") {
+		t.Fatal("marked should be inlined away")
+	}
+	// taken: address-taken suppresses inlining.
+	if b.Layout["taken"].Inlined {
+		t.Fatal("address-taken function must not be inlined")
+	}
+	// exported_inline: inlined but the DSO keeps an out-of-line copy.
+	ei := b.Layout["exported_inline"]
+	if !ei.Inlined || !ei.HasSymbol {
+		t.Fatalf("exported_inline layout = %+v", ei)
+	}
+	// hidden_inline: inlined, hidden -> no copy, no symbol.
+	if b.HasSymbol("hidden_inline") {
+		t.Fatal("hidden inlined function should lose its symbol")
+	}
+	// static initializer: emitted, hidden symbol.
+	im := b.Image("lib.so")
+	s, ok := im.Symbol("_GLOBAL__sub_I_lib")
+	if !ok || !s.Hidden {
+		t.Fatalf("static init symbol = %+v, %v", s, ok)
+	}
+	// system library: not patchable, no sleds, symbols present.
+	sys := b.Image("libmpi.so")
+	if sys.Patchable || len(sys.Sleds) != 0 {
+		t.Fatal("system library must not be instrumented")
+	}
+	if !b.HasSymbol("MPI_Send") {
+		t.Fatal("system symbols must be present")
+	}
+}
+
+func TestCompileSleds(t *testing.T) {
+	b, err := Compile(buildProg(t), Options{XRay: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe := b.ExecutableImage()
+	if exe == nil || exe.Name != "app.exe" {
+		t.Fatal("executable image missing")
+	}
+	// Every emitted exe function gets sleds at threshold 1.
+	for _, name := range []string{"main", "looper", "taken"} {
+		lay := b.Layout[name]
+		if !lay.HasSleds {
+			t.Fatalf("%s should have sleds", name)
+		}
+		entry := exe.Sleds[lay.EntrySled]
+		exit := exe.Sleds[lay.ExitSled]
+		if entry.Kind != obj.SledEntry || exit.Kind != obj.SledExit {
+			t.Fatalf("%s sled kinds wrong", name)
+		}
+		if entry.Offset != lay.EntryOffset {
+			t.Fatalf("%s entry sled at %#x, function at %#x", name, entry.Offset, lay.EntryOffset)
+		}
+		if exit.Offset != lay.EntryOffset+lay.Size-obj.SledBytes {
+			t.Fatalf("%s exit sled misplaced", name)
+		}
+		if entry.FuncID != exit.FuncID || entry.FuncID != lay.FuncID {
+			t.Fatalf("%s func ids inconsistent", name)
+		}
+	}
+	// Function IDs are dense per image.
+	if exe.NumFuncIDs == 0 || int(exe.NumFuncIDs)*2 != len(exe.Sleds) {
+		t.Fatalf("func ids %d vs sleds %d", exe.NumFuncIDs, len(exe.Sleds))
+	}
+	// Patchable images: exe + lib.so.
+	if got := len(b.PatchableImages()); got != 2 {
+		t.Fatalf("patchable images = %d, want 2", got)
+	}
+}
+
+func TestCompileThresholdPreFilter(t *testing.T) {
+	// With a high threshold, small functions lose their sleds unless they
+	// contain a loop (XRay semantics).
+	b, err := Compile(buildProg(t), Options{XRay: true, XRayThreshold: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Layout["taken"].HasSleds {
+		t.Fatal("small loop-free function should be pre-filtered")
+	}
+	if !b.Layout["looper"].HasSleds {
+		t.Fatal("function with a loop must be instrumented regardless of size")
+	}
+	if !b.Layout["main"].HasSleds { // 50*3+8 = 158 >= 100
+		t.Fatal("large function should pass the pre-filter")
+	}
+}
+
+func TestCompileWithoutXRay(t *testing.T) {
+	b, err := Compile(buildProg(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, im := range b.Images {
+		if im.Patchable || len(im.Sleds) != 0 {
+			t.Fatalf("vanilla build has sleds in %s", im.Name)
+		}
+	}
+}
+
+func TestCompileStaticIC(t *testing.T) {
+	cfg := ic.New("app", "s", []string{"main", "tiny", "dso_fn"})
+	b, err := Compile(buildProg(t), Options{XRay: false, StaticIC: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Layout["main"].StaticInstr || !b.Layout["dso_fn"].StaticInstr {
+		t.Fatal("static instrumentation flags missing")
+	}
+	// tiny is inlined: static instrumentation cannot hook it.
+	if b.Layout["tiny"].StaticInstr {
+		t.Fatal("inlined function must not be statically instrumented")
+	}
+}
+
+func TestCompileTimeModelScalesWithSize(t *testing.T) {
+	small, err := Compile(buildProg(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := prog.New("big", "main")
+	big.MustAddUnit("e", prog.Executable)
+	big.MustAddFunc(&prog.Function{Name: "main", Unit: "e", Statements: 100000, TU: "m.cc"})
+	bb, err := Compile(big, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bb.CompileSeconds <= small.CompileSeconds {
+		t.Fatalf("compile time should grow with program size: %v vs %v", bb.CompileSeconds, small.CompileSeconds)
+	}
+}
+
+func TestLoadProcess(t *testing.T) {
+	b, err := Compile(buildProg(t), Options{XRay: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := b.LoadProcess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := proc.Objects()
+	if len(objs) != 3 {
+		t.Fatalf("loaded objects = %d, want 3", len(objs))
+	}
+	if objs[0].Image.Name != "app.exe" {
+		t.Fatal("executable must be first")
+	}
+	if proc.Object("lib.so") == nil || proc.Object("libmpi.so") == nil {
+		t.Fatal("DSOs missing")
+	}
+}
+
+func TestInstructionCount(t *testing.T) {
+	f := &prog.Function{Statements: 10}
+	if got := InstructionCount(f); got != 38 {
+		t.Fatalf("InstructionCount = %d, want 38", got)
+	}
+}
+
+func TestOptLevelInlining(t *testing.T) {
+	p := prog.New("o", "main")
+	p.MustAddUnit("e", prog.Executable)
+	p.MustAddFunc(&prog.Function{Name: "main", Unit: "e", Statements: 50})
+	p.MustAddFunc(&prog.Function{Name: "mid", Unit: "e", Statements: 8}) // between O2(6) and O3(10)
+	b2, err := Compile(p, Options{OptLevel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3, err := Compile(p, Options{OptLevel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.Layout["mid"].Inlined {
+		t.Fatal("O2 should not inline an 8-statement function")
+	}
+	if !b3.Layout["mid"].Inlined {
+		t.Fatal("O3 should inline an 8-statement function")
+	}
+}
+
+func TestCompileRejectsInvalidProgram(t *testing.T) {
+	p := prog.New("bad", "main") // main undefined
+	p.MustAddUnit("e", prog.Executable)
+	if _, err := Compile(p, Options{}); err == nil {
+		t.Fatal("expected validation error")
+	}
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"capi/internal/callgraph"
+	"capi/internal/spec"
+)
+
+// mpiGraph builds a small MPI-app-like graph:
+//
+//	main -> init -> MPI_Init
+//	main -> loop -> compute(kernel: flops 20, loop 1) -> tiny (inline)
+//	loop -> exchange -> MPI_Sendrecv
+//	main -> teardown
+func mpiGraph() *callgraph.Graph {
+	g := callgraph.New("t")
+	g.Main = "main"
+	g.AddNode("main", callgraph.Meta{Statements: 20})
+	g.AddNode("init", callgraph.Meta{Statements: 5})
+	g.AddNode("loop", callgraph.Meta{Statements: 15})
+	g.AddNode("compute", callgraph.Meta{Statements: 50, Flops: 20, LoopDepth: 1})
+	g.AddNode("tiny", callgraph.Meta{Statements: 2, Inline: true})
+	g.AddNode("exchange", callgraph.Meta{Statements: 8})
+	g.AddNode("teardown", callgraph.Meta{Statements: 3})
+	g.AddNode("MPI_Init", callgraph.Meta{SystemHeader: true})
+	g.AddNode("MPI_Sendrecv", callgraph.Meta{SystemHeader: true})
+	g.AddEdge("main", "init")
+	g.AddEdge("init", "MPI_Init")
+	g.AddEdge("main", "loop")
+	g.AddEdge("loop", "compute")
+	g.AddEdge("compute", "tiny")
+	g.AddEdge("loop", "exchange")
+	g.AddEdge("exchange", "MPI_Sendrecv")
+	g.AddEdge("main", "teardown")
+	return g
+}
+
+type symbolSet map[string]bool
+
+func (s symbolSet) HasSymbol(name string) bool { return s[name] }
+
+// allSymbols reports every function as present (no inlining).
+type allSymbols struct{}
+
+func (allSymbols) HasSymbol(string) bool { return true }
+
+func TestRunMPISpec(t *testing.T) {
+	e := NewEngine(mpiGraph())
+	src := `!import("mpi.capi")
+excluded = join(inSystemHeader(%%), inlineSpecified(%%))
+subtract(%mpi_comm, %excluded)
+`
+	res, err := e.RunSource(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Call paths to MPI ops: main, init, loop, exchange (+ the MPI ops,
+	// excluded as system headers).
+	for _, want := range []string{"main", "init", "loop", "exchange"} {
+		if !res.Final.HasName(want) {
+			t.Fatalf("missing %s in %v", want, res.Final.Names())
+		}
+	}
+	for _, not := range []string{"MPI_Init", "MPI_Sendrecv", "compute", "tiny", "teardown"} {
+		if res.Final.HasName(not) {
+			t.Fatalf("%s should not be selected", not)
+		}
+	}
+	if res.SelectionTime <= 0 {
+		t.Fatal("SelectionTime not recorded")
+	}
+	if _, ok := res.Named["mpi_comm"]; !ok {
+		t.Fatal("named instance mpi_comm missing from result")
+	}
+}
+
+func TestRunKernelsSpec(t *testing.T) {
+	e := NewEngine(mpiGraph())
+	src := `excluded = join(inSystemHeader(%%), inlineSpecified(%%))
+kernels = flops(">=", 10, loopDepth(">=", 1, %%))
+subtract(callPathTo(%kernels), %excluded)
+`
+	res, err := e.RunSource(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"main", "loop", "compute"} {
+		if !res.Final.HasName(want) {
+			t.Fatalf("missing %s in %v", want, res.Final.Names())
+		}
+	}
+	if res.Final.HasName("exchange") {
+		t.Fatal("exchange is not on a kernel path")
+	}
+}
+
+func TestInlineCompensation(t *testing.T) {
+	g := mpiGraph()
+	e := NewEngine(g)
+	// compute got inlined away by the compiler: symbol missing. tiny too.
+	syms := symbolSet{
+		"main": true, "init": true, "loop": true,
+		"exchange": true, "teardown": true,
+		"MPI_Init": true, "MPI_Sendrecv": true,
+		// "compute", "tiny" absent -> treated as inlined
+	}
+	src := `kernels = flops(">=", 10, loopDepth(">=", 1, %%))
+%kernels
+`
+	res, err := e.RunSource(src, Options{Symbols: syms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pre.Count() != 1 || !res.Pre.HasName("compute") {
+		t.Fatalf("pre = %v", res.Pre.Names())
+	}
+	if res.Selected.Count() != 0 {
+		t.Fatalf("selected = %v, want empty", res.Selected.Names())
+	}
+	if len(res.RemovedInlined) != 1 || res.RemovedInlined[0] != "compute" {
+		t.Fatalf("removed = %v", res.RemovedInlined)
+	}
+	// First non-inlined caller of compute is loop.
+	if len(res.AddedCompensation) != 1 || res.AddedCompensation[0] != "loop" {
+		t.Fatalf("added = %v", res.AddedCompensation)
+	}
+	if !res.Final.HasName("loop") || res.Final.HasName("compute") {
+		t.Fatalf("final = %v", res.Final.Names())
+	}
+}
+
+func TestInlineCompensationWalksThroughInlinedCallers(t *testing.T) {
+	// main -> a (no symbol) -> b (no symbol, selected).
+	g := callgraph.New("g")
+	g.Main = "main"
+	g.AddNode("main", callgraph.Meta{})
+	g.AddNode("a", callgraph.Meta{})
+	g.AddNode("b", callgraph.Meta{Flops: 99, LoopDepth: 1})
+	g.AddEdge("main", "a")
+	g.AddEdge("a", "b")
+	syms := symbolSet{"main": true}
+	e := NewEngine(g)
+	res, err := e.RunSource("flops(\">\", 1, %%)\n", Options{Symbols: syms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.AddedCompensation) != 1 || res.AddedCompensation[0] != "main" {
+		t.Fatalf("added = %v, want [main]", res.AddedCompensation)
+	}
+	if !res.Final.HasName("main") || res.Final.HasName("a") || res.Final.HasName("b") {
+		t.Fatalf("final = %v", res.Final.Names())
+	}
+}
+
+func TestInlineCompensationNoOpWhenAllSymbolsPresent(t *testing.T) {
+	e := NewEngine(mpiGraph())
+	res, err := e.RunSource("statements(\">\", 0, %%)\n", Options{Symbols: allSymbols{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RemovedInlined) != 0 || len(res.AddedCompensation) != 0 {
+		t.Fatalf("unexpected compensation: -%v +%v", res.RemovedInlined, res.AddedCompensation)
+	}
+	if !res.Final.Equal(res.Pre) {
+		t.Fatal("final should equal pre")
+	}
+}
+
+func TestICEmission(t *testing.T) {
+	e := NewEngine(mpiGraph())
+	res, err := e.RunSource("byName(\"^(loop|compute)$\", %%)\n", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := res.IC("app", "test")
+	if cfg.Len() != 2 || !cfg.Contains("loop") || !cfg.Contains("compute") {
+		t.Fatalf("IC = %v", cfg.Include)
+	}
+	if cfg.App != "app" || cfg.Spec != "test" {
+		t.Fatalf("provenance = %q/%q", cfg.App, cfg.Spec)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	e := NewEngine(mpiGraph())
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"", "empty specification"},
+		{"%ghost\n", "unknown selector instance"},
+		{"frobnicate(%%)\n", "unknown selector type"},
+		{"a = %%\na = %%\n", "redefinition"},
+		{"join(\"str\")\n", "must be a selector"},
+		{"!import(\"missing.capi\")\n%%\n", "missing.capi"},
+	}
+	for _, c := range cases {
+		_, err := e.RunSource(c.src, Options{})
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("RunSource(%q) err = %v, want fragment %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestStringEntryIsError(t *testing.T) {
+	e := NewEngine(mpiGraph())
+	f, err := spec.Parse("byName(\"x\", %%)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunFile(f, Options{}); err != nil {
+		t.Fatalf("valid file rejected: %v", err)
+	}
+}
+
+func TestCoarseInPipeline(t *testing.T) {
+	e := NewEngine(mpiGraph())
+	// compute's only caller is loop: coarse prunes it unless critical.
+	src := `sel = byName("^(loop|compute)$", %%)
+coarse(%sel)
+`
+	res, err := e.RunSource(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final.HasName("compute") || !res.Final.HasName("loop") {
+		t.Fatalf("final = %v", res.Final.Names())
+	}
+
+	src2 := `sel = byName("^(loop|compute)$", %%)
+crit = byName("^compute$", %%)
+coarse(%sel, %crit)
+`
+	res2, err := e.RunSource(src2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Final.HasName("compute") {
+		t.Fatalf("critical compute pruned: %v", res2.Final.Names())
+	}
+}

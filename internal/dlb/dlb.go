@@ -1,0 +1,227 @@
+// Package dlb models the Dynamic Load Balancing library that hosts TALP
+// (§III-B of the paper): a user-transparent library attached to an MPI job
+// offering three modules — LeWI (Lend When Idle: CPUs of ranks blocked in
+// MPI are lent to busy ranks), DROM (Dynamic Resource Ownership Management:
+// an external manager resizes a process's CPU mask) and TALP (performance
+// monitoring, the module the paper integrates with).
+//
+// The paper's system only consumes TALP, so LeWI and DROM here implement
+// the library's API and bookkeeping semantics: lending windows are detected
+// from the PMPI hooks and accounted in virtual time, and ownership changes
+// are validated and recorded. Actual CPU re-assignment would need a hybrid
+// (MPI+OpenMP) execution model, which the pure-MPI engine does not
+// simulate; the lending statistics quantify the opportunity instead.
+//
+// The exported DLB_* methods mirror the C API used in the paper's
+// Listing 2.
+package dlb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"capi/internal/mpi"
+	"capi/internal/talp"
+)
+
+// Options configures the library.
+type Options struct {
+	// CPUsPerProcess is each rank's initial CPU ownership (default 4).
+	CPUsPerProcess int
+	// EnableLeWI activates lend-when-idle bookkeeping.
+	EnableLeWI bool
+	// TALP configures the monitoring module.
+	TALP talp.Options
+}
+
+// rankCPUState tracks one rank's ownership and lending.
+type rankCPUState struct {
+	owned     int
+	lent      bool
+	lendStart int64
+	lentTime  int64
+	lends     int64
+}
+
+// DLB is one library instance attached to an MPI world.
+type DLB struct {
+	world *mpi.World
+	opts  Options
+	talp  *talp.Monitor
+
+	mu       sync.Mutex
+	ranks    []*rankCPUState
+	pool     int   // CPUs currently available for borrowing
+	poolPeak int   // high-water mark of the pool
+	borrowed int64 // successful borrow acquisitions
+}
+
+// New attaches the library to a world. TALP is always available (it is the
+// module the paper uses); LeWI hooks are installed when enabled.
+func New(w *mpi.World, opts Options) *DLB {
+	if opts.CPUsPerProcess <= 0 {
+		opts.CPUsPerProcess = 4
+	}
+	d := &DLB{
+		world: w,
+		opts:  opts,
+		talp:  talp.New(w, opts.TALP),
+	}
+	for i := 0; i < w.Size(); i++ {
+		d.ranks = append(d.ranks, &rankCPUState{owned: opts.CPUsPerProcess})
+	}
+	if opts.EnableLeWI {
+		for _, r := range w.Ranks() {
+			d.attachLeWI(r)
+		}
+	}
+	return d
+}
+
+// TALP returns the monitoring module.
+func (d *DLB) TALP() *talp.Monitor { return d.talp }
+
+// attachLeWI installs the PMPI-driven lend/reclaim cycle: a rank entering
+// any blocking MPI operation lends its CPUs to the pool and reclaims them
+// on return (the LeWI policy for MPI phases).
+func (d *DLB) attachLeWI(r *mpi.Rank) {
+	r.AddHook(mpi.Hook{
+		Pre: func(rk *mpi.Rank, op mpi.Op, bytes int) {
+			d.lend(rk)
+		},
+		Post: func(rk *mpi.Rank, op mpi.Op, bytes int, elapsed int64) {
+			d.reclaim(rk, elapsed)
+		},
+	})
+}
+
+func (d *DLB) lend(rk *mpi.Rank) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.ranks[rk.ID()]
+	if st.lent {
+		return
+	}
+	st.lent = true
+	st.lends++
+	st.lendStart = rk.Clock().Now()
+	d.pool += st.owned
+	if d.pool > d.poolPeak {
+		d.poolPeak = d.pool
+	}
+}
+
+func (d *DLB) reclaim(rk *mpi.Rank, elapsed int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.ranks[rk.ID()]
+	if !st.lent {
+		return
+	}
+	st.lent = false
+	st.lentTime += elapsed
+	d.pool -= st.owned
+	if d.pool < 0 {
+		d.pool = 0
+	}
+}
+
+// DLB_Borrow attempts to borrow up to want CPUs from the pool, returning
+// how many were acquired. The CPUs are returned with DLB_Return.
+func (d *DLB) DLB_Borrow(r *mpi.Rank, want int) int {
+	if want <= 0 {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	got := want
+	if got > d.pool {
+		got = d.pool
+	}
+	if got > 0 {
+		d.pool -= got
+		d.ranks[r.ID()].owned += got
+		d.borrowed++
+	}
+	return got
+}
+
+// DLB_Return gives n borrowed CPUs back to the pool.
+func (d *DLB) DLB_Return(r *mpi.Rank, n int) error {
+	if n <= 0 {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.ranks[r.ID()]
+	if n > st.owned-1 { // a process never returns its last CPU
+		return fmt.Errorf("dlb: rank %d cannot return %d of %d CPUs", r.ID(), n, st.owned)
+	}
+	st.owned -= n
+	d.pool += n
+	return nil
+}
+
+// DROMSetNumCPUs implements the DROM entry point: an external resource
+// manager (e.g. Slurm) resizes a rank's ownership.
+func (d *DLB) DROMSetNumCPUs(rank, cpus int) error {
+	if rank < 0 || rank >= d.world.Size() {
+		return fmt.Errorf("dlb: invalid rank %d", rank)
+	}
+	if cpus < 1 {
+		return fmt.Errorf("dlb: rank %d: cannot shrink to %d CPUs", rank, cpus)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.ranks[rank].owned = cpus
+	return nil
+}
+
+// OwnedCPUs returns a rank's current CPU ownership.
+func (d *DLB) OwnedCPUs(rank int) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ranks[rank].owned
+}
+
+// DLB_MonitoringRegionRegister mirrors Listing 2 of the paper: it creates
+// (or finds) a TALP monitoring region handle.
+func (d *DLB) DLB_MonitoringRegionRegister(r *mpi.Rank, name string) (*talp.Region, error) {
+	return d.talp.Register(r, name)
+}
+
+// DLB_MonitoringRegionStart enters a region.
+func (d *DLB) DLB_MonitoringRegionStart(r *mpi.Rank, reg *talp.Region) error {
+	return d.talp.Start(r, reg)
+}
+
+// DLB_MonitoringRegionStop leaves a region.
+func (d *DLB) DLB_MonitoringRegionStop(r *mpi.Rank, reg *talp.Region) error {
+	return d.talp.Stop(r, reg)
+}
+
+// LeWIStats summarizes the lending opportunity LeWI observed.
+type LeWIStats struct {
+	Rank     int
+	Lends    int64 // lend/reclaim cycles (≈ blocking MPI calls)
+	LentNs   int64 // virtual time the rank's CPUs sat in the pool
+	OwnedNow int
+}
+
+// Stats returns per-rank LeWI statistics, plus the pool peak: the maximum
+// number of CPUs that were simultaneously available for borrowing.
+func (d *DLB) Stats() (perRank []LeWIStats, poolPeak int, borrows int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, st := range d.ranks {
+		perRank = append(perRank, LeWIStats{
+			Rank:     i,
+			Lends:    st.lends,
+			LentNs:   st.lentTime,
+			OwnedNow: st.owned,
+		})
+	}
+	sort.Slice(perRank, func(i, j int) bool { return perRank[i].Rank < perRank[j].Rank })
+	return perRank, d.poolPeak, d.borrowed
+}

@@ -1,0 +1,168 @@
+package dlb
+
+import (
+	"testing"
+
+	"capi/internal/mpi"
+	"capi/internal/talp"
+)
+
+func newWorld(t *testing.T, ranks int) *mpi.World {
+	t.Helper()
+	w, err := mpi.NewWorld(ranks, mpi.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestLeWILendReclaimAccounting(t *testing.T) {
+	w := newWorld(t, 2)
+	d := New(w, Options{CPUsPerProcess: 4, EnableLeWI: true})
+	err := w.Run(func(r *mpi.Rank) error {
+		if err := r.Init(); err != nil {
+			return err
+		}
+		// Rank 1 computes longer, so rank 0 waits inside the barrier with
+		// its CPUs lent.
+		if r.ID() == 1 {
+			r.Clock().Advance(1_000_000)
+		}
+		if err := r.Barrier(); err != nil {
+			return err
+		}
+		return r.Finalize()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, peak, _ := d.Stats()
+	for _, s := range stats {
+		// Init, Barrier and Finalize are blocking: three lend cycles.
+		if s.Lends != 3 {
+			t.Fatalf("rank %d lends = %d, want 3", s.Rank, s.Lends)
+		}
+		if s.OwnedNow != 4 {
+			t.Fatalf("rank %d owned = %d after reclaim", s.Rank, s.OwnedNow)
+		}
+	}
+	// The waiting rank lent for longer than the late one.
+	if stats[0].LentNs <= stats[1].LentNs {
+		t.Fatalf("rank0 lent %d <= rank1 lent %d", stats[0].LentNs, stats[1].LentNs)
+	}
+	// At the barrier both ranks' CPUs overlapped in the pool.
+	if peak != 8 {
+		t.Fatalf("pool peak = %d, want 8", peak)
+	}
+}
+
+func TestBorrowReturn(t *testing.T) {
+	w := newWorld(t, 2)
+	d := New(w, Options{CPUsPerProcess: 4})
+	r0, r1 := w.Rank(0), w.Rank(1)
+
+	// Nothing lent: nothing to borrow.
+	if got := d.DLB_Borrow(r0, 2); got != 0 {
+		t.Fatalf("borrowed %d from empty pool", got)
+	}
+	// Simulate rank 1 lending (as the LeWI hook would).
+	d.lend(r1)
+	if got := d.DLB_Borrow(r0, 2); got != 2 {
+		t.Fatalf("borrowed %d, want 2", got)
+	}
+	if d.OwnedCPUs(0) != 6 {
+		t.Fatalf("owned = %d, want 6", d.OwnedCPUs(0))
+	}
+	// Borrow more than the pool holds: partial acquisition.
+	if got := d.DLB_Borrow(r0, 10); got != 2 {
+		t.Fatalf("partial borrow = %d, want 2", got)
+	}
+	// Returning more than owned-1 is rejected.
+	if err := d.DLB_Return(r0, 8); err == nil {
+		t.Fatal("over-return must fail")
+	}
+	if err := d.DLB_Return(r0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if d.OwnedCPUs(0) != 4 {
+		t.Fatalf("owned = %d after return", d.OwnedCPUs(0))
+	}
+}
+
+func TestDROM(t *testing.T) {
+	w := newWorld(t, 2)
+	d := New(w, Options{CPUsPerProcess: 4})
+	if err := d.DROMSetNumCPUs(1, 8); err != nil {
+		t.Fatal(err)
+	}
+	if d.OwnedCPUs(1) != 8 {
+		t.Fatalf("owned = %d, want 8", d.OwnedCPUs(1))
+	}
+	if err := d.DROMSetNumCPUs(1, 0); err == nil {
+		t.Fatal("shrink to 0 must fail")
+	}
+	if err := d.DROMSetNumCPUs(9, 2); err == nil {
+		t.Fatal("invalid rank must fail")
+	}
+}
+
+// TestMonitoringRegionAPI exercises the paper's Listing 2 through the DLB
+// facade: register, start, stop, and the end-of-run report.
+func TestMonitoringRegionAPI(t *testing.T) {
+	w := newWorld(t, 2)
+	d := New(w, Options{})
+	err := w.Run(func(r *mpi.Rank) error {
+		if err := r.Init(); err != nil {
+			return err
+		}
+		handle, err := d.DLB_MonitoringRegionRegister(r, "foo")
+		if err != nil {
+			return err
+		}
+		if err := d.DLB_MonitoringRegionStart(r, handle); err != nil {
+			return err
+		}
+		r.Clock().Advance(500_000)
+		if err := d.DLB_MonitoringRegionStop(r, handle); err != nil {
+			return err
+		}
+		return r.Finalize()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := d.TALP().Report()
+	reg := rep.Region("foo")
+	if reg == nil {
+		t.Fatal("region foo not reported")
+	}
+	if reg.Visits != 2 { // one visit per rank
+		t.Fatalf("visits = %d, want 2", reg.Visits)
+	}
+	if rep.Region(talp.GlobalRegionName) == nil {
+		t.Fatal("global region missing")
+	}
+}
+
+// TestRegisterBeforeInitFails reproduces the §VI-B(b) gate through the DLB
+// facade.
+func TestRegisterBeforeInitFails(t *testing.T) {
+	w := newWorld(t, 1)
+	d := New(w, Options{})
+	err := w.Run(func(r *mpi.Rank) error {
+		if _, err := d.DLB_MonitoringRegionRegister(r, "early"); err == nil {
+			t.Error("registration before MPI_Init must fail")
+		}
+		if err := r.Init(); err != nil {
+			return err
+		}
+		return r.Finalize()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := d.TALP().Report()
+	if len(rep.FailedPreInit) != 1 || rep.FailedPreInit[0] != "early" {
+		t.Fatalf("failed pre-init = %v", rep.FailedPreInit)
+	}
+}

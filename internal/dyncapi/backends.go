@@ -1,0 +1,175 @@
+package dyncapi
+
+import (
+	"sync"
+
+	"capi/internal/mpi"
+	"capi/internal/scorep"
+	"capi/internal/talp"
+	"capi/internal/xray"
+)
+
+// mpiRanker is satisfied by execution contexts that expose their simulated
+// MPI rank (exec.Task does); the TALP backend needs it.
+type mpiRanker interface {
+	MPIRank() *mpi.Rank
+}
+
+// CygBackend is the default GCC-compatible interface: it forwards events to
+// __cyg_profile_func_enter/exit-style callbacks carrying only the function
+// address (§V-C).
+type CygBackend struct {
+	// EnterFunc and ExitFunc receive the function address, like
+	// __cyg_profile_func_enter(void *fn, void *callsite).
+	EnterFunc func(tc xray.ThreadCtx, addr uint64)
+	ExitFunc  func(tc xray.ThreadCtx, addr uint64)
+	// Init is the backend's fixed start-up cost (virtual ns).
+	Init int64
+}
+
+// Name implements Backend.
+func (b *CygBackend) Name() string { return "cyg-profile" }
+
+// OnEnter implements Backend.
+func (b *CygBackend) OnEnter(tc xray.ThreadCtx, fn *ResolvedFunc) {
+	if b.EnterFunc != nil {
+		b.EnterFunc(tc, fn.Addr)
+	}
+}
+
+// OnExit implements Backend.
+func (b *CygBackend) OnExit(tc xray.ThreadCtx, fn *ResolvedFunc) {
+	if b.ExitFunc != nil {
+		b.ExitFunc(tc, fn.Addr)
+	}
+}
+
+// InitCost implements Backend.
+func (b *CygBackend) InitCost(int) int64 { return b.Init }
+
+// ScorePBackend drives a Score-P measurement through the generic
+// address-based interface: every event passes the function address to
+// Score-P, which resolves it against its own symbol map. DynCaPI's symbol
+// injection (the SymbolInjector implementation) teaches that map the DSO
+// symbols it could not know by itself (§V-C1).
+type ScorePBackend struct {
+	M        *scorep.Measurement
+	Resolver *scorep.Resolver
+}
+
+// NewScorePBackend wraps a measurement and resolver pair.
+func NewScorePBackend(m *scorep.Measurement, r *scorep.Resolver) *ScorePBackend {
+	return &ScorePBackend{M: m, Resolver: r}
+}
+
+// Name implements Backend.
+func (b *ScorePBackend) Name() string { return "scorep" }
+
+// OnEnter implements Backend.
+func (b *ScorePBackend) OnEnter(tc xray.ThreadCtx, fn *ResolvedFunc) {
+	b.M.CygEnter(tc, b.Resolver, fn.Addr)
+}
+
+// OnExit implements Backend.
+func (b *ScorePBackend) OnExit(tc xray.ThreadCtx, fn *ResolvedFunc) {
+	b.M.CygExit(tc, b.Resolver, fn.Addr)
+}
+
+// InitCost implements Backend: Score-P builds its name/address map over all
+// scanned symbols.
+func (b *ScorePBackend) InitCost(symbols int) int64 { return b.M.InitCost(symbols) }
+
+// InjectSymbol implements SymbolInjector.
+func (b *ScorePBackend) InjectSymbol(addr uint64, name string) { b.Resolver.Inject(addr, name) }
+
+// TALPBackend maps instrumented functions to TALP monitoring regions
+// (§V-C2): a region is registered lazily on a function's first entry, and
+// entry/exit events start/stop it. Registration fails permanently for
+// functions entered before MPI_Init (§VI-B(b)).
+type TALPBackend struct {
+	Mon *talp.Monitor
+
+	mu      sync.Mutex
+	regions map[int32]*talpRegionState
+}
+
+type talpRegionState struct {
+	reg    *talp.Region
+	failed bool
+}
+
+// NewTALPBackend wraps a TALP monitor.
+func NewTALPBackend(m *talp.Monitor) *TALPBackend {
+	return &TALPBackend{Mon: m, regions: map[int32]*talpRegionState{}}
+}
+
+// Name implements Backend.
+func (b *TALPBackend) Name() string { return "talp" }
+
+func (b *TALPBackend) state(id int32) (*talpRegionState, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st, ok := b.regions[id]
+	return st, ok
+}
+
+// OnEnter implements Backend.
+func (b *TALPBackend) OnEnter(tc xray.ThreadCtx, fn *ResolvedFunc) {
+	if fn.Name == "" {
+		return // unresolved: no region name available
+	}
+	mr, ok := tc.(mpiRanker)
+	if !ok {
+		return
+	}
+	rank := mr.MPIRank()
+	st, seen := b.state(fn.PackedID)
+	if !seen {
+		// First entry anywhere: register the monitoring region.
+		reg, err := b.Mon.Register(rank, fn.Name)
+		st = &talpRegionState{reg: reg, failed: err != nil}
+		b.mu.Lock()
+		b.regions[fn.PackedID] = st
+		b.mu.Unlock()
+	}
+	if st.failed || st.reg == nil {
+		return
+	}
+	// Start may fail in bug-compat mode; the monitor records it.
+	_ = b.Mon.Start(rank, st.reg)
+}
+
+// OnExit implements Backend.
+func (b *TALPBackend) OnExit(tc xray.ThreadCtx, fn *ResolvedFunc) {
+	if fn.Name == "" {
+		return
+	}
+	mr, ok := tc.(mpiRanker)
+	if !ok {
+		return
+	}
+	st, seen := b.state(fn.PackedID)
+	if !seen || st.failed || st.reg == nil {
+		return
+	}
+	// A Stop without a matching Start (failed entry) is rejected by the
+	// monitor; ignore it here.
+	_ = b.Mon.Stop(mr.MPIRank(), st.reg)
+}
+
+// InitCost implements Backend.
+func (b *TALPBackend) InitCost(int) int64 { return b.Mon.InitCost() }
+
+// FailedRegions returns how many functions could not be registered
+// (entered before MPI_Init).
+func (b *TALPBackend) FailedRegions() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, st := range b.regions {
+		if st.failed {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,258 @@
+// Package dyncapi implements the DynCaPI runtime (§IV, §V-C of the paper):
+// the component that, at program start,
+//
+//  1. builds a mapping from XRay function IDs to function names for every
+//     registered object — by collecting symbol addresses (nm) and
+//     translating them via the process memory map, cross-checked against
+//     __xray_function_address; hidden symbols of DSOs cannot be resolved
+//     this way (the paper's 1,444 OpenFOAM cases, §VI-B(a));
+//  2. patches the sleds of the functions selected by the instrumentation
+//     configuration (or everything, for the "xray full" variant);
+//  3. bridges XRay events to a measurement backend: the generic
+//     cyg-profile interface, Score-P (with symbol injection so DSO
+//     addresses resolve, §V-C1) or TALP (§V-C2).
+//
+// The accumulated virtual start-up cost is the T_init column of Table II.
+package dyncapi
+
+import (
+	"fmt"
+
+	"capi/internal/ic"
+	"capi/internal/obj"
+	"capi/internal/vtime"
+	"capi/internal/xray"
+)
+
+// ResolvedFunc is one instrumentable function as seen by the runtime.
+type ResolvedFunc struct {
+	PackedID int32
+	Addr     uint64
+	// Name is empty when the function ID could not be resolved to a
+	// symbol (hidden visibility in a DSO).
+	Name string
+}
+
+// Backend is a measurement tool attached to the instrumentation. OnEnter
+// and OnExit run inside the XRay handler on the executing rank; fn.Name may
+// be empty for unresolved functions.
+type Backend interface {
+	Name() string
+	OnEnter(tc xray.ThreadCtx, fn *ResolvedFunc)
+	OnExit(tc xray.ThreadCtx, fn *ResolvedFunc)
+	// InitCost returns the backend's virtual start-up cost given the
+	// number of symbols the runtime scanned.
+	InitCost(symbolsScanned int) int64
+}
+
+// SymbolInjector is implemented by backends that want the DSO symbol
+// mapping injected (Score-P).
+type SymbolInjector interface {
+	InjectSymbol(addr uint64, name string)
+}
+
+// CostModel holds the virtual-time costs of runtime initialization.
+type CostModel struct {
+	// PerSledResolve: determining address and name of one function ID.
+	PerSledResolve int64
+	// PerSymbolNM: scanning one symbol from an object file.
+	PerSymbolNM int64
+	// PerPatch: patching one function's sleds (mprotect amortized).
+	PerPatch int64
+	// Base: fixed start-up cost of the DynCaPI library itself.
+	Base int64
+}
+
+// DefaultCostModel is calibrated so that full-scale OpenFOAM lands in the
+// paper's T_init ballpark (seconds, §VI-C).
+func DefaultCostModel() CostModel {
+	return CostModel{
+		PerSledResolve: 12 * vtime.Microsecond,
+		PerSymbolNM:    2 * vtime.Microsecond,
+		PerPatch:       12 * vtime.Microsecond,
+		Base:           25 * vtime.Millisecond,
+	}
+}
+
+// Options configures the runtime.
+type Options struct {
+	// PatchAll ignores the IC and patches every sled ("xray full").
+	PatchAll bool
+	Costs    CostModel
+}
+
+// Report summarizes what initialization did — the §VI-B facts.
+type Report struct {
+	Objects            int // registered patchable objects (incl. executable)
+	FunctionsResolved  int
+	Unresolved         int // function IDs without a resolvable symbol
+	UnresolvedSelected int // of those, how many the IC asked for (0 in the paper)
+	Patched            int
+	PatchedByID        int // patched via static IDs despite unresolved name (§VI-B(a) extension)
+	SymbolsScanned     int
+	SymbolsInjected    int
+	InitVirtualNs      int64 // T_init
+}
+
+// Runtime is one initialized DynCaPI instance.
+type Runtime struct {
+	proc    *obj.Process
+	xr      *xray.Runtime
+	cfg     *ic.Config
+	backend Backend
+	opts    Options
+
+	byID   map[int32]*ResolvedFunc
+	report Report
+}
+
+// New initializes DynCaPI: it resolves function IDs, patches according to
+// the IC (passed via the CAPI_IC environment variable in the real tool) and
+// installs the event handler. The world has not started yet — this models
+// the patching at program start, before main runs.
+func New(proc *obj.Process, xr *xray.Runtime, cfg *ic.Config, backend Backend, opts Options) (*Runtime, error) {
+	if proc == nil || xr == nil || backend == nil {
+		return nil, fmt.Errorf("dyncapi: process, xray runtime and backend are required")
+	}
+	if cfg == nil && !opts.PatchAll {
+		return nil, fmt.Errorf("dyncapi: an instrumentation configuration is required unless PatchAll is set")
+	}
+	if opts.Costs == (CostModel{}) {
+		opts.Costs = DefaultCostModel()
+	}
+	rt := &Runtime{
+		proc:    proc,
+		xr:      xr,
+		cfg:     cfg,
+		backend: backend,
+		opts:    opts,
+		byID:    map[int32]*ResolvedFunc{},
+	}
+	if err := rt.resolve(); err != nil {
+		return nil, err
+	}
+	if err := rt.patch(); err != nil {
+		return nil, err
+	}
+	rt.report.InitVirtualNs += opts.Costs.Base
+	rt.report.InitVirtualNs += backend.InitCost(rt.report.SymbolsScanned)
+	rt.installHandler()
+	return rt, nil
+}
+
+// resolve builds the function-ID → name mapping per object. The executable
+// is resolved from its full symbol table; DSOs only expose their dynamic
+// symbols, so hidden functions stay unresolved (§VI-B(a)).
+func (rt *Runtime) resolve() error {
+	injector, _ := rt.backend.(SymbolInjector)
+	for objID, lo := range rt.xr.Objects() {
+		rt.report.Objects++
+		var syms []obj.Symbol
+		if lo.Image.Exe {
+			syms = lo.Image.NM()
+		} else {
+			syms = lo.Image.DynSyms()
+		}
+		byOffset := make(map[uint64]string, len(syms))
+		for _, s := range syms {
+			if s.Kind != obj.SymFunc {
+				continue
+			}
+			byOffset[s.Value] = s.Name
+			rt.report.SymbolsScanned++
+			if injector != nil && !lo.Image.Exe {
+				injector.InjectSymbol(lo.Base+s.Value, s.Name)
+				rt.report.SymbolsInjected++
+			}
+		}
+		// Ground truth (full symbol table) — used only to *verify* that no
+		// selected function is among the unresolvable ones, the check the
+		// paper performs in §VI-B(a). DynCaPI itself cannot use it.
+		truth := make(map[uint64]string)
+		if rt.cfg != nil && !lo.Image.Exe {
+			for _, s := range lo.Image.NM() {
+				if s.Kind == obj.SymFunc {
+					truth[s.Value] = s.Name
+				}
+			}
+		}
+		rt.report.InitVirtualNs += int64(len(syms)) * rt.opts.Costs.PerSymbolNM
+
+		for fn := uint32(0); fn < lo.Image.NumFuncIDs; fn++ {
+			packed, err := xray.PackID(objID, fn)
+			if err != nil {
+				return fmt.Errorf("dyncapi: object %q: %w", lo.Image.Name, err)
+			}
+			addr, err := rt.xr.FunctionAddress(packed)
+			if err != nil {
+				return fmt.Errorf("dyncapi: resolving %q fn %d: %w", lo.Image.Name, fn, err)
+			}
+			rf := &ResolvedFunc{PackedID: packed, Addr: addr}
+			if name, ok := byOffset[addr-lo.Base]; ok {
+				rf.Name = name
+				rt.report.FunctionsResolved++
+			} else {
+				rt.report.Unresolved++
+				if trueName, ok := truth[addr-lo.Base]; ok && rt.cfg != nil && rt.cfg.Contains(trueName) {
+					rt.report.UnresolvedSelected++
+				}
+			}
+			rt.byID[packed] = rf
+			rt.report.InitVirtualNs += rt.opts.Costs.PerSledResolve
+		}
+	}
+	return nil
+}
+
+// patch applies the IC (or patches everything). A function is selected
+// either by resolved name or — the §VI-B(a) extension — by a statically
+// determined packed ID carried in the IC, which also covers hidden DSO
+// symbols that name resolution cannot reach.
+func (rt *Runtime) patch() error {
+	for packed, rf := range rt.byID {
+		want := rt.opts.PatchAll
+		if !want && rt.cfg != nil {
+			want = rt.cfg.ContainsID(packed) || (rf.Name != "" && rt.cfg.Contains(rf.Name))
+		}
+		if !want {
+			continue
+		}
+		if err := rt.xr.PatchFunction(packed); err != nil {
+			return fmt.Errorf("dyncapi: patching %s: %w", rf.Name, err)
+		}
+		rt.report.Patched++
+		if rf.Name == "" {
+			rt.report.PatchedByID++
+		}
+		rt.report.InitVirtualNs += rt.opts.Costs.PerPatch
+	}
+	return nil
+}
+
+func (rt *Runtime) installHandler() {
+	rt.xr.SetHandler(func(tc xray.ThreadCtx, id int32, kind xray.EntryType) {
+		rf := rt.byID[id]
+		if rf == nil {
+			return
+		}
+		if kind == xray.Entry {
+			rt.backend.OnEnter(tc, rf)
+		} else {
+			rt.backend.OnExit(tc, rf)
+		}
+	})
+}
+
+// Report returns the initialization summary.
+func (rt *Runtime) Report() Report { return rt.report }
+
+// Backend returns the attached measurement backend.
+func (rt *Runtime) Backend() Backend { return rt.backend }
+
+// Resolved returns the resolved function record for a packed ID.
+func (rt *Runtime) Resolved(id int32) *ResolvedFunc { return rt.byID[id] }
+
+// InitSeconds returns T_init in (virtual) seconds.
+func (rt *Runtime) InitSeconds() float64 {
+	return float64(rt.report.InitVirtualNs) / float64(vtime.Second)
+}

@@ -1,0 +1,219 @@
+// Package experiments is the reproduction harness: it regenerates the
+// paper's evaluation artifacts — Table I (selection results), Table II
+// (instrumentation overhead) and the in-text §VI-B facts — from the
+// synthetic workloads, and renders them via internal/report.
+//
+// Absolute virtual seconds differ from the paper's wall-clock numbers (our
+// substrate is a simulator and the default workload scales are reduced);
+// the *shape* — which selection wins, by what factor, where TALP and
+// Score-P cross over — is the reproduction target. EXPERIMENTS.md records
+// paper-vs-measured for every row.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"capi/internal/callgraph"
+	"capi/internal/compiler"
+	"capi/internal/core"
+	"capi/internal/ic"
+	"capi/internal/metacg"
+	"capi/internal/prog"
+	"capi/internal/workload"
+)
+
+// The four general-purpose selection specifications of §VI.
+const (
+	SpecMPI = `!import("mpi.capi")
+excluded = join(inSystemHeader(%%), inlineSpecified(%%))
+subtract(%mpi_comm, %excluded)
+`
+	SpecMPICoarse = `!import("mpi.capi")
+excluded = join(inSystemHeader(%%), inlineSpecified(%%))
+sel = subtract(%mpi_comm, %excluded)
+coarse(%sel)
+`
+	SpecKernels = `excluded = join(inSystemHeader(%%), inlineSpecified(%%))
+kernels = flops(">=", 10, loopDepth(">=", 1, %%))
+subtract(callPathTo(%kernels), %excluded)
+`
+	SpecKernelsCoarse = `excluded = join(inSystemHeader(%%), inlineSpecified(%%))
+kernels = flops(">=", 10, loopDepth(">=", 1, %%))
+sel = subtract(callPathTo(%kernels), %excluded)
+coarse(%sel, %kernels)
+`
+)
+
+// SpecNames lists the Table I/II variants in presentation order.
+var SpecNames = []string{"mpi", "mpi coarse", "kernels", "kernels coarse"}
+
+// SpecSource returns the specification source for a variant name.
+func SpecSource(name string) (string, error) {
+	switch name {
+	case "mpi":
+		return SpecMPI, nil
+	case "mpi coarse":
+		return SpecMPICoarse, nil
+	case "kernels":
+		return SpecKernels, nil
+	case "kernels coarse":
+		return SpecKernelsCoarse, nil
+	default:
+		return "", fmt.Errorf("experiments: unknown spec %q", name)
+	}
+}
+
+// Options sizes the harness runs.
+type Options struct {
+	// Ranks of the simulated MPI world (default 4).
+	Ranks int
+	// Scale of the OpenFOAM call graph (default 0.1; 1.0 = paper scale).
+	Scale float64
+	// LuleshTimesteps (default 60) and OpenFOAM loop sizing.
+	LuleshTimesteps int
+	OFTimesteps     int
+	PCGIters        int
+	// LuleshCGNodes overrides the LULESH graph size (default 3,360).
+	LuleshCGNodes int
+	// EmulateTALPBug turns on the TALP re-entry bug compat mode for the
+	// facts run (§VI-B(b)).
+	EmulateTALPBug bool
+	// TALPBugModulus / TALPBugMinRegions tune the emulation; zero keeps
+	// the talp package defaults. The facts harness lowers them to match
+	// the simulator's compressed dynamic footprint (far fewer distinct
+	// executed regions than the real applications).
+	TALPBugModulus    uint32
+	TALPBugMinRegions int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Ranks <= 0 {
+		o.Ranks = 4
+	}
+	if o.Scale <= 0 {
+		o.Scale = 0.1
+	}
+	return o
+}
+
+// AppBundle is a prepared application: program, whole-program call graph
+// and both builds (vanilla and XRay-instrumented).
+type AppBundle struct {
+	Name         string
+	Prog         *prog.Program
+	Graph        *callgraph.Graph
+	Build        *compiler.Build // XRay build (sleds everywhere)
+	VanillaBuild *compiler.Build
+	OptLevel     int
+	Skew         []float64
+	GraphTime    time.Duration
+}
+
+// PrepareLulesh generates, analyses and compiles the LULESH case.
+func PrepareLulesh(opts Options) (*AppBundle, error) {
+	opts = opts.withDefaults()
+	p := workload.Lulesh(workload.LuleshOptions{
+		Timesteps: opts.LuleshTimesteps,
+		CGNodes:   opts.LuleshCGNodes,
+	})
+	return prepare("lulesh", p, workload.LuleshOptLevel, workload.LuleshRankSkew(opts.Ranks))
+}
+
+// PrepareOpenFOAM generates, analyses and compiles the OpenFOAM case.
+func PrepareOpenFOAM(opts Options) (*AppBundle, error) {
+	opts = opts.withDefaults()
+	p := workload.OpenFOAM(workload.OpenFOAMOptions{
+		Scale:     opts.Scale,
+		Timesteps: opts.OFTimesteps,
+		PCGIters:  opts.PCGIters,
+	})
+	return prepare("openfoam", p, workload.OpenFOAMOptLevel, workload.OpenFOAMRankSkew(opts.Ranks))
+}
+
+func prepare(name string, p *prog.Program, optLevel int, skew []float64) (*AppBundle, error) {
+	t0 := time.Now()
+	g := metacg.BuildWholeProgram(p, metacg.Options{})
+	graphTime := time.Since(t0)
+	xb, err := compiler.Compile(p, compiler.Options{XRay: true, OptLevel: optLevel})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s xray build: %w", name, err)
+	}
+	vb, err := compiler.Compile(p, compiler.Options{OptLevel: optLevel})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s vanilla build: %w", name, err)
+	}
+	return &AppBundle{
+		Name:         name,
+		Prog:         p,
+		Graph:        g,
+		Build:        xb,
+		VanillaBuild: vb,
+		OptLevel:     optLevel,
+		Skew:         skew,
+		GraphTime:    graphTime,
+	}, nil
+}
+
+// SelectionRow is one Table I row.
+type SelectionRow struct {
+	App      string
+	Spec     string
+	Seconds  float64 // wall-clock selection time
+	Pre      int     // #selected pre (before post-processing)
+	Selected int     // #selected (after removing inlined functions)
+	Added    int     // #added (inlining compensation)
+	Total    int     // call-graph size, for the percentage columns
+	IC       *ic.Config
+}
+
+// PrePct returns Pre as a percentage of the graph size.
+func (r SelectionRow) PrePct() float64 { return 100 * float64(r.Pre) / float64(r.Total) }
+
+// SelectedPct returns Selected as a percentage of the graph size.
+func (r SelectionRow) SelectedPct() float64 {
+	return 100 * float64(r.Selected) / float64(r.Total)
+}
+
+// RunSelection evaluates one specification against a prepared bundle.
+func RunSelection(bundle *AppBundle, specName string) (*SelectionRow, error) {
+	src, err := SpecSource(specName)
+	if err != nil {
+		return nil, err
+	}
+	eng := core.NewEngine(bundle.Graph)
+	res, err := eng.RunSource(src, core.Options{Symbols: bundle.Build})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s/%s: %w", bundle.Name, specName, err)
+	}
+	return &SelectionRow{
+		App:      bundle.Name,
+		Spec:     specName,
+		Seconds:  res.SelectionTime.Seconds(),
+		Pre:      res.Pre.Count(),
+		Selected: res.Selected.Count(),
+		Added:    len(res.AddedCompensation),
+		Total:    bundle.Graph.Len(),
+		IC:       res.IC(bundle.Name, specName),
+	}, nil
+}
+
+// Table1 regenerates Table I for both applications.
+func Table1(opts Options) ([]SelectionRow, error) {
+	opts = opts.withDefaults()
+	var rows []SelectionRow
+	for _, prep := range []func(Options) (*AppBundle, error){PrepareLulesh, PrepareOpenFOAM} {
+		bundle, err := prep(opts)
+		if err != nil {
+			return nil, err
+		}
+		for _, spec := range SpecNames {
+			row, err := RunSelection(bundle, spec)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, *row)
+		}
+	}
+	return rows, nil
+}

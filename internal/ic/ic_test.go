@@ -1,0 +1,139 @@
+package ic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDedupSort(t *testing.T) {
+	c := New("app", "spec", []string{"b", "a", "b", "", "c"})
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	if c.Include[0] != "a" || c.Include[1] != "b" || c.Include[2] != "c" {
+		t.Fatalf("Include = %v", c.Include)
+	}
+	if !c.Contains("a") || c.Contains("z") || c.Contains("") {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestContainsLazyIndex(t *testing.T) {
+	c := &Config{Include: []string{"x", "y"}}
+	if !c.Contains("x") || c.Contains("q") {
+		t.Fatal("lazy Contains wrong")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	c := New("lulesh", "mpi", []string{"main", "CommSend"})
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.App != "lulesh" || c2.Spec != "mpi" || c2.Len() != 2 || !c2.Contains("CommSend") {
+		t.Fatalf("round trip = %+v", c2)
+	}
+}
+
+func TestReadJSONError(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("nope")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestScorePFilterRoundTrip(t *testing.T) {
+	c := New("of", "kernels", []string{"Amul", "solve", "sumProd"})
+	var buf bytes.Buffer
+	if err := c.WriteScorePFilter(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "SCOREP_REGION_NAMES_BEGIN") || !strings.Contains(text, "EXCLUDE *") {
+		t.Fatalf("filter file malformed:\n%s", text)
+	}
+	c2, err := ReadScorePFilter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Len() != 3 || !c2.Contains("Amul") || !c2.Contains("solve") || !c2.Contains("sumProd") {
+		t.Fatalf("parsed = %v", c2.Include)
+	}
+}
+
+func TestScorePFilterErrors(t *testing.T) {
+	cases := []string{
+		"INCLUDE foo\n",                                          // outside block
+		"EXCLUDE *\n",                                            // outside block
+		"SCOREP_REGION_NAMES_END\n",                              // end without begin
+		"SCOREP_REGION_NAMES_BEGIN\n",                            // missing end
+		"SCOREP_REGION_NAMES_BEGIN\nGARBAGE x\n",                 // unknown directive
+		"SCOREP_REGION_NAMES_BEGIN\nSCOREP_REGION_NAMES_BEGIN\n", // nested
+	}
+	for _, src := range cases {
+		if _, err := ReadScorePFilter(strings.NewReader(src)); err == nil {
+			t.Errorf("ReadScorePFilter(%q) should fail", src)
+		}
+	}
+}
+
+func TestScorePFilterIgnoresComments(t *testing.T) {
+	src := "# header\nSCOREP_REGION_NAMES_BEGIN\n  EXCLUDE *\n# c\n  INCLUDE MANGLED f\nSCOREP_REGION_NAMES_END\n"
+	c, err := ReadScorePFilter(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 || !c.Contains("f") {
+		t.Fatalf("parsed = %v", c.Include)
+	}
+}
+
+// Property: round-tripping any set of C-identifier-ish names through the
+// Score-P filter format preserves membership.
+func TestScorePFilterRoundTripProperty(t *testing.T) {
+	sanitize := func(raw []string) []string {
+		var out []string
+		for _, s := range raw {
+			var sb strings.Builder
+			for _, r := range s {
+				if r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9') {
+					sb.WriteRune(r)
+				}
+			}
+			if sb.Len() > 0 {
+				out = append(out, sb.String())
+			}
+		}
+		return out
+	}
+	f := func(raw []string) bool {
+		names := sanitize(raw)
+		c := New("a", "s", names)
+		var buf bytes.Buffer
+		if err := c.WriteScorePFilter(&buf); err != nil {
+			return false
+		}
+		c2, err := ReadScorePFilter(&buf)
+		if err != nil {
+			return false
+		}
+		if c2.Len() != c.Len() {
+			return false
+		}
+		for _, n := range c.Include {
+			if !c2.Contains(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

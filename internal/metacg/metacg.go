@@ -1,0 +1,147 @@
+// Package metacg constructs whole-program call graphs from the synthetic
+// program model, mirroring the MetaCG workflow the paper builds on
+// (Fig. 2, steps 3–4):
+//
+//  1. a local call graph is constructed per translation unit,
+//  2. the local graphs are merged into a whole-program graph,
+//  3. virtual calls are over-approximated by inserting edges to all known
+//     inheriting definitions,
+//  4. function-pointer calls are resolved statically where possible; the
+//     remainder can be filled in from a measured profile with
+//     ValidateWithProfile (the paper's Score-P-based validation utility).
+package metacg
+
+import (
+	"capi/internal/callgraph"
+	"capi/internal/prog"
+)
+
+// Options controls whole-program graph construction.
+type Options struct {
+	// SkipPointerResolution disables static resolution of function-pointer
+	// callsites, leaving them for profile-based validation.
+	SkipPointerResolution bool
+}
+
+// metaOf translates the program-model metadata into call-graph annotations.
+func metaOf(f *prog.Function) callgraph.Meta {
+	return callgraph.Meta{
+		Statements:   f.Statements,
+		LOC:          f.LOC,
+		Flops:        f.Flops,
+		LoopDepth:    f.LoopDepth,
+		Cyclomatic:   f.Cyclomatic,
+		Inline:       f.Inline,
+		SystemHeader: f.SystemHeader,
+		Virtual:      f.Virtual,
+		Unit:         f.Unit,
+		TU:           f.TU,
+	}
+}
+
+// BuildLocalTU constructs the translation-unit-local call graph: definition
+// nodes for the functions defined in tu, declaration stubs and edges for
+// everything they reference. Virtual and pointer callsites produce an edge
+// to the base method / slot placeholder only; whole-program expansion
+// happens during the merge.
+func BuildLocalTU(p *prog.Program, tu string) *callgraph.Graph {
+	g := callgraph.New(p.Name + ":" + tu)
+	for _, name := range p.FunctionsInTU(tu) {
+		f := p.Func(name)
+		n := g.AddNode(name, metaOf(f))
+		n.Display = f.Display()
+		if name == p.Main {
+			g.Main = name
+		}
+		for _, op := range f.Ops {
+			switch op.Kind {
+			case prog.OpCall:
+				if op.ViaPointer {
+					continue // unresolved at TU scope
+				}
+				g.AddEdge(name, op.Callee) // virtual: edge to base method
+			case prog.OpMPI:
+				g.AddEdge(name, op.MPI)
+			}
+		}
+	}
+	return g
+}
+
+// BuildWholeProgram constructs the whole-program call graph by merging all
+// translation-unit-local graphs and applying virtual-call over-approximation
+// and static pointer resolution.
+func BuildWholeProgram(p *prog.Program, opts Options) *callgraph.Graph {
+	g := callgraph.New(p.Name)
+	g.Main = p.Main
+	for _, tu := range p.TranslationUnits() {
+		g.Merge(BuildLocalTU(p, tu))
+	}
+	// Ensure every definition has its metadata even if only seen as a stub
+	// during merging order.
+	for _, name := range p.Functions() {
+		f := p.Func(name)
+		if n := g.Node(name); n != nil {
+			if n.Meta == (callgraph.Meta{}) {
+				n.Meta = metaOf(f)
+			}
+			n.Display = f.Display()
+		} else {
+			n := g.AddNode(name, metaOf(f))
+			n.Display = f.Display()
+		}
+	}
+	// Virtual-call over-approximation: for every virtual callsite, insert
+	// edges to all known inheriting definitions.
+	for _, name := range p.Functions() {
+		for _, op := range p.Func(name).Ops {
+			if op.Kind != prog.OpCall || !op.Virtual {
+				continue
+			}
+			for _, impl := range p.VirtualImpls[op.Callee] {
+				g.AddEdge(name, impl)
+			}
+		}
+	}
+	// Static function-pointer resolution.
+	if !opts.SkipPointerResolution {
+		for _, name := range p.Functions() {
+			for _, op := range p.Func(name).Ops {
+				if op.Kind != prog.OpCall || !op.ViaPointer {
+					continue
+				}
+				if !p.StaticPointerSlots[op.Callee] {
+					continue
+				}
+				for _, tgt := range p.PointerTargets[op.Callee] {
+					g.AddEdge(name, tgt)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// CallEdge is one observed caller→callee pair from a measured profile.
+type CallEdge struct {
+	Caller string
+	Callee string
+}
+
+// ValidateWithProfile inserts edges observed at run time but missing from
+// the static graph (unresolved function pointers). It returns the number of
+// edges added. Edges whose endpoints are unknown functions are added with
+// stub nodes, mirroring MetaCG's behaviour of trusting the profile.
+func ValidateWithProfile(g *callgraph.Graph, edges []CallEdge) int {
+	added := 0
+	for _, e := range edges {
+		if e.Caller == "" || e.Callee == "" {
+			continue
+		}
+		if !g.HasEdge(e.Caller, e.Callee) {
+			g.AddEdge(e.Caller, e.Callee)
+			added++
+		}
+	}
+	return added
+}

@@ -1,0 +1,158 @@
+package metacg
+
+import (
+	"testing"
+
+	"capi/internal/callgraph"
+	"capi/internal/prog"
+)
+
+// sample builds a program exercising direct, virtual, pointer and MPI calls
+// across two translation units.
+func sample(t *testing.T) *prog.Program {
+	t.Helper()
+	p := prog.New("app", "main")
+	p.MustAddUnit("app.exe", prog.Executable)
+	p.MustAddUnit("libmpi.so", prog.SystemLibrary)
+	p.MustAddFunc(&prog.Function{Name: "MPI_Allreduce", Unit: "libmpi.so", SystemHeader: true})
+
+	p.MustAddFunc(&prog.Function{
+		Name: "main", Unit: "app.exe", TU: "main.cc", Statements: 12,
+		Ops: []prog.Op{
+			prog.Call("helper", 1),
+			prog.VCall("Base::solve", 1),
+			prog.PtrCall("factory", 1),
+			prog.PtrCall("hook", 1),
+			prog.MPICall("MPI_Allreduce", 8),
+		},
+	})
+	p.MustAddFunc(&prog.Function{
+		Name: "helper", Unit: "app.exe", TU: "util.cc", Statements: 4, Inline: true,
+	})
+	p.MustAddFunc(&prog.Function{
+		Name: "A::solve", Unit: "app.exe", TU: "a.cc", Virtual: true, Statements: 20,
+	})
+	p.MustAddFunc(&prog.Function{
+		Name: "B::solve", Unit: "app.exe", TU: "b.cc", Virtual: true, Statements: 25,
+	})
+	p.RegisterVirtual("Base::solve", "A::solve")
+	p.RegisterVirtual("Base::solve", "B::solve")
+
+	p.MustAddFunc(&prog.Function{Name: "makeA", Unit: "app.exe", TU: "a.cc"})
+	p.MustAddFunc(&prog.Function{Name: "makeB", Unit: "app.exe", TU: "b.cc"})
+	p.RegisterPointerTarget("factory", "makeA", true) // statically resolvable slot
+	p.RegisterPointerTarget("hook", "makeB", false)   // needs profile validation
+
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBuildLocalTU(t *testing.T) {
+	p := sample(t)
+	g := BuildLocalTU(p, "main.cc")
+	if g.Main != "main" {
+		t.Fatalf("local graph Main = %q", g.Main)
+	}
+	if !g.HasEdge("main", "helper") {
+		t.Fatal("direct call edge missing")
+	}
+	if !g.HasEdge("main", "Base::solve") {
+		t.Fatal("virtual base edge missing at TU scope")
+	}
+	if !g.HasEdge("main", "MPI_Allreduce") {
+		t.Fatal("MPI edge missing")
+	}
+	// helper is a stub here: node present, empty metadata.
+	h := g.Node("helper")
+	if h == nil || h.Meta.Statements != 0 {
+		t.Fatal("callee should be a stub in the local graph")
+	}
+	// Pointer callsites are unresolved at TU scope.
+	if g.Node("makeA") != nil {
+		t.Fatal("pointer targets must not appear in local graphs")
+	}
+}
+
+func TestBuildWholeProgram(t *testing.T) {
+	p := sample(t)
+	g := BuildWholeProgram(p, Options{})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Main != "main" {
+		t.Fatalf("Main = %q", g.Main)
+	}
+	// Stub resolved by merge: helper now carries its definition metadata.
+	if got := g.Node("helper").Meta.Statements; got != 4 {
+		t.Fatalf("helper statements = %d, want 4", got)
+	}
+	if !g.Node("helper").Meta.Inline {
+		t.Fatal("helper inline flag lost")
+	}
+	// Virtual over-approximation: edges to both implementations.
+	if !g.HasEdge("main", "A::solve") || !g.HasEdge("main", "B::solve") {
+		t.Fatal("virtual over-approximation edges missing")
+	}
+	// Static pointer resolution: only the statically resolvable target.
+	if !g.HasEdge("main", "makeA") {
+		t.Fatal("static pointer target edge missing")
+	}
+	if g.HasEdge("main", "makeB") {
+		t.Fatal("non-static pointer target must not be resolved statically")
+	}
+	// All definitions present as nodes.
+	for _, name := range p.Functions() {
+		if g.Node(name) == nil {
+			t.Fatalf("definition %s missing from whole-program graph", name)
+		}
+	}
+}
+
+func TestBuildWholeProgramSkipPointers(t *testing.T) {
+	p := sample(t)
+	g := BuildWholeProgram(p, Options{SkipPointerResolution: true})
+	if g.HasEdge("main", "makeA") {
+		t.Fatal("pointer resolution should be disabled")
+	}
+}
+
+func TestValidateWithProfile(t *testing.T) {
+	p := sample(t)
+	g := BuildWholeProgram(p, Options{})
+	edges := []CallEdge{
+		{Caller: "main", Callee: "makeB"},  // missing: should be added
+		{Caller: "main", Callee: "helper"}, // already present
+		{Caller: "", Callee: "x"},          // ignored
+	}
+	added := ValidateWithProfile(g, edges)
+	if added != 1 {
+		t.Fatalf("added = %d, want 1", added)
+	}
+	if !g.HasEdge("main", "makeB") {
+		t.Fatal("profile edge not inserted")
+	}
+	// Idempotent.
+	if again := ValidateWithProfile(g, edges); again != 0 {
+		t.Fatalf("second run added %d edges", again)
+	}
+}
+
+func TestMetadataTranslation(t *testing.T) {
+	p := prog.New("m", "f")
+	p.MustAddUnit("u", prog.Executable)
+	p.MustAddFunc(&prog.Function{
+		Name: "f", Unit: "u", TU: "f.cc",
+		Statements: 1, LOC: 2, Flops: 3, LoopDepth: 4, Cyclomatic: 5,
+		Inline: true, SystemHeader: true, Virtual: true,
+	})
+	g := BuildWholeProgram(p, Options{})
+	want := callgraph.Meta{
+		Statements: 1, LOC: 2, Flops: 3, LoopDepth: 4, Cyclomatic: 5,
+		Inline: true, SystemHeader: true, Virtual: true, Unit: "u", TU: "f.cc",
+	}
+	if got := g.Node("f").Meta; got != want {
+		t.Fatalf("meta = %+v, want %+v", got, want)
+	}
+}

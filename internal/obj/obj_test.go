@@ -1,0 +1,245 @@
+package obj
+
+import (
+	"strings"
+	"testing"
+
+	"capi/internal/mem"
+)
+
+// testImage builds a small patchable image with two functions:
+//
+//	f0 at 0x000 (size 0x40), sleds 0 (entry) and 1 (exit)
+//	f1 at 0x40 (size 0x40), sleds 2 (entry) and 3 (exit), hidden
+func testImage(name string, exe bool) *Image {
+	im := &Image{
+		Name:      name,
+		Exe:       exe,
+		Patchable: true,
+		TextSize:  0x2000,
+		Symbols: []Symbol{
+			{Name: "f0", Value: 0x00, Size: 0x40, Kind: SymFunc},
+			{Name: "f1", Value: 0x40, Size: 0x40, Kind: SymFunc, Hidden: true},
+			{Name: "data0", Value: 0x1000, Size: 8, Kind: SymObject},
+		},
+		Sleds: []Sled{
+			{Offset: 0x00, FuncID: 0, Kind: SledEntry},
+			{Offset: 0x30, FuncID: 0, Kind: SledExit},
+			{Offset: 0x40, FuncID: 1, Kind: SledEntry},
+			{Offset: 0x70, FuncID: 1, Kind: SledExit},
+		},
+		NumFuncIDs: 2,
+	}
+	if err := im.Finalize(); err != nil {
+		panic(err)
+	}
+	return im
+}
+
+func TestImageFinalizeErrors(t *testing.T) {
+	bad := &Image{Name: "b", TextSize: 0x10, Symbols: []Symbol{{Name: "f", Value: 0, Size: 0x20, Kind: SymFunc}}}
+	if err := bad.Finalize(); err == nil {
+		t.Fatal("symbol beyond text must fail")
+	}
+	bad2 := &Image{Name: "b", TextSize: 0x100, Sleds: []Sled{{Offset: 0x0, FuncID: 5}}, NumFuncIDs: 1}
+	if err := bad2.Finalize(); err == nil {
+		t.Fatal("sled with out-of-range func id must fail")
+	}
+	bad3 := &Image{Name: "b", TextSize: 0x100, Symbols: []Symbol{{Name: "f"}, {Name: "f"}}}
+	if err := bad3.Finalize(); err == nil {
+		t.Fatal("duplicate symbol must fail")
+	}
+	bad4 := &Image{Name: "b", TextSize: 0x100, Symbols: []Symbol{{Name: ""}}}
+	if err := bad4.Finalize(); err == nil {
+		t.Fatal("empty symbol name must fail")
+	}
+	bad5 := &Image{Name: "b", TextSize: 8, Sleds: []Sled{{Offset: 4, FuncID: 0}}, NumFuncIDs: 1}
+	if err := bad5.Finalize(); err == nil {
+		t.Fatal("sled beyond text must fail")
+	}
+}
+
+func TestImageLookups(t *testing.T) {
+	im := testImage("app", true)
+	s, ok := im.Symbol("f1")
+	if !ok || !s.Hidden || s.Value != 0x40 {
+		t.Fatalf("Symbol(f1) = %+v, %v", s, ok)
+	}
+	if _, ok := im.Symbol("ghost"); ok {
+		t.Fatal("ghost symbol found")
+	}
+	if got := im.FuncSleds(0); len(got) != 2 {
+		t.Fatalf("FuncSleds(0) = %v", got)
+	}
+	off, ok := im.FuncEntryOffset(1)
+	if !ok || off != 0x40 {
+		t.Fatalf("FuncEntryOffset(1) = %#x, %v", off, ok)
+	}
+	if _, ok := im.FuncEntryOffset(99); ok {
+		t.Fatal("entry offset for unknown func id")
+	}
+}
+
+func TestNMAndDynSyms(t *testing.T) {
+	im := testImage("lib.so", false)
+	nm := im.NM()
+	if len(nm) != 3 {
+		t.Fatalf("NM len = %d", len(nm))
+	}
+	// Sorted by value.
+	if nm[0].Name != "f0" || nm[1].Name != "f1" || nm[2].Name != "data0" {
+		t.Fatalf("NM order = %v", nm)
+	}
+	dyn := im.DynSyms()
+	for _, s := range dyn {
+		if s.Hidden {
+			t.Fatal("hidden symbol in dynamic table")
+		}
+	}
+	if len(dyn) != 2 { // f0 and data0
+		t.Fatalf("DynSyms = %v", dyn)
+	}
+}
+
+func TestProcessLoadUnload(t *testing.T) {
+	exe := testImage("app", true)
+	p, err := NewProcess(exe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Executable().Image != exe {
+		t.Fatal("executable mismatch")
+	}
+	var loaded, unloaded []string
+	p.OnLoad(func(lo *LoadedObject) { loaded = append(loaded, lo.Image.Name) })
+	p.OnUnload(func(lo *LoadedObject) { unloaded = append(unloaded, lo.Image.Name) })
+
+	lib := testImage("lib.so", false)
+	lo, err := p.Load(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.Base == p.Executable().Base || lo.Base == 0 {
+		t.Fatalf("bad DSO base %#x", lo.Base)
+	}
+	if len(loaded) != 1 || loaded[0] != "lib.so" {
+		t.Fatalf("load hooks = %v", loaded)
+	}
+	if p.Object("lib.so") != lo {
+		t.Fatal("Object lookup failed")
+	}
+	if len(p.Objects()) != 2 {
+		t.Fatalf("Objects = %d", len(p.Objects()))
+	}
+	// Second DSO gets a different base.
+	lib2 := testImage("lib2.so", false)
+	lo2, err := p.Load(lib2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo2.Base == lo.Base {
+		t.Fatal("DSO bases collide")
+	}
+
+	if err := p.Unload("lib.so"); err != nil {
+		t.Fatal(err)
+	}
+	if len(unloaded) != 1 || unloaded[0] != "lib.so" {
+		t.Fatalf("unload hooks = %v", unloaded)
+	}
+	if p.Object("lib.so") != nil {
+		t.Fatal("lib.so still present after unload")
+	}
+	if err := p.Unload("lib.so"); err == nil {
+		t.Fatal("double unload should fail")
+	}
+	if err := p.Unload("app"); err == nil {
+		t.Fatal("unloading the executable should fail")
+	}
+}
+
+func TestProcessLoadErrors(t *testing.T) {
+	exe := testImage("app", true)
+	if _, err := NewProcess(testImage("lib.so", false)); err == nil {
+		t.Fatal("NewProcess with DSO should fail")
+	}
+	p, _ := NewProcess(exe)
+	if _, err := p.Load(testImage("app2", true)); err == nil {
+		t.Fatal("dlopen of executable image should fail")
+	}
+	lib := testImage("lib.so", false)
+	if _, err := p.Load(lib); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Load(lib); err == nil {
+		t.Fatal("double load should fail")
+	}
+}
+
+func TestSledPatchingRequiresWritablePages(t *testing.T) {
+	p, _ := NewProcess(testImage("app", true))
+	exe := p.Executable()
+	// Text is r-x: writing must fault.
+	if err := exe.WriteSled(0, true); err == nil || !strings.Contains(err.Error(), "non-writable") {
+		t.Fatalf("err = %v", err)
+	}
+	if exe.SledPatched(0) {
+		t.Fatal("sled must remain unpatched after failed write")
+	}
+	// mprotect, then patch.
+	if _, err := p.AS.Mprotect(exe.SledAddr(0), SledBytes, mem.ProtRead|mem.ProtWrite|mem.ProtExec); err != nil {
+		t.Fatal(err)
+	}
+	if err := exe.WriteSled(0, true); err != nil {
+		t.Fatal(err)
+	}
+	if !exe.SledPatched(0) || exe.NumPatched() != 1 {
+		t.Fatal("sled should be patched")
+	}
+	// Restore protection; unpatching now faults again.
+	if _, err := p.AS.Mprotect(exe.SledAddr(0), SledBytes, mem.ProtRead|mem.ProtExec); err != nil {
+		t.Fatal(err)
+	}
+	if err := exe.WriteSled(0, false); err == nil {
+		t.Fatal("write after restore should fault")
+	}
+	if err := exe.WriteSled(99, true); err == nil {
+		t.Fatal("out-of-range sled index should fail")
+	}
+}
+
+func TestResolveAddrAndMemoryMap(t *testing.T) {
+	p, _ := NewProcess(testImage("app", true))
+	lib := testImage("lib.so", false)
+	lo, _ := p.Load(lib)
+
+	obj, sym, ok := p.ResolveAddr(p.Executable().Base + 0x45)
+	if !ok || obj != "app" || sym.Name != "f1" {
+		t.Fatalf("ResolveAddr = %q %+v %v", obj, sym, ok)
+	}
+	obj, sym, ok = p.ResolveAddr(lo.Base + 0x10)
+	if !ok || obj != "lib.so" || sym.Name != "f0" {
+		t.Fatalf("ResolveAddr DSO = %q %+v %v", obj, sym, ok)
+	}
+	// Gap between symbols resolves to nothing.
+	if _, _, ok := p.ResolveAddr(p.Executable().Base + 0x90); ok {
+		t.Fatal("gap address should not resolve")
+	}
+	if _, _, ok := p.ResolveAddr(0xdead); ok {
+		t.Fatal("unmapped address should not resolve")
+	}
+
+	mm := p.MemoryMap()
+	if len(mm) != 2 || mm[0].Name != "app" || mm[1].Name != "lib.so" {
+		t.Fatalf("MemoryMap = %+v", mm)
+	}
+	if mm[0].Prot != "r-x" {
+		t.Fatalf("exe prot = %q", mm[0].Prot)
+	}
+	if mm[1].End-mm[1].Base != lib.TextSize {
+		t.Fatal("map entry size wrong")
+	}
+	if p.FindObject(mm[1].Base+1) != lo {
+		t.Fatal("FindObject wrong")
+	}
+}

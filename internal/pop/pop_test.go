@@ -1,0 +1,92 @@
+package pop
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPerfectlyBalanced(t *testing.T) {
+	m := Compute([]RankTimes{{Useful: 100, MPI: 0}, {Useful: 100, MPI: 0}})
+	if !almost(m.LoadBalance, 1) || !almost(m.CommunicationEfficiency, 1) || !almost(m.ParallelEfficiency, 1) {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if m.Elapsed != 100 || m.AvgUseful != 100 || m.MaxUseful != 100 {
+		t.Fatalf("times = %+v", m)
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	// Rank 0 computes 100, rank 1 computes 50 and waits 50 in MPI.
+	m := Compute([]RankTimes{{Useful: 100, MPI: 0}, {Useful: 50, MPI: 50}})
+	if !almost(m.LoadBalance, 0.75) {
+		t.Fatalf("LB = %v, want 0.75", m.LoadBalance)
+	}
+	if !almost(m.CommunicationEfficiency, 1.0) {
+		t.Fatalf("CommEff = %v, want 1.0", m.CommunicationEfficiency)
+	}
+	if !almost(m.ParallelEfficiency, 0.75) {
+		t.Fatalf("PE = %v", m.ParallelEfficiency)
+	}
+}
+
+func TestCommunicationLoss(t *testing.T) {
+	// Balanced compute but both ranks spend 100 in MPI.
+	m := Compute([]RankTimes{{Useful: 100, MPI: 100}, {Useful: 100, MPI: 100}})
+	if !almost(m.LoadBalance, 1) {
+		t.Fatalf("LB = %v", m.LoadBalance)
+	}
+	if !almost(m.CommunicationEfficiency, 0.5) {
+		t.Fatalf("CommEff = %v, want 0.5", m.CommunicationEfficiency)
+	}
+	if !almost(m.ParallelEfficiency, 0.5) {
+		t.Fatalf("PE = %v", m.ParallelEfficiency)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	m := Compute(nil)
+	if !almost(m.ParallelEfficiency, 1) {
+		t.Fatalf("empty metrics = %+v", m)
+	}
+	m = Compute([]RankTimes{{}, {}})
+	if !almost(m.ParallelEfficiency, 1) || m.Elapsed != 0 {
+		t.Fatalf("zero-region metrics = %+v", m)
+	}
+}
+
+func TestAllMPINoUseful(t *testing.T) {
+	m := Compute([]RankTimes{{Useful: 0, MPI: 100}})
+	if m.LoadBalance != 0 || m.CommunicationEfficiency != 0 || m.ParallelEfficiency != 0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestNegativeClamped(t *testing.T) {
+	m := Compute([]RankTimes{{Useful: -5, MPI: 10}})
+	if m.MaxUseful != 0 || m.Elapsed != 10 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+// Properties: metrics are within [0,1] and PE = LB × CommEff.
+func TestMetricsProperties(t *testing.T) {
+	f := func(raw [][2]uint32) bool {
+		times := make([]RankTimes, len(raw))
+		for i, r := range raw {
+			times[i] = RankTimes{Useful: int64(r[0]), MPI: int64(r[1])}
+		}
+		m := Compute(times)
+		for _, v := range []float64{m.LoadBalance, m.CommunicationEfficiency, m.ParallelEfficiency} {
+			if v < 0 || v > 1+1e-9 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return math.Abs(m.ParallelEfficiency-m.LoadBalance*m.CommunicationEfficiency) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,433 @@
+// Package prog defines the synthetic program model that stands in for the
+// C++ source code of the paper's target applications (LULESH, OpenFOAM).
+//
+// A Program is a set of link units (one executable, any number of shared or
+// system libraries), each containing functions grouped into translation
+// units. Every function carries
+//
+//   - the static metadata the CaPI selectors operate on (statement count,
+//     flops, loop depth, inline keyword, system-header origin, virtuality,
+//     symbol visibility), and
+//   - an executable body: an ordered list of operations (self work in
+//     virtual nanoseconds, calls to other functions, MPI operations) that
+//     the execution engine interprets.
+//
+// The compiler (internal/compiler) lowers a Program into object images with
+// symbol tables and XRay sleds; MetaCG (internal/metacg) constructs the
+// whole-program call graph from it.
+package prog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// UnitKind classifies a link unit.
+type UnitKind int
+
+const (
+	// Executable is the main program binary.
+	Executable UnitKind = iota
+	// SharedObject is a DSO built from the application's own sources and
+	// therefore compiled with XRay instrumentation (patchable).
+	SharedObject
+	// SystemLibrary is a pre-built library (libmpi, libc, ...) that is not
+	// compiled with XRay and can never be patched.
+	SystemLibrary
+)
+
+func (k UnitKind) String() string {
+	switch k {
+	case Executable:
+		return "executable"
+	case SharedObject:
+		return "shared-object"
+	case SystemLibrary:
+		return "system-library"
+	default:
+		return fmt.Sprintf("UnitKind(%d)", int(k))
+	}
+}
+
+// Visibility is the ELF symbol visibility of a function.
+type Visibility int
+
+const (
+	// Default visibility: the symbol is exported and appears in the
+	// dynamic symbol table of a shared object.
+	Default Visibility = iota
+	// Hidden visibility: the symbol does not appear in the dynamic symbol
+	// table. The paper's DynCaPI cannot resolve such functions (§VI-B).
+	Hidden
+)
+
+// OpKind discriminates the operations a function body may perform.
+type OpKind int
+
+const (
+	// OpWork advances the executing rank's virtual clock.
+	OpWork OpKind = iota
+	// OpCall invokes another function (possibly repeatedly, possibly via
+	// virtual dispatch or a function pointer).
+	OpCall
+	// OpMPI performs a simulated MPI operation via internal/mpi.
+	OpMPI
+)
+
+// Op is one operation in a function body.
+type Op struct {
+	Kind OpKind
+
+	// OpWork
+	Work int64 // virtual nanoseconds of self time
+
+	// OpCall
+	Callee     string // direct callee, virtual base method, or pointer slot
+	Count      int    // number of consecutive invocations (>= 1)
+	Virtual    bool   // virtual dispatch through base method Callee
+	ViaPointer bool   // indirect call through pointer slot Callee
+	// RuntimeTarget is the implementation an indirect callsite actually
+	// invokes at run time (the dynamic type / stored pointer). When empty
+	// the first registered implementation is used. The static call graph
+	// over-approximates with edges to all implementations regardless —
+	// the gap between the two is what makes OpenFOAM's 410k-node static
+	// graph coexist with a small dynamic footprint.
+	RuntimeTarget string
+
+	// OpMPI
+	MPI   string // MPI operation name, e.g. "MPI_Allreduce"
+	Bytes int    // payload size for the cost model
+}
+
+// Work returns an operation advancing the clock by ns virtual nanoseconds.
+func Work(ns int64) Op { return Op{Kind: OpWork, Work: ns} }
+
+// Call returns an operation invoking callee count times.
+func Call(callee string, count int) Op {
+	return Op{Kind: OpCall, Callee: callee, Count: count}
+}
+
+// StaticCall returns a call edge that is present in the source (and hence in
+// the static call graph) but never taken at run time — a call under a branch
+// the workload does not exercise. Count is zero, so the execution engine
+// skips it while MetaCG still records the edge.
+func StaticCall(callee string) Op {
+	return Op{Kind: OpCall, Callee: callee, Count: 0}
+}
+
+// VCall returns a virtual call through the base method named base; at run
+// time the first implementation registered for base is invoked.
+func VCall(base string, count int) Op {
+	return Op{Kind: OpCall, Callee: base, Count: count, Virtual: true}
+}
+
+// VCallTo is VCall with an explicit runtime target (the dynamic type).
+func VCallTo(base, target string, count int) Op {
+	return Op{Kind: OpCall, Callee: base, Count: count, Virtual: true, RuntimeTarget: target}
+}
+
+// PtrCall returns an indirect call through the named pointer slot; at run
+// time the first registered target is invoked.
+func PtrCall(slot string, count int) Op {
+	return Op{Kind: OpCall, Callee: slot, Count: count, ViaPointer: true}
+}
+
+// PtrCallTo is PtrCall with an explicit runtime target.
+func PtrCallTo(slot, target string, count int) Op {
+	return Op{Kind: OpCall, Callee: slot, Count: count, ViaPointer: true, RuntimeTarget: target}
+}
+
+// MPICall returns an MPI operation with the given payload size.
+func MPICall(op string, bytes int) Op {
+	return Op{Kind: OpMPI, MPI: op, Bytes: bytes}
+}
+
+// Function is one function definition in the synthetic program.
+type Function struct {
+	Name        string // unique (mangled) name, the key everywhere
+	DisplayName string // demangled form for reports; defaults to Name
+	TU          string // translation unit (source file)
+	Unit        string // link unit name
+
+	// Static source-level metadata used by the selection pipeline.
+	Statements   int
+	LOC          int
+	Flops        int
+	LoopDepth    int
+	Cyclomatic   int
+	Inline       bool // carries the `inline` keyword in the source
+	SystemHeader bool // defined in a system header
+	Virtual      bool // virtual member function
+	AddressTaken bool // address escapes (suppresses symbol removal)
+	StaticInit   bool // static initializer, run at load time
+	// VagueLinkage marks implicit template instantiations and similar
+	// vague-linkage definitions: when fully inlined the compiler emits no
+	// out-of-line copy and hence no symbol — even when exported from a
+	// DSO. Invisible to the call-graph metadata (CaPI cannot see it),
+	// which is exactly why the paper's inlining compensation has to
+	// approximate the inlined set from symbol absence (§V-E).
+	VagueLinkage bool
+
+	Visibility Visibility
+
+	Ops []Op // executable body, interpreted in order
+}
+
+// Display returns the demangled display name, falling back to Name.
+func (f *Function) Display() string {
+	if f.DisplayName != "" {
+		return f.DisplayName
+	}
+	return f.Name
+}
+
+// DirectCallees returns the callee names of all non-virtual, non-pointer
+// call operations, in body order, without deduplication.
+func (f *Function) DirectCallees() []string {
+	var out []string
+	for _, op := range f.Ops {
+		if op.Kind == OpCall && !op.Virtual && !op.ViaPointer {
+			out = append(out, op.Callee)
+		}
+	}
+	return out
+}
+
+// Unit is a link unit (executable, DSO, or system library).
+type Unit struct {
+	Name  string
+	Kind  UnitKind
+	Funcs []string // function names in emission order
+}
+
+// Program is a complete synthetic application.
+type Program struct {
+	Name string
+	Main string // entry function name
+
+	units     []*Unit
+	unitIndex map[string]*Unit
+
+	funcs map[string]*Function
+	order []string // insertion order, the canonical iteration order
+
+	// VirtualImpls maps a virtual base method name to all overriding
+	// implementations (the base itself included when it has a body).
+	VirtualImpls map[string][]string
+
+	// PointerTargets maps a pointer slot name to the possible targets.
+	PointerTargets map[string][]string
+
+	// StaticPointerSlots lists the slots MetaCG can resolve statically;
+	// the rest need the profile-validation utility (§III-A).
+	StaticPointerSlots map[string]bool
+}
+
+// New creates an empty program with the given name and entry point name.
+// The entry function must be added before Validate is called.
+func New(name, main string) *Program {
+	return &Program{
+		Name:               name,
+		Main:               main,
+		unitIndex:          map[string]*Unit{},
+		funcs:              map[string]*Function{},
+		VirtualImpls:       map[string][]string{},
+		PointerTargets:     map[string][]string{},
+		StaticPointerSlots: map[string]bool{},
+	}
+}
+
+// AddUnit registers a link unit. Adding a unit twice is an error.
+func (p *Program) AddUnit(name string, kind UnitKind) (*Unit, error) {
+	if _, dup := p.unitIndex[name]; dup {
+		return nil, fmt.Errorf("prog: duplicate unit %q", name)
+	}
+	u := &Unit{Name: name, Kind: kind}
+	p.units = append(p.units, u)
+	p.unitIndex[name] = u
+	return u, nil
+}
+
+// MustAddUnit is AddUnit for generator code with static inputs.
+func (p *Program) MustAddUnit(name string, kind UnitKind) *Unit {
+	u, err := p.AddUnit(name, kind)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// AddFunc registers a function definition into its unit.
+func (p *Program) AddFunc(f *Function) error {
+	if f.Name == "" {
+		return fmt.Errorf("prog: function with empty name")
+	}
+	if _, dup := p.funcs[f.Name]; dup {
+		return fmt.Errorf("prog: duplicate function %q", f.Name)
+	}
+	u, ok := p.unitIndex[f.Unit]
+	if !ok {
+		return fmt.Errorf("prog: function %q references unknown unit %q", f.Name, f.Unit)
+	}
+	p.funcs[f.Name] = f
+	p.order = append(p.order, f.Name)
+	u.Funcs = append(u.Funcs, f.Name)
+	return nil
+}
+
+// MustAddFunc is AddFunc for generator code with static inputs.
+func (p *Program) MustAddFunc(f *Function) *Function {
+	if err := p.AddFunc(f); err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Func returns the function with the given name, or nil.
+func (p *Program) Func(name string) *Function { return p.funcs[name] }
+
+// Functions returns all functions in insertion order. The returned slice is
+// shared; callers must not modify it.
+func (p *Program) Functions() []string { return p.order }
+
+// NumFunctions returns the number of function definitions.
+func (p *Program) NumFunctions() int { return len(p.order) }
+
+// Units returns the link units in registration order.
+func (p *Program) Units() []*Unit { return p.units }
+
+// Unit returns the named link unit, or nil.
+func (p *Program) Unit(name string) *Unit { return p.unitIndex[name] }
+
+// RegisterVirtual records impl as an implementation of the virtual base
+// method. Implementations keep registration order.
+func (p *Program) RegisterVirtual(base, impl string) {
+	p.VirtualImpls[base] = append(p.VirtualImpls[base], impl)
+}
+
+// RegisterPointerTarget records target as a possible callee of the pointer
+// slot. If static is true, MetaCG resolves the slot without profile help.
+func (p *Program) RegisterPointerTarget(slot, target string, static bool) {
+	p.PointerTargets[slot] = append(p.PointerTargets[slot], target)
+	if static {
+		p.StaticPointerSlots[slot] = true
+	}
+}
+
+// StaticInits returns the static initializer functions of the given unit in
+// emission order.
+func (p *Program) StaticInits(unit string) []string {
+	u := p.unitIndex[unit]
+	if u == nil {
+		return nil
+	}
+	var out []string
+	for _, fn := range u.Funcs {
+		if p.funcs[fn].StaticInit {
+			out = append(out, fn)
+		}
+	}
+	return out
+}
+
+// Validate checks referential integrity: the entry point exists, every call
+// target resolves (directly, via virtual implementations, or via pointer
+// targets), and every MPI operation names a declared function.
+func (p *Program) Validate() error {
+	if p.Main == "" {
+		return fmt.Errorf("prog %q: no entry point", p.Name)
+	}
+	if p.Func(p.Main) == nil {
+		return fmt.Errorf("prog %q: entry point %q not defined", p.Name, p.Main)
+	}
+	for _, name := range p.order {
+		f := p.funcs[name]
+		for i, op := range f.Ops {
+			switch op.Kind {
+			case OpCall:
+				if op.Count < 0 {
+					return fmt.Errorf("prog %q: %s op %d: negative call count %d", p.Name, name, i, op.Count)
+				}
+				switch {
+				case op.Virtual:
+					impls := p.VirtualImpls[op.Callee]
+					if len(impls) == 0 {
+						return fmt.Errorf("prog %q: %s calls virtual %q with no implementations", p.Name, name, op.Callee)
+					}
+					for _, impl := range impls {
+						if p.Func(impl) == nil {
+							return fmt.Errorf("prog %q: virtual %q implementation %q not defined", p.Name, op.Callee, impl)
+						}
+					}
+					if op.RuntimeTarget != "" && p.Func(op.RuntimeTarget) == nil {
+						return fmt.Errorf("prog %q: %s: runtime target %q not defined", p.Name, name, op.RuntimeTarget)
+					}
+				case op.ViaPointer:
+					targets := p.PointerTargets[op.Callee]
+					if len(targets) == 0 {
+						return fmt.Errorf("prog %q: %s calls pointer slot %q with no targets", p.Name, name, op.Callee)
+					}
+					for _, tgt := range targets {
+						if p.Func(tgt) == nil {
+							return fmt.Errorf("prog %q: pointer slot %q target %q not defined", p.Name, op.Callee, tgt)
+						}
+					}
+					if op.RuntimeTarget != "" && p.Func(op.RuntimeTarget) == nil {
+						return fmt.Errorf("prog %q: %s: runtime target %q not defined", p.Name, name, op.RuntimeTarget)
+					}
+				default:
+					if p.Func(op.Callee) == nil {
+						return fmt.Errorf("prog %q: %s calls undefined function %q", p.Name, name, op.Callee)
+					}
+				}
+			case OpMPI:
+				if p.Func(op.MPI) == nil {
+					return fmt.Errorf("prog %q: %s performs MPI op %q with no declared MPI function", p.Name, name, op.MPI)
+				}
+			case OpWork:
+				if op.Work < 0 {
+					return fmt.Errorf("prog %q: %s op %d: negative work", p.Name, name, i)
+				}
+			default:
+				return fmt.Errorf("prog %q: %s op %d: unknown kind %d", p.Name, name, i, op.Kind)
+			}
+		}
+	}
+	return nil
+}
+
+// TotalStatements sums statement counts across all functions; the compiler
+// uses it for its build-time model.
+func (p *Program) TotalStatements() int {
+	total := 0
+	for _, name := range p.order {
+		total += p.funcs[name].Statements
+	}
+	return total
+}
+
+// TranslationUnits returns the sorted set of TU names present in the program.
+func (p *Program) TranslationUnits() []string {
+	seen := map[string]bool{}
+	for _, name := range p.order {
+		seen[p.funcs[name].TU] = true
+	}
+	out := make([]string, 0, len(seen))
+	for tu := range seen {
+		out = append(out, tu)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FunctionsInTU returns the functions defined in the given translation unit,
+// in insertion order.
+func (p *Program) FunctionsInTU(tu string) []string {
+	var out []string
+	for _, name := range p.order {
+		if p.funcs[name].TU == tu {
+			out = append(out, name)
+		}
+	}
+	return out
+}

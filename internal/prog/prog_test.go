@@ -1,0 +1,234 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildValid constructs a small well-formed program used by several tests.
+func buildValid(t *testing.T) *Program {
+	t.Helper()
+	p := New("app", "main")
+	p.MustAddUnit("app.exe", Executable)
+	p.MustAddUnit("libfoo.so", SharedObject)
+	p.MustAddUnit("libmpi.so", SystemLibrary)
+
+	p.MustAddFunc(&Function{Name: "MPI_Allreduce", Unit: "libmpi.so", SystemHeader: true})
+	p.MustAddFunc(&Function{
+		Name: "main", Unit: "app.exe", TU: "main.cc", Statements: 10,
+		Ops: []Op{Work(100), Call("compute", 2), MPICall("MPI_Allreduce", 8)},
+	})
+	p.MustAddFunc(&Function{
+		Name: "compute", Unit: "libfoo.so", TU: "foo.cc", Statements: 30, Flops: 50, LoopDepth: 2,
+		Ops: []Op{Work(500)},
+	})
+	return p
+}
+
+func TestValidProgram(t *testing.T) {
+	p := buildValid(t)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if p.NumFunctions() != 3 {
+		t.Fatalf("NumFunctions = %d, want 3", p.NumFunctions())
+	}
+	if got := p.Func("compute").Flops; got != 50 {
+		t.Fatalf("compute flops = %d, want 50", got)
+	}
+}
+
+func TestDuplicateUnit(t *testing.T) {
+	p := New("app", "main")
+	if _, err := p.AddUnit("u", Executable); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AddUnit("u", SharedObject); err == nil {
+		t.Fatal("expected duplicate unit error")
+	}
+}
+
+func TestDuplicateFunction(t *testing.T) {
+	p := New("app", "main")
+	p.MustAddUnit("u", Executable)
+	if err := p.AddFunc(&Function{Name: "f", Unit: "u"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddFunc(&Function{Name: "f", Unit: "u"}); err == nil {
+		t.Fatal("expected duplicate function error")
+	}
+}
+
+func TestFunctionUnknownUnit(t *testing.T) {
+	p := New("app", "main")
+	if err := p.AddFunc(&Function{Name: "f", Unit: "nope"}); err == nil {
+		t.Fatal("expected unknown unit error")
+	}
+}
+
+func TestValidateMissingMain(t *testing.T) {
+	p := New("app", "main")
+	p.MustAddUnit("u", Executable)
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "entry point") {
+		t.Fatalf("expected entry point error, got %v", err)
+	}
+}
+
+func TestValidateUndefinedCallee(t *testing.T) {
+	p := New("app", "main")
+	p.MustAddUnit("u", Executable)
+	p.MustAddFunc(&Function{Name: "main", Unit: "u", Ops: []Op{Call("ghost", 1)}})
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Fatalf("expected undefined callee error, got %v", err)
+	}
+}
+
+func TestValidateCallCounts(t *testing.T) {
+	p := New("app", "main")
+	p.MustAddUnit("u", Executable)
+	p.MustAddFunc(&Function{Name: "f", Unit: "u"})
+	// A zero-count call is a legal static-only edge (see StaticCall)...
+	p.MustAddFunc(&Function{Name: "main", Unit: "u", Ops: []Op{StaticCall("f")}})
+	if err := p.Validate(); err != nil {
+		t.Fatalf("static-only call should validate, got %v", err)
+	}
+	// ...but a negative count is a generator bug.
+	p2 := New("app", "main")
+	p2.MustAddUnit("u", Executable)
+	p2.MustAddFunc(&Function{Name: "f", Unit: "u"})
+	p2.MustAddFunc(&Function{Name: "main", Unit: "u", Ops: []Op{Call("f", -1)}})
+	if err := p2.Validate(); err == nil || !strings.Contains(err.Error(), "count") {
+		t.Fatalf("expected call count error, got %v", err)
+	}
+}
+
+func TestValidateVirtual(t *testing.T) {
+	p := New("app", "main")
+	p.MustAddUnit("u", Executable)
+	p.MustAddFunc(&Function{Name: "main", Unit: "u", Ops: []Op{VCall("Base::solve", 1)}})
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "no implementations") {
+		t.Fatalf("expected virtual error, got %v", err)
+	}
+	p.MustAddFunc(&Function{Name: "Derived::solve", Unit: "u", Virtual: true})
+	p.RegisterVirtual("Base::solve", "Derived::solve")
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate after registering impl: %v", err)
+	}
+	// A registered implementation that does not exist must be caught.
+	p.RegisterVirtual("Base::solve", "Phantom::solve")
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "Phantom") {
+		t.Fatalf("expected phantom impl error, got %v", err)
+	}
+}
+
+func TestValidatePointerSlot(t *testing.T) {
+	p := New("app", "main")
+	p.MustAddUnit("u", Executable)
+	p.MustAddFunc(&Function{Name: "main", Unit: "u", Ops: []Op{PtrCall("factory", 1)}})
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "no targets") {
+		t.Fatalf("expected pointer slot error, got %v", err)
+	}
+	p.MustAddFunc(&Function{Name: "makeSolver", Unit: "u"})
+	p.RegisterPointerTarget("factory", "makeSolver", true)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate after registering target: %v", err)
+	}
+	if !p.StaticPointerSlots["factory"] {
+		t.Fatal("factory slot should be statically resolvable")
+	}
+}
+
+func TestValidateMPIRequiresDeclaredFunction(t *testing.T) {
+	p := New("app", "main")
+	p.MustAddUnit("u", Executable)
+	p.MustAddFunc(&Function{Name: "main", Unit: "u", Ops: []Op{MPICall("MPI_Barrier", 0)}})
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "MPI_Barrier") {
+		t.Fatalf("expected undeclared MPI error, got %v", err)
+	}
+}
+
+func TestStaticInits(t *testing.T) {
+	p := New("app", "main")
+	p.MustAddUnit("lib.so", SharedObject)
+	p.MustAddFunc(&Function{Name: "init1", Unit: "lib.so", StaticInit: true, Visibility: Hidden})
+	p.MustAddFunc(&Function{Name: "work", Unit: "lib.so"})
+	p.MustAddFunc(&Function{Name: "init2", Unit: "lib.so", StaticInit: true, Visibility: Hidden})
+	got := p.StaticInits("lib.so")
+	if len(got) != 2 || got[0] != "init1" || got[1] != "init2" {
+		t.Fatalf("StaticInits = %v", got)
+	}
+	if p.StaticInits("missing") != nil {
+		t.Fatal("StaticInits of unknown unit should be nil")
+	}
+}
+
+func TestDisplayFallback(t *testing.T) {
+	f := &Function{Name: "_Z4Amulv"}
+	if f.Display() != "_Z4Amulv" {
+		t.Fatalf("Display fallback = %q", f.Display())
+	}
+	f.DisplayName = "Amul()"
+	if f.Display() != "Amul()" {
+		t.Fatalf("Display = %q", f.Display())
+	}
+}
+
+func TestDirectCallees(t *testing.T) {
+	f := &Function{Ops: []Op{
+		Call("a", 1), VCall("v", 1), PtrCall("p", 1), Call("b", 3), Work(5),
+	}}
+	got := f.DirectCallees()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("DirectCallees = %v", got)
+	}
+}
+
+func TestTranslationUnits(t *testing.T) {
+	p := buildValid(t)
+	tus := p.TranslationUnits()
+	if len(tus) != 3 { // "", foo.cc, main.cc
+		t.Fatalf("TranslationUnits = %v", tus)
+	}
+	if fns := p.FunctionsInTU("foo.cc"); len(fns) != 1 || fns[0] != "compute" {
+		t.Fatalf("FunctionsInTU(foo.cc) = %v", fns)
+	}
+}
+
+func TestTotalStatements(t *testing.T) {
+	p := buildValid(t)
+	if got := p.TotalStatements(); got != 40 {
+		t.Fatalf("TotalStatements = %d, want 40", got)
+	}
+}
+
+func TestOpConstructors(t *testing.T) {
+	if op := Work(7); op.Kind != OpWork || op.Work != 7 {
+		t.Fatalf("Work: %+v", op)
+	}
+	if op := Call("f", 3); op.Kind != OpCall || op.Callee != "f" || op.Count != 3 || op.Virtual || op.ViaPointer {
+		t.Fatalf("Call: %+v", op)
+	}
+	if op := VCall("b", 2); !op.Virtual || op.ViaPointer {
+		t.Fatalf("VCall: %+v", op)
+	}
+	if op := PtrCall("s", 2); !op.ViaPointer || op.Virtual {
+		t.Fatalf("PtrCall: %+v", op)
+	}
+	if op := MPICall("MPI_Send", 64); op.Kind != OpMPI || op.MPI != "MPI_Send" || op.Bytes != 64 {
+		t.Fatalf("MPICall: %+v", op)
+	}
+}
+
+func TestUnitKindString(t *testing.T) {
+	cases := map[UnitKind]string{
+		Executable:    "executable",
+		SharedObject:  "shared-object",
+		SystemLibrary: "system-library",
+		UnitKind(9):   "UnitKind(9)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Fatalf("UnitKind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}

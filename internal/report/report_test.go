@@ -1,0 +1,60 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := New("Table I", "variant", "time", "#selected").AlignRight(1, 2)
+	tab.AddRow("mpi", "1.4s", "19")
+	tab.AddRow("kernels coarse", "1.4s", "10")
+	out := tab.String()
+	if !strings.Contains(out, "Table I") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Right alignment: the numbers end at the same column.
+	if !strings.HasSuffix(lines[3], "19") || !strings.HasSuffix(lines[4], "10") {
+		t.Fatalf("alignment wrong:\n%s", out)
+	}
+	if strings.Index(lines[3], "19") != strings.Index(lines[4], "10") {
+		t.Fatalf("right-aligned columns differ:\n%s", out)
+	}
+}
+
+func TestAddRowfFormats(t *testing.T) {
+	tab := New("", "a", "b", "c", "d")
+	tab.AddRowf("s", 3.14159, 42, int64(7))
+	if got := tab.Rows[0]; got[0] != "s" || got[1] != "3.14" || got[2] != "42" || got[3] != "7" {
+		t.Fatalf("row = %v", got)
+	}
+}
+
+func TestShortRowsPadded(t *testing.T) {
+	tab := New("", "a", "b", "c")
+	tab.AddRow("only")
+	if len(tab.Rows[0]) != 3 {
+		t.Fatalf("row = %v", tab.Rows[0])
+	}
+	// Must not panic when rendering.
+	_ = tab.String()
+}
+
+func TestCSV(t *testing.T) {
+	tab := New("t", "x", "y")
+	tab.AddRow("1", "2")
+	tab.AddRow("a,b", "c")
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "x,y\n1,2\n\"a,b\",c\n"
+	if buf.String() != want {
+		t.Fatalf("csv = %q, want %q", buf.String(), want)
+	}
+}

@@ -1,0 +1,140 @@
+package scorep
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Filter is a Score-P region filter: an ordered list of EXCLUDE/INCLUDE
+// rules with shell-style '*' wildcards. The last matching rule wins; names
+// matching no rule are included.
+type Filter struct {
+	rules []filterRule
+}
+
+type filterRule struct {
+	exclude bool
+	pattern string
+}
+
+// NewFilter returns an empty (all-inclusive) filter.
+func NewFilter() *Filter { return &Filter{} }
+
+// Exclude appends an EXCLUDE rule.
+func (f *Filter) Exclude(pattern string) *Filter {
+	f.rules = append(f.rules, filterRule{exclude: true, pattern: pattern})
+	return f
+}
+
+// Include appends an INCLUDE rule.
+func (f *Filter) Include(pattern string) *Filter {
+	f.rules = append(f.rules, filterRule{exclude: false, pattern: pattern})
+	return f
+}
+
+// Len returns the number of rules.
+func (f *Filter) Len() int { return len(f.rules) }
+
+// Excluded reports whether the region name is filtered out.
+func (f *Filter) Excluded(name string) bool {
+	excluded := false
+	for _, r := range f.rules {
+		if matchPattern(r.pattern, name) {
+			excluded = r.exclude
+		}
+	}
+	return excluded
+}
+
+// matchPattern matches a name against a pattern with '*' wildcards.
+func matchPattern(pattern, name string) bool {
+	if pattern == "*" {
+		return true
+	}
+	parts := strings.Split(pattern, "*")
+	if len(parts) == 1 {
+		return pattern == name
+	}
+	if !strings.HasPrefix(name, parts[0]) {
+		return false
+	}
+	name = name[len(parts[0]):]
+	for i := 1; i < len(parts)-1; i++ {
+		idx := strings.Index(name, parts[i])
+		if idx < 0 {
+			return false
+		}
+		name = name[idx+len(parts[i]):]
+	}
+	return strings.HasSuffix(name, parts[len(parts)-1])
+}
+
+// WriteTo serializes the filter in the Score-P filter-file syntax.
+func (f *Filter) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	n, err := fmt.Fprintln(w, "SCOREP_REGION_NAMES_BEGIN")
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	for _, r := range f.rules {
+		verb := "INCLUDE"
+		if r.exclude {
+			verb = "EXCLUDE"
+		}
+		n, err := fmt.Fprintf(w, "  %s %s\n", verb, r.pattern)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	n, err = fmt.Fprintln(w, "SCOREP_REGION_NAMES_END")
+	total += int64(n)
+	return total, err
+}
+
+// ParseFilter reads a filter in the Score-P filter-file syntax.
+func ParseFilter(r io.Reader) (*Filter, error) {
+	f := NewFilter()
+	sc := bufio.NewScanner(r)
+	inBlock := false
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		switch {
+		case text == "" || strings.HasPrefix(text, "#"):
+		case text == "SCOREP_REGION_NAMES_BEGIN":
+			inBlock = true
+		case text == "SCOREP_REGION_NAMES_END":
+			inBlock = false
+		default:
+			if !inBlock {
+				return nil, fmt.Errorf("scorep: filter line %d outside block: %q", line, text)
+			}
+			fields := strings.Fields(text)
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("scorep: filter line %d malformed: %q", line, text)
+			}
+			// Tolerate the MANGLED keyword of Score-P filter files.
+			pattern := fields[len(fields)-1]
+			switch fields[0] {
+			case "EXCLUDE":
+				f.Exclude(pattern)
+			case "INCLUDE":
+				f.Include(pattern)
+			default:
+				return nil, fmt.Errorf("scorep: filter line %d unknown verb %q", line, fields[0])
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if inBlock {
+		return nil, fmt.Errorf("scorep: filter missing SCOREP_REGION_NAMES_END")
+	}
+	return f, nil
+}

@@ -1,0 +1,335 @@
+// Package scorep reimplements the slice of Score-P the paper's system
+// interacts with (§III-B, §V-C1): a call-path profiling runtime with
+// per-rank call trees, region handles, runtime filtering, an
+// -finstrument-functions-style address interface whose resolution needs the
+// executable's symbol table (and symbol *injection* for DSO addresses), a
+// scorep-score-like filter generator, and profile export usable for
+// MetaCG's profile validation.
+package scorep
+
+import (
+	"fmt"
+	"sync"
+
+	"capi/internal/vtime"
+)
+
+// ThreadCtx is the minimal execution context the measurement needs. It is
+// structurally identical to xray.ThreadCtx so the same rank objects satisfy
+// both without coupling the packages.
+type ThreadCtx interface {
+	RankID() int
+	Clock() *vtime.Clock
+}
+
+// CostModel holds the virtual-time costs of the measurement runtime.
+type CostModel struct {
+	// EnterCost/ExitCost are charged per recorded event: timestamping,
+	// call-tree descent and metric accumulation. Score-P's per-event cost
+	// is noticeably higher than TALP's region lookup — the reason its
+	// full-instrumentation overhead exceeds TALP's in Table II.
+	EnterCost int64
+	ExitCost  int64
+	// ResolveCost is the address-to-region lookup of the generic
+	// -finstrument-functions interface, charged per event.
+	ResolveCost int64
+	// FilterCheckCost is charged per event when runtime filtering is
+	// active — "the overhead of invoking the probe and cross-checking the
+	// filter list is retained" (§II-B).
+	FilterCheckCost int64
+	// TreePressureCost is charged per event per call-tree node of the
+	// rank's profile: as the calling-context tree grows (full
+	// instrumentation of a large application), every event pays more for
+	// child lookup, metric storage and cache pressure. This is the term
+	// that makes Score-P's *full* overhead exceed TALP's while its
+	// filtered ICs stay cheaper (Table II's crossover).
+	TreePressureCost int64
+	// InitBase and InitPerSymbol model measurement initialization: the
+	// runtime builds a map of all function names and addresses (§V-C1).
+	InitBase      int64
+	InitPerSymbol int64
+}
+
+// DefaultCostModel returns per-event costs calibrated for Table II's shape
+// (see DESIGN.md): a Score-P enter/exit pair costs ≈2× a TALP start/stop
+// pair, which is what makes Score-P the slower backend under full
+// instrumentation, and the symbol-map construction makes its T_init larger.
+// Costs are inflated by the simulator's call-compression factor (one
+// simulated call stands in for roughly a thousand real invocations, see
+// workload.scaleWork), which keeps Table II's ratios while executing far
+// fewer simulated calls than the real applications perform.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		EnterCost:        372 * vtime.Microsecond,
+		ExitCost:         372 * vtime.Microsecond,
+		ResolveCost:      100 * vtime.Microsecond,
+		FilterCheckCost:  60 * vtime.Microsecond,
+		TreePressureCost: 2100 * vtime.Nanosecond,
+		InitBase:         1850 * vtime.Millisecond,
+		InitPerSymbol:    7 * vtime.Microsecond,
+	}
+}
+
+// Options configures a measurement.
+type Options struct {
+	Ranks int
+	Costs CostModel
+	// RuntimeFilter keeps probes active but discards events for excluded
+	// regions after a (charged) filter check.
+	RuntimeFilter *Filter
+	// TraceCapacity, when positive, keeps a bounded in-memory event trace
+	// per rank (Score-P's tracing mode, bounded like its trace buffers).
+	TraceCapacity int
+}
+
+// TraceEvent is one entry of the bounded event trace.
+type TraceEvent struct {
+	Time   int64
+	Region string
+	Enter  bool
+}
+
+// cnode is a call-tree node of one rank's profile.
+type cnode struct {
+	region    int
+	parent    int
+	children  map[int]int // region -> node index
+	visits    int64
+	inclusive int64
+	enterTime int64 // valid while on stack
+}
+
+type rankState struct {
+	nodes    []cnode
+	stack    []int
+	rootKids map[int]int
+	edges    map[[2]int]struct{}
+
+	unknownEvents  int64
+	filteredEvents int64
+	trace          []TraceEvent
+	traceDropped   int64
+}
+
+// Measurement is one Score-P measurement run.
+type Measurement struct {
+	opts Options
+
+	mu        sync.RWMutex
+	regionIdx map[string]int
+	regions   []string
+
+	ranks []*rankState
+
+	unknownRegion int
+}
+
+// New creates a measurement for the given number of ranks.
+func New(opts Options) (*Measurement, error) {
+	if opts.Ranks < 1 {
+		return nil, fmt.Errorf("scorep: ranks %d < 1", opts.Ranks)
+	}
+	if opts.Costs == (CostModel{}) {
+		opts.Costs = DefaultCostModel()
+	}
+	m := &Measurement{
+		opts:      opts,
+		regionIdx: map[string]int{},
+	}
+	for i := 0; i < opts.Ranks; i++ {
+		m.ranks = append(m.ranks, &rankState{
+			rootKids: map[int]int{},
+			edges:    map[[2]int]struct{}{},
+		})
+	}
+	m.unknownRegion = m.RegionHandle("UNKNOWN")
+	return m, nil
+}
+
+// Costs returns the active cost model.
+func (m *Measurement) Costs() CostModel { return m.opts.Costs }
+
+// InitCost returns the virtual init cost for a symbol map of the given
+// size; callers (DynCaPI) charge it to the process start-up time.
+func (m *Measurement) InitCost(symbols int) int64 {
+	return m.opts.Costs.InitBase + int64(symbols)*m.opts.Costs.InitPerSymbol
+}
+
+// RegionHandle registers (or finds) a region by name and returns its
+// handle. Handles are process-global and stable.
+func (m *Measurement) RegionHandle(name string) int {
+	m.mu.RLock()
+	id, ok := m.regionIdx[name]
+	m.mu.RUnlock()
+	if ok {
+		return id
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if id, ok := m.regionIdx[name]; ok {
+		return id
+	}
+	id = len(m.regions)
+	m.regions = append(m.regions, name)
+	m.regionIdx[name] = id
+	return id
+}
+
+// RegionName returns the name of a region handle.
+func (m *Measurement) RegionName(id int) string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if id < 0 || id >= len(m.regions) {
+		return fmt.Sprintf("region#%d", id)
+	}
+	return m.regions[id]
+}
+
+func (m *Measurement) rank(tc ThreadCtx) *rankState { return m.ranks[tc.RankID()] }
+
+// filtered applies the runtime filter, charging the check cost.
+func (m *Measurement) filtered(tc ThreadCtx, name string) bool {
+	if m.opts.RuntimeFilter == nil {
+		return false
+	}
+	tc.Clock().Advance(m.opts.Costs.FilterCheckCost)
+	if m.opts.RuntimeFilter.Excluded(name) {
+		m.rank(tc).filteredEvents++
+		return true
+	}
+	return false
+}
+
+// pressure returns the call-tree-pressure cost of one event on this rank.
+func (m *Measurement) pressure(rs *rankState) int64 {
+	return m.opts.Costs.TreePressureCost * int64(len(rs.nodes))
+}
+
+// EnterID records a region entry by handle.
+func (m *Measurement) EnterID(tc ThreadCtx, region int) {
+	c := tc.Clock()
+	rs := m.rank(tc)
+	c.Advance(m.opts.Costs.EnterCost + m.pressure(rs))
+	m.push(rs, region, c.Now())
+	if rs.trace != nil || m.opts.TraceCapacity > 0 {
+		m.traceEvent(rs, c.Now(), region, true)
+	}
+}
+
+// ExitID records a region exit by handle. The exit timestamp is taken
+// before the probe's own cost is charged, so measurement overhead does not
+// inflate the region's time. Mismatched or spurious exits pop the current
+// call-path node (Score-P behaviour: trust the instrumentation).
+func (m *Measurement) ExitID(tc ThreadCtx, region int) {
+	c := tc.Clock()
+	rs := m.rank(tc)
+	m.pop(rs, c.Now())
+	c.Advance(m.opts.Costs.ExitCost + m.pressure(rs))
+	if rs.trace != nil || m.opts.TraceCapacity > 0 {
+		m.traceEvent(rs, c.Now(), region, false)
+	}
+}
+
+// CallTreeSize returns the number of calling-context-tree nodes recorded on
+// one rank (the quantity driving TreePressureCost).
+func (m *Measurement) CallTreeSize(rank int) int { return len(m.ranks[rank].nodes) }
+
+// Enter records a region entry by name, applying the runtime filter.
+func (m *Measurement) Enter(tc ThreadCtx, name string) {
+	if m.filtered(tc, name) {
+		return
+	}
+	m.EnterID(tc, m.RegionHandle(name))
+}
+
+// Exit records a region exit by name, applying the runtime filter.
+func (m *Measurement) Exit(tc ThreadCtx, name string) {
+	if m.filtered(tc, name) {
+		return
+	}
+	m.ExitID(tc, m.RegionHandle(name))
+}
+
+// CygEnter is the -finstrument-functions entry hook: it receives only the
+// function address and resolves it through the resolver. Unresolvable
+// addresses (DSO functions without symbol injection) land in the UNKNOWN
+// region (§V-C1).
+func (m *Measurement) CygEnter(tc ThreadCtx, r *Resolver, addr uint64) {
+	tc.Clock().Advance(m.opts.Costs.ResolveCost)
+	name, ok := r.Resolve(addr)
+	if !ok {
+		m.rank(tc).unknownEvents++
+		m.EnterID(tc, m.unknownRegion)
+		return
+	}
+	m.Enter(tc, name)
+}
+
+// CygExit is the -finstrument-functions exit hook.
+func (m *Measurement) CygExit(tc ThreadCtx, r *Resolver, addr uint64) {
+	tc.Clock().Advance(m.opts.Costs.ResolveCost)
+	name, ok := r.Resolve(addr)
+	if !ok {
+		m.rank(tc).unknownEvents++
+		m.ExitID(tc, m.unknownRegion)
+		return
+	}
+	m.Exit(tc, name)
+}
+
+func (m *Measurement) push(rs *rankState, region int, now int64) {
+	var parent, parentRegion int
+	kids := rs.rootKids
+	parent = -1
+	parentRegion = -1
+	if len(rs.stack) > 0 {
+		parent = rs.stack[len(rs.stack)-1]
+		kids = rs.nodes[parent].children
+		parentRegion = rs.nodes[parent].region
+	}
+	idx, ok := kids[region]
+	if !ok {
+		idx = len(rs.nodes)
+		rs.nodes = append(rs.nodes, cnode{
+			region:   region,
+			parent:   parent,
+			children: map[int]int{},
+		})
+		kids[region] = idx
+	}
+	n := &rs.nodes[idx]
+	n.visits++
+	n.enterTime = now
+	rs.stack = append(rs.stack, idx)
+	if parentRegion >= 0 {
+		rs.edges[[2]int{parentRegion, region}] = struct{}{}
+	}
+}
+
+func (m *Measurement) pop(rs *rankState, now int64) {
+	if len(rs.stack) == 0 {
+		return // spurious exit
+	}
+	idx := rs.stack[len(rs.stack)-1]
+	rs.stack = rs.stack[:len(rs.stack)-1]
+	n := &rs.nodes[idx]
+	n.inclusive += now - n.enterTime
+}
+
+func (m *Measurement) traceEvent(rs *rankState, now int64, region int, enter bool) {
+	if m.opts.TraceCapacity <= 0 {
+		return
+	}
+	if len(rs.trace) >= m.opts.TraceCapacity {
+		rs.traceDropped++
+		return
+	}
+	rs.trace = append(rs.trace, TraceEvent{Time: now, Region: m.RegionName(region), Enter: enter})
+}
+
+// Trace returns the recorded event trace of one rank and the number of
+// dropped events.
+func (m *Measurement) Trace(rank int) ([]TraceEvent, int64) {
+	rs := m.ranks[rank]
+	return rs.trace, rs.traceDropped
+}

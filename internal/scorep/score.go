@@ -1,0 +1,77 @@
+package scorep
+
+import "sort"
+
+// This file implements the scorep-score-style filter generation the paper
+// describes in §II-B: using a previous profiling run to find functions
+// suspected to contribute most of the measurement overhead — small,
+// frequently called functions — and emitting a filter that excludes them.
+
+// ScoreOptions tunes filter generation.
+type ScoreOptions struct {
+	// MaxAvgExclusivePerVisit: regions whose average exclusive time per
+	// visit is below this are overhead-dominated candidates.
+	MaxAvgExclusivePerVisit int64
+	// MinVisits: only frequently called regions are worth excluding.
+	MinVisits int64
+	// Keep lists region names never to exclude (e.g. main).
+	Keep []string
+}
+
+// DefaultScoreOptions mirror scorep-score's spirit: exclude small regions
+// visited very often. The per-visit threshold tracks the workload
+// generators' call-compression scaling (workload.scaleWork): one simulated
+// visit stands in for many real calls, so "small" means sub-millisecond in
+// simulated time.
+func DefaultScoreOptions() ScoreOptions {
+	return ScoreOptions{
+		MaxAvgExclusivePerVisit: 800 * 1000, // 0.8 ms
+		MinVisits:               500,
+	}
+}
+
+// Suggestion is the outcome of a scorep-score run.
+type Suggestion struct {
+	// Exclude lists the regions recommended for filtering, most costly
+	// (by estimated overhead share) first.
+	Exclude []string
+	// EventsRemoved estimates how many enter/exit event pairs the filter
+	// eliminates.
+	EventsRemoved int64
+}
+
+// SuggestFilter analyses a profile and returns an exclusion recommendation
+// plus a ready-to-use runtime filter.
+func SuggestFilter(p *Profile, opts ScoreOptions) (*Suggestion, *Filter) {
+	keep := map[string]bool{"UNKNOWN": true}
+	for _, k := range opts.Keep {
+		keep[k] = true
+	}
+	type cand struct {
+		name   string
+		visits int64
+	}
+	var cands []cand
+	for _, r := range p.Regions {
+		if keep[r.Name] || r.Visits < opts.MinVisits || r.Visits == 0 {
+			continue
+		}
+		if r.Exclusive/r.Visits <= opts.MaxAvgExclusivePerVisit {
+			cands = append(cands, cand{name: r.Name, visits: r.Visits})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].visits != cands[j].visits {
+			return cands[i].visits > cands[j].visits
+		}
+		return cands[i].name < cands[j].name
+	})
+	s := &Suggestion{}
+	f := NewFilter()
+	for _, c := range cands {
+		s.Exclude = append(s.Exclude, c.name)
+		s.EventsRemoved += c.visits
+		f.Exclude(c.name)
+	}
+	return s, f
+}

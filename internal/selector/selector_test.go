@@ -1,0 +1,270 @@
+package selector
+
+import (
+	"strings"
+	"testing"
+
+	"capi/internal/callgraph"
+)
+
+// testGraph builds:
+//
+//	main -> driver -> kernel (flops 20, loop 2)
+//	main -> util   (inline, 2 stmts)
+//	main -> MPI_Send (system header)
+//	driver -> MPI_Send
+//	kernel -> helper (system header, inline)
+func testGraph() *callgraph.Graph {
+	g := callgraph.New("t")
+	g.Main = "main"
+	g.AddNode("main", callgraph.Meta{Statements: 10, Unit: "exe", TU: "main.cc"})
+	g.AddNode("driver", callgraph.Meta{Statements: 6, Unit: "exe", TU: "drv.cc"})
+	g.AddNode("kernel", callgraph.Meta{Statements: 40, Flops: 20, LoopDepth: 2, Cyclomatic: 5, LOC: 60, Unit: "libk.so", TU: "k.cc"})
+	g.AddNode("util", callgraph.Meta{Statements: 2, Inline: true, Unit: "exe", TU: "u.h"})
+	g.AddNode("MPI_Send", callgraph.Meta{SystemHeader: true, Unit: "libmpi.so"})
+	g.AddNode("helper", callgraph.Meta{SystemHeader: true, Inline: true, Unit: "libk.so"})
+	g.AddEdge("main", "driver")
+	g.AddEdge("driver", "kernel")
+	g.AddEdge("main", "util")
+	g.AddEdge("main", "MPI_Send")
+	g.AddEdge("driver", "MPI_Send")
+	g.AddEdge("kernel", "helper")
+	return g
+}
+
+func eval(t *testing.T, name string, args ...Value) *callgraph.Set {
+	t.Helper()
+	g := testGraph()
+	// If the caller passed sets, they are bound to their own graph; for
+	// convenience the helper only supports string/number prefixes plus a
+	// trailing universe set.
+	ctx := &Context{Graph: g}
+	def := NewRegistry().Lookup(name)
+	if def == nil {
+		t.Fatalf("selector %q not registered", name)
+	}
+	vals := make([]Value, 0, len(args)+1)
+	vals = append(vals, args...)
+	vals = append(vals, g.UniverseSet())
+	out, err := def.Eval(ctx, vals)
+	if err != nil {
+		t.Fatalf("eval %s: %v", name, err)
+	}
+	return out
+}
+
+func wantMembers(t *testing.T, s *callgraph.Set, want ...string) {
+	t.Helper()
+	if s.Count() != len(want) {
+		t.Fatalf("got %v, want %v", s.Names(), want)
+	}
+	for _, n := range want {
+		if !s.HasName(n) {
+			t.Fatalf("got %v, missing %s", s.Names(), n)
+		}
+	}
+}
+
+func TestRegistryNamesAndDocs(t *testing.T) {
+	r := NewRegistry()
+	names := r.Names()
+	if len(names) < 15 {
+		t.Fatalf("only %d selectors registered: %v", len(names), names)
+	}
+	for _, n := range names {
+		if r.Lookup(n).Doc == "" {
+			t.Errorf("selector %s has no doc", n)
+		}
+	}
+	if r.Lookup("nope") != nil {
+		t.Fatal("Lookup of unknown selector should be nil")
+	}
+}
+
+func TestRegisterDuplicate(t *testing.T) {
+	r := NewRegistry()
+	err := r.Register(&Def{Name: "join"})
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInSystemHeader(t *testing.T) {
+	wantMembers(t, eval(t, "inSystemHeader"), "MPI_Send", "helper")
+}
+
+func TestInlineSpecified(t *testing.T) {
+	wantMembers(t, eval(t, "inlineSpecified"), "util", "helper")
+}
+
+func TestMetricSelectors(t *testing.T) {
+	wantMembers(t, eval(t, "flops", ">=", 10.0), "kernel")
+	wantMembers(t, eval(t, "loopDepth", ">=", 1.0), "kernel")
+	wantMembers(t, eval(t, "statements", ">", 6.0), "main", "kernel")
+	wantMembers(t, eval(t, "loc", "==", 60.0), "kernel")
+	wantMembers(t, eval(t, "cyclomatic", "!=", 0.0), "kernel")
+	wantMembers(t, eval(t, "statements", "<", 3.0), "util", "MPI_Send", "helper")
+	wantMembers(t, eval(t, "statements", "<=", 2.0), "util", "MPI_Send", "helper")
+}
+
+func TestCompareBadOperator(t *testing.T) {
+	g := testGraph()
+	def := NewRegistry().Lookup("flops")
+	_, err := def.Eval(&Context{Graph: g}, []Value{"~~", 1.0, g.UniverseSet()})
+	if err == nil || !strings.Contains(err.Error(), "comparison") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestByName(t *testing.T) {
+	wantMembers(t, eval(t, "byName", "^MPI_"), "MPI_Send")
+	wantMembers(t, eval(t, "byName", "ker"), "kernel")
+}
+
+func TestByNameBadPattern(t *testing.T) {
+	g := testGraph()
+	def := NewRegistry().Lookup("byName")
+	_, err := def.Eval(&Context{Graph: g}, []Value{"(", g.UniverseSet()})
+	if err == nil {
+		t.Fatal("expected regexp error")
+	}
+}
+
+func TestByUnitAndByTU(t *testing.T) {
+	wantMembers(t, eval(t, "byUnit", "libk.so"), "kernel", "helper")
+	wantMembers(t, eval(t, "byTU", `\.cc$`), "main", "driver", "kernel")
+}
+
+func TestJoinSubtractIntersect(t *testing.T) {
+	g := testGraph()
+	ctx := &Context{Graph: g}
+	r := NewRegistry()
+	a := g.SetOf("main", "driver")
+	b := g.SetOf("driver", "kernel")
+
+	out, err := r.Lookup("join").Eval(ctx, []Value{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMembers(t, out, "main", "driver", "kernel")
+
+	out, err = r.Lookup("subtract").Eval(ctx, []Value{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMembers(t, out, "main")
+
+	out, err = r.Lookup("intersect").Eval(ctx, []Value{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMembers(t, out, "driver")
+}
+
+func TestJoinNoArgs(t *testing.T) {
+	g := testGraph()
+	if _, err := NewRegistry().Lookup("join").Eval(&Context{Graph: g}, nil); err == nil {
+		t.Fatal("join() should error")
+	}
+	if _, err := NewRegistry().Lookup("intersect").Eval(&Context{Graph: g}, nil); err == nil {
+		t.Fatal("intersect() should error")
+	}
+}
+
+func TestCallPathTo(t *testing.T) {
+	g := testGraph()
+	ctx := &Context{Graph: g}
+	targets := g.SetOf("MPI_Send")
+	out, err := NewRegistry().Lookup("callPathTo").Eval(ctx, []Value{targets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMembers(t, out, "main", "driver", "MPI_Send")
+}
+
+func TestCallPathToNoMain(t *testing.T) {
+	g := testGraph()
+	g.Main = ""
+	_, err := NewRegistry().Lookup("callPathTo").Eval(&Context{Graph: g}, []Value{g.SetOf("kernel")})
+	if err == nil {
+		t.Fatal("expected error without entry point")
+	}
+}
+
+func TestCallPathFrom(t *testing.T) {
+	g := testGraph()
+	out, err := NewRegistry().Lookup("callPathFrom").Eval(&Context{Graph: g}, []Value{g.SetOf("driver")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMembers(t, out, "driver", "kernel", "MPI_Send", "helper")
+}
+
+func TestCallersCallees(t *testing.T) {
+	g := testGraph()
+	ctx := &Context{Graph: g}
+	r := NewRegistry()
+	out, err := r.Lookup("callers").Eval(ctx, []Value{g.SetOf("MPI_Send")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMembers(t, out, "main", "driver")
+
+	out, err = r.Lookup("callees").Eval(ctx, []Value{g.SetOf("main")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMembers(t, out, "driver", "util", "MPI_Send")
+}
+
+func TestCoarseSelector(t *testing.T) {
+	g := testGraph()
+	ctx := &Context{Graph: g}
+	in := g.SetOf("driver", "kernel")
+	// kernel's only caller is driver -> pruned without a critical set.
+	out, err := NewRegistry().Lookup("coarse").Eval(ctx, []Value{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMembers(t, out, "driver")
+	// With kernel marked critical it stays.
+	out, err = NewRegistry().Lookup("coarse").Eval(ctx, []Value{in, g.SetOf("kernel")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMembers(t, out, "driver", "kernel")
+}
+
+func TestStatementAggregation(t *testing.T) {
+	g := testGraph()
+	ctx := &Context{Graph: g}
+	// Aggregates from main(10): driver 16, kernel 56, util 12.
+	out, err := NewRegistry().Lookup("statementAggregation").Eval(ctx, []Value{50.0, g.UniverseSet()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMembers(t, out, "kernel", "helper") // helper: 56+0 via kernel
+}
+
+func TestArgumentTypeErrors(t *testing.T) {
+	g := testGraph()
+	ctx := &Context{Graph: g}
+	r := NewRegistry()
+	cases := []struct {
+		sel  string
+		args []Value
+	}{
+		{"subtract", []Value{g.UniverseSet()}},             // missing 2nd set
+		{"subtract", []Value{"x", g.UniverseSet()}},        // wrong type
+		{"flops", []Value{1.0, 1.0, g.UniverseSet()}},      // cmp not string
+		{"flops", []Value{">=", "x", g.UniverseSet()}},     // n not number
+		{"flops", []Value{">=", 1.0}},                      // missing set
+		{"byName", []Value{g.UniverseSet(), "x"}},          // swapped args
+		{"statementAggregation", []Value{g.UniverseSet()}}, // missing threshold
+	}
+	for _, c := range cases {
+		if _, err := r.Lookup(c.sel).Eval(ctx, c.args); err == nil {
+			t.Errorf("%s(%v) should fail", c.sel, c.args)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package spec
+
+// File is a parsed specification.
+type File struct {
+	Stmts []Stmt
+}
+
+// Entry returns the pipeline entry expression: the expression of the last
+// non-import statement (named or anonymous). It returns nil for an empty
+// file.
+func (f *File) Entry() Expr {
+	for i := len(f.Stmts) - 1; i >= 0; i-- {
+		switch s := f.Stmts[i].(type) {
+		case *AssignStmt:
+			return &RefExpr{Name: s.Name, RefPos: s.NamePos}
+		case *ExprStmt:
+			return s.X
+		}
+	}
+	return nil
+}
+
+// Stmt is a top-level statement.
+type Stmt interface {
+	Pos() Pos
+	stmt()
+}
+
+// ImportStmt is `!import("path")`.
+type ImportStmt struct {
+	Path    string
+	BangPos Pos
+}
+
+func (s *ImportStmt) Pos() Pos { return s.BangPos }
+func (s *ImportStmt) stmt()    {}
+
+// AssignStmt is `name = expr`.
+type AssignStmt struct {
+	Name    string
+	NamePos Pos
+	X       Expr
+}
+
+func (s *AssignStmt) Pos() Pos { return s.NamePos }
+func (s *AssignStmt) stmt()    {}
+
+// ExprStmt is a bare (anonymous) expression statement.
+type ExprStmt struct {
+	X Expr
+}
+
+func (s *ExprStmt) Pos() Pos { return s.X.Pos() }
+func (s *ExprStmt) stmt()    {}
+
+// Expr is a selector expression.
+type Expr interface {
+	Pos() Pos
+	expr()
+}
+
+// CallExpr is `selectorType(arg, ...)`.
+type CallExpr struct {
+	Fn    string
+	FnPos Pos
+	Args  []Expr
+}
+
+func (e *CallExpr) Pos() Pos { return e.FnPos }
+func (e *CallExpr) expr()    {}
+
+// RefExpr is `%name`.
+type RefExpr struct {
+	Name   string
+	RefPos Pos
+}
+
+func (e *RefExpr) Pos() Pos { return e.RefPos }
+func (e *RefExpr) expr()    {}
+
+// AllExpr is `%%`, the set of all functions.
+type AllExpr struct {
+	AllPos Pos
+}
+
+func (e *AllExpr) Pos() Pos { return e.AllPos }
+func (e *AllExpr) expr()    {}
+
+// StringLit is a quoted string argument (also used for comparison operators
+// such as ">=").
+type StringLit struct {
+	Val    string
+	LitPos Pos
+}
+
+func (e *StringLit) Pos() Pos { return e.LitPos }
+func (e *StringLit) expr()    {}
+
+// NumberLit is a numeric argument.
+type NumberLit struct {
+	Val    float64
+	LitPos Pos
+}
+
+func (e *NumberLit) Pos() Pos { return e.LitPos }
+func (e *NumberLit) expr()    {}

@@ -1,0 +1,247 @@
+// Package spec implements the CaPI selection-specification DSL (§III-A of
+// the paper, Listing 1). A specification is a sequence of statements:
+//
+//	!import("mpi.capi")
+//	excluded = join(inSystemHeader(%%), inlineSpecified(%%))
+//	kernels  = flops(">=", 10, loopDepth(">=", 1, %%))
+//	join(subtract(%kernels, %excluded), %mpi_comm)
+//
+// Selector instances may be named (assignments) or anonymous; `%name`
+// references a previous instance, `%%` is the set of all functions, and the
+// last expression in the file is the pipeline entry point. Lines starting
+// with '#' are comments.
+package spec
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Pos is a 1-based source position.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString
+	tokNumber
+	tokPercent // %
+	tokAll     // %%
+	tokAssign  // =
+	tokLParen  // (
+	tokRParen  // )
+	tokComma   // ,
+	tokBang    // !
+	tokNewline // statement separator
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of file"
+	case tokIdent:
+		return "identifier"
+	case tokString:
+		return "string"
+	case tokNumber:
+		return "number"
+	case tokPercent:
+		return "'%'"
+	case tokAll:
+		return "'%%'"
+	case tokAssign:
+		return "'='"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokBang:
+		return "'!'"
+	case tokNewline:
+		return "newline"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  Pos
+}
+
+// lexer produces tokens from a specification source. Newlines are
+// significant (they terminate statements) but only emitted between tokens,
+// never repeatedly, and never inside parentheses — argument lists may span
+// lines, as in the paper's Listing 1.
+type lexer struct {
+	src   string
+	off   int
+	line  int
+	col   int
+	depth int // parenthesis nesting
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) errorf(pos Pos, format string, args ...any) error {
+	return fmt.Errorf("spec:%s: %s", pos, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peekByte() (byte, bool) {
+	if l.off >= len(l.src) {
+		return 0, false
+	}
+	return l.src[l.off], true
+}
+
+func (l *lexer) advance() byte {
+	b := l.src[l.off]
+	l.off++
+	if b == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return b
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	sawNewline := false
+	for {
+		b, ok := l.peekByte()
+		if !ok {
+			if sawNewline {
+				return token{kind: tokNewline, pos: l.pos()}, nil
+			}
+			return token{kind: tokEOF, pos: l.pos()}, nil
+		}
+		switch {
+		case b == '\n':
+			l.advance()
+			if l.depth == 0 {
+				sawNewline = true
+			}
+		case b == ' ' || b == '\t' || b == '\r':
+			l.advance()
+		case b == '#':
+			for {
+				c, ok := l.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				l.advance()
+			}
+		default:
+			if sawNewline {
+				return token{kind: tokNewline, pos: l.pos()}, nil
+			}
+			return l.lexToken()
+		}
+	}
+}
+
+func (l *lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *lexer) lexToken() (token, error) {
+	pos := l.pos()
+	b := l.advance()
+	switch b {
+	case '(':
+		l.depth++
+		return token{tokLParen, "(", pos}, nil
+	case ')':
+		if l.depth > 0 {
+			l.depth--
+		}
+		return token{tokRParen, ")", pos}, nil
+	case ',':
+		return token{tokComma, ",", pos}, nil
+	case '=':
+		return token{tokAssign, "=", pos}, nil
+	case '!':
+		return token{tokBang, "!", pos}, nil
+	case '%':
+		if c, ok := l.peekByte(); ok && c == '%' {
+			l.advance()
+			return token{tokAll, "%%", pos}, nil
+		}
+		return token{tokPercent, "%", pos}, nil
+	case '"':
+		var sb strings.Builder
+		for {
+			c, ok := l.peekByte()
+			if !ok || c == '\n' {
+				return token{}, l.errorf(pos, "unterminated string literal")
+			}
+			l.advance()
+			if c == '"' {
+				return token{tokString, sb.String(), pos}, nil
+			}
+			if c == '\\' {
+				e, ok := l.peekByte()
+				if !ok {
+					return token{}, l.errorf(pos, "unterminated escape in string literal")
+				}
+				l.advance()
+				switch e {
+				case '"', '\\':
+					sb.WriteByte(e)
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				default:
+					return token{}, l.errorf(pos, "unknown escape \\%c", e)
+				}
+				continue
+			}
+			sb.WriteByte(c)
+		}
+	}
+	if b == '-' || b == '.' || (b >= '0' && b <= '9') {
+		var sb strings.Builder
+		sb.WriteByte(b)
+		for {
+			c, ok := l.peekByte()
+			if !ok || !(c == '.' || (c >= '0' && c <= '9')) {
+				break
+			}
+			sb.WriteByte(l.advance())
+		}
+		return token{tokNumber, sb.String(), pos}, nil
+	}
+	if isIdentStart(rune(b)) {
+		var sb strings.Builder
+		sb.WriteByte(b)
+		for {
+			c, ok := l.peekByte()
+			if !ok || !isIdentPart(rune(c)) {
+				break
+			}
+			sb.WriteByte(l.advance())
+		}
+		return token{tokIdent, sb.String(), pos}, nil
+	}
+	return token{}, l.errorf(pos, "unexpected character %q", string(b))
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

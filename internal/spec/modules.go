@@ -1,0 +1,115 @@
+package spec
+
+import "fmt"
+
+// ModuleLoader resolves `!import("path")` directives to module sources.
+type ModuleLoader interface {
+	LoadModule(path string) (string, error)
+}
+
+// BuiltinModules is a ModuleLoader serving the specification modules that
+// ship with CaPI. The "mpi.capi" module is the one used by the paper's
+// Listing 1: it defines %mpi_ops (the MPI API functions by name) and
+// %mpi_comm (every function on a call path from main to an MPI operation).
+type BuiltinModules struct{}
+
+// builtinSources holds the embedded module texts.
+var builtinSources = map[string]string{
+	"mpi.capi": `# Built-in module: selectors for MPI applications.
+mpi_ops = byName("^MPI_", %%)
+mpi_comm = callPathTo(%mpi_ops)
+`,
+	"exclusions.capi": `# Built-in module: the standard exclusion set.
+excluded_std = join(inSystemHeader(%%), inlineSpecified(%%))
+`,
+}
+
+// LoadModule implements ModuleLoader.
+func (BuiltinModules) LoadModule(path string) (string, error) {
+	src, ok := builtinSources[path]
+	if !ok {
+		return "", fmt.Errorf("spec: unknown built-in module %q", path)
+	}
+	return src, nil
+}
+
+// ChainLoader tries each loader in turn, returning the first success.
+type ChainLoader []ModuleLoader
+
+// LoadModule implements ModuleLoader.
+func (c ChainLoader) LoadModule(path string) (string, error) {
+	var firstErr error
+	for _, l := range c {
+		src, err := l.LoadModule(path)
+		if err == nil {
+			return src, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr == nil {
+		firstErr = fmt.Errorf("spec: no module loader configured")
+	}
+	return "", firstErr
+}
+
+// MapLoader serves modules from an in-memory map (used by tests and by
+// applications that generate specs programmatically).
+type MapLoader map[string]string
+
+// LoadModule implements ModuleLoader.
+func (m MapLoader) LoadModule(path string) (string, error) {
+	src, ok := m[path]
+	if !ok {
+		return "", fmt.Errorf("spec: module %q not found", path)
+	}
+	return src, nil
+}
+
+// Expand resolves all import statements in f recursively, returning a new
+// File whose statement list contains the imported statements (in import
+// order) followed by f's own non-import statements. Import cycles are
+// detected and reported.
+func Expand(f *File, loader ModuleLoader) (*File, error) {
+	out := &File{}
+	seen := map[string]bool{}
+	if err := expandInto(f, loader, seen, out, nil); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func expandInto(f *File, loader ModuleLoader, seen map[string]bool, out *File, stack []string) error {
+	for _, stmt := range f.Stmts {
+		imp, ok := stmt.(*ImportStmt)
+		if !ok {
+			out.Stmts = append(out.Stmts, stmt)
+			continue
+		}
+		for _, s := range stack {
+			if s == imp.Path {
+				return fmt.Errorf("spec: import cycle through %q", imp.Path)
+			}
+		}
+		if seen[imp.Path] {
+			continue // idempotent re-import
+		}
+		seen[imp.Path] = true
+		if loader == nil {
+			return fmt.Errorf("spec:%s: import %q but no module loader configured", imp.Pos(), imp.Path)
+		}
+		src, err := loader.LoadModule(imp.Path)
+		if err != nil {
+			return fmt.Errorf("spec:%s: %w", imp.Pos(), err)
+		}
+		mod, err := Parse(src)
+		if err != nil {
+			return fmt.Errorf("spec: in module %q: %w", imp.Path, err)
+		}
+		if err := expandInto(mod, loader, seen, out, append(stack, imp.Path)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses a specification source into a File.
+func Parse(src string) (*File, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	f := &File{}
+	for p.tok.kind != tokEOF {
+		if p.tok.kind == tokNewline {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		stmt, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		f.Stmts = append(f.Stmts, stmt)
+		// A statement must be followed by a newline or EOF.
+		if p.tok.kind != tokNewline && p.tok.kind != tokEOF {
+			return nil, p.errorf("expected end of statement, found %s", p.tok.kind)
+		}
+	}
+	return f, nil
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("spec:%s: %s", p.tok.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	if p.tok.kind != kind {
+		return token{}, p.errorf("expected %s, found %s", kind, p.tok.kind)
+	}
+	t := p.tok
+	if err := p.advance(); err != nil {
+		return token{}, err
+	}
+	return t, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	switch p.tok.kind {
+	case tokBang:
+		return p.parseImport()
+	case tokIdent:
+		// Either `name = expr` or a call expression statement. Decide by
+		// looking at the token following the identifier.
+		ident := p.tok
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		switch p.tok.kind {
+		case tokAssign:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Name: ident.text, NamePos: ident.pos, X: x}, nil
+		case tokLParen:
+			call, err := p.parseCallAfterName(ident)
+			if err != nil {
+				return nil, err
+			}
+			return &ExprStmt{X: call}, nil
+		default:
+			return nil, p.errorf("expected '=' or '(' after identifier %q", ident.text)
+		}
+	case tokPercent, tokAll:
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: x}, nil
+	default:
+		return nil, p.errorf("unexpected %s at start of statement", p.tok.kind)
+	}
+}
+
+func (p *parser) parseImport() (Stmt, error) {
+	bang, err := p.expect(tokBang)
+	if err != nil {
+		return nil, err
+	}
+	kw, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if kw.text != "import" {
+		return nil, fmt.Errorf("spec:%s: unknown directive !%s", kw.pos, kw.text)
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	path, err := p.expect(tokString)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return &ImportStmt{Path: path.text, BangPos: bang.pos}, nil
+}
+
+func (p *parser) parseExpr() (Expr, error) {
+	switch p.tok.kind {
+	case tokAll:
+		e := &AllExpr{AllPos: p.tok.pos}
+		return e, p.advance()
+	case tokPercent:
+		pos := p.tok.pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		return &RefExpr{Name: name.text, RefPos: pos}, nil
+	case tokString:
+		e := &StringLit{Val: p.tok.text, LitPos: p.tok.pos}
+		return e, p.advance()
+	case tokNumber:
+		v, err := strconv.ParseFloat(p.tok.text, 64)
+		if err != nil {
+			return nil, p.errorf("bad number %q", p.tok.text)
+		}
+		e := &NumberLit{Val: v, LitPos: p.tok.pos}
+		return e, p.advance()
+	case tokIdent:
+		ident := p.tok
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokLParen {
+			return nil, p.errorf("expected '(' after selector type %q", ident.text)
+		}
+		return p.parseCallAfterName(ident)
+	default:
+		return nil, p.errorf("unexpected %s in expression", p.tok.kind)
+	}
+}
+
+// parseCallAfterName parses the argument list of a call whose name token has
+// already been consumed; the current token is '('.
+func (p *parser) parseCallAfterName(name token) (Expr, error) {
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	call := &CallExpr{Fn: name.text, FnPos: name.pos}
+	if p.tok.kind == tokRParen {
+		return call, p.advance()
+	}
+	for {
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		call.Args = append(call.Args, arg)
+		switch p.tok.kind {
+		case tokComma:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		case tokRParen:
+			return call, p.advance()
+		case tokString, tokNumber:
+			// The paper's Listing 1 contains `loopDepth(">=" 1, %%)` —
+			// a missing comma between arguments. Accept adjacent literal
+			// arguments for compatibility with published specs.
+		default:
+			return nil, p.errorf("expected ',' or ')' in argument list, found %s", p.tok.kind)
+		}
+	}
+}

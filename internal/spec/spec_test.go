@@ -1,0 +1,245 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+// listing1 is the paper's example specification verbatim (including the
+// missing comma after ">=" in loopDepth, which the parser tolerates).
+const listing1 = `!import("mpi.capi")
+excluded = join(inSystemHeader(%%),
+inlineSpecified(%%))
+kernels = flops(">=", 10, loopDepth(">=" 1, %%))
+join(subtract(%kernels, %excluded), %mpi_comm)
+`
+
+func TestParseListing1(t *testing.T) {
+	f, err := Parse(listing1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// import + excluded + kernels + final anonymous join.
+	if len(f.Stmts) != 4 {
+		t.Fatalf("got %d statements, want 4", len(f.Stmts))
+	}
+	if imp, ok := f.Stmts[0].(*ImportStmt); !ok || imp.Path != "mpi.capi" {
+		t.Fatalf("stmt 0 = %#v", f.Stmts[0])
+	}
+	// The multi-line join(...) must parse as a single assignment.
+	if a, ok := f.Stmts[1].(*AssignStmt); !ok || a.Name != "excluded" {
+		t.Fatalf("stmt 1 = %#v", f.Stmts[1])
+	}
+	if _, ok := f.Stmts[3].(*ExprStmt); !ok {
+		t.Fatalf("stmt 3 = %#v", f.Stmts[3])
+	}
+}
+
+func TestParseSimple(t *testing.T) {
+	f, err := Parse(`
+# a comment
+excluded = join(inSystemHeader(%%), inlineSpecified(%%))
+kernels = flops(">=", 10, loopDepth(">=", 1, %%))
+join(subtract(%kernels, %excluded), %mpi_comm)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Stmts) != 3 {
+		t.Fatalf("got %d statements, want 3", len(f.Stmts))
+	}
+	a, ok := f.Stmts[0].(*AssignStmt)
+	if !ok || a.Name != "excluded" {
+		t.Fatalf("stmt 0 = %#v", f.Stmts[0])
+	}
+	call, ok := a.X.(*CallExpr)
+	if !ok || call.Fn != "join" || len(call.Args) != 2 {
+		t.Fatalf("excluded expr = %#v", a.X)
+	}
+	inner, ok := call.Args[0].(*CallExpr)
+	if !ok || inner.Fn != "inSystemHeader" {
+		t.Fatalf("inner = %#v", call.Args[0])
+	}
+	if _, ok := inner.Args[0].(*AllExpr); !ok {
+		t.Fatalf("inner arg = %#v", inner.Args[0])
+	}
+
+	k := f.Stmts[1].(*AssignStmt)
+	flopsCall := k.X.(*CallExpr)
+	if flopsCall.Fn != "flops" || len(flopsCall.Args) != 3 {
+		t.Fatalf("flops call = %#v", flopsCall)
+	}
+	if s, ok := flopsCall.Args[0].(*StringLit); !ok || s.Val != ">=" {
+		t.Fatalf("cmp arg = %#v", flopsCall.Args[0])
+	}
+	if n, ok := flopsCall.Args[1].(*NumberLit); !ok || n.Val != 10 {
+		t.Fatalf("num arg = %#v", flopsCall.Args[1])
+	}
+
+	es, ok := f.Stmts[2].(*ExprStmt)
+	if !ok {
+		t.Fatalf("stmt 2 = %#v", f.Stmts[2])
+	}
+	top := es.X.(*CallExpr)
+	if top.Fn != "join" {
+		t.Fatalf("entry = %#v", top)
+	}
+	if ref, ok := top.Args[1].(*RefExpr); !ok || ref.Name != "mpi_comm" {
+		t.Fatalf("ref arg = %#v", top.Args[1])
+	}
+}
+
+func TestEntry(t *testing.T) {
+	f, err := Parse("a = inSystemHeader(%%)\nsubtract(%%, %a)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := f.Entry()
+	call, ok := e.(*CallExpr)
+	if !ok || call.Fn != "subtract" {
+		t.Fatalf("Entry = %#v", e)
+	}
+	// When the last statement is an assignment, the entry is a ref to it.
+	f2, err := Parse("a = inSystemHeader(%%)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref, ok := f2.Entry().(*RefExpr); !ok || ref.Name != "a" {
+		t.Fatalf("Entry = %#v", f2.Entry())
+	}
+	if (&File{}).Entry() != nil {
+		t.Fatal("empty file Entry should be nil")
+	}
+}
+
+func TestParseMissingCommaCompat(t *testing.T) {
+	// The paper's Listing 1 contains `loopDepth(">=" 1, %%)`.
+	f, err := Parse(`kernels = flops(">=", 10, loopDepth(">=" 1, %%))` + "\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := f.Stmts[0].(*AssignStmt).X.(*CallExpr).Args[2].(*CallExpr)
+	if inner.Fn != "loopDepth" || len(inner.Args) != 3 {
+		t.Fatalf("loopDepth args = %#v", inner.Args)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`join(`,           // unterminated call
+		`= foo(%%)`,       // statement starting with '='
+		`%`,               // bare percent
+		`foo`,             // identifier without call or assign
+		`"unterminated`,   // bad string
+		`!unknown("x")`,   // unknown directive
+		`foo(%%) bar(%%)`, // two expressions on one line
+		`a = "str\q"`,     // bad escape
+		`join(%%,)`,       // trailing comma
+	}
+	for _, src := range cases {
+		if _, err := Parse(src + "\n"); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseEmptyArgList(t *testing.T) {
+	f, err := Parse("coarse()\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if call := f.Stmts[0].(*ExprStmt).X.(*CallExpr); len(call.Args) != 0 {
+		t.Fatalf("args = %#v", call.Args)
+	}
+}
+
+func TestExpandBuiltinMPIModule(t *testing.T) {
+	f, err := Parse("!import(\"mpi.capi\")\nsubtract(%mpi_comm, inSystemHeader(%%))\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := Expand(f, BuiltinModules{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mpi.capi contributes two assignments; plus our expression.
+	if len(ex.Stmts) != 3 {
+		t.Fatalf("expanded statements = %d, want 3", len(ex.Stmts))
+	}
+	if a, ok := ex.Stmts[0].(*AssignStmt); !ok || a.Name != "mpi_ops" {
+		t.Fatalf("stmt 0 = %#v", ex.Stmts[0])
+	}
+	if a, ok := ex.Stmts[1].(*AssignStmt); !ok || a.Name != "mpi_comm" {
+		t.Fatalf("stmt 1 = %#v", ex.Stmts[1])
+	}
+}
+
+func TestExpandUnknownModule(t *testing.T) {
+	f, _ := Parse("!import(\"nope.capi\")\n%%\n")
+	if _, err := Expand(f, BuiltinModules{}); err == nil || !strings.Contains(err.Error(), "nope.capi") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExpandNoLoader(t *testing.T) {
+	f, _ := Parse("!import(\"m\")\n%%\n")
+	if _, err := Expand(f, nil); err == nil {
+		t.Fatal("expected error without loader")
+	}
+}
+
+func TestExpandCycleAndIdempotence(t *testing.T) {
+	loader := MapLoader{
+		"a.capi": "!import(\"b.capi\")\nx = inSystemHeader(%%)\n",
+		"b.capi": "!import(\"a.capi\")\ny = inlineSpecified(%%)\n",
+	}
+	f, _ := Parse("!import(\"a.capi\")\n%%\n")
+	if _, err := Expand(f, loader); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("err = %v", err)
+	}
+	// Importing the same module twice is fine (second import is a no-op).
+	loader2 := MapLoader{"m.capi": "x = inSystemHeader(%%)\n"}
+	f2, _ := Parse("!import(\"m.capi\")\n!import(\"m.capi\")\n%x\n")
+	ex, err := Expand(f2, loader2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Stmts) != 2 {
+		t.Fatalf("stmts = %d, want 2", len(ex.Stmts))
+	}
+}
+
+func TestChainLoader(t *testing.T) {
+	chain := ChainLoader{MapLoader{}, BuiltinModules{}}
+	if _, err := chain.LoadModule("mpi.capi"); err != nil {
+		t.Fatalf("chain should fall through to builtins: %v", err)
+	}
+	if _, err := chain.LoadModule("ghost.capi"); err == nil {
+		t.Fatal("expected error for unknown module")
+	}
+	if _, err := (ChainLoader{}).LoadModule("x"); err == nil {
+		t.Fatal("empty chain should error")
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	f, err := Parse("byName(\"a\\\"b\\\\c\\n\\t\", %%)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := f.Stmts[0].(*ExprStmt).X.(*CallExpr).Args[0].(*StringLit)
+	if s.Val != "a\"b\\c\n\t" {
+		t.Fatalf("escaped string = %q", s.Val)
+	}
+}
+
+func TestNegativeNumber(t *testing.T) {
+	f, err := Parse("flops(\">\", -1.5, %%)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := f.Stmts[0].(*ExprStmt).X.(*CallExpr).Args[1].(*NumberLit)
+	if n.Val != -1.5 {
+		t.Fatalf("number = %v", n.Val)
+	}
+}

@@ -1,0 +1,94 @@
+package talp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"capi/internal/vtime"
+)
+
+// WriteText renders the report in the spirit of TALP's end-of-run text
+// summary: one block per monitoring region with the POP metrics.
+func (r *Report) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "######### Monitoring Regions Summary (%d ranks) #########\n", r.WorldSize); err != nil {
+		return err
+	}
+	for _, reg := range r.Regions {
+		if _, err := fmt.Fprintf(w, "### Region: %s\n", reg.Name); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "    Elapsed Time:        %s\n", vtime.FormatSeconds(reg.Elapsed)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "    Visits:              %d\n", reg.Visits); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "    Parallel Efficiency: %.3f\n", reg.Metrics.ParallelEfficiency); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "      Communication Eff: %.3f\n", reg.Metrics.CommunicationEfficiency); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "      Load Balance:      %.3f\n", reg.Metrics.LoadBalance); err != nil {
+			return err
+		}
+	}
+	if len(r.FailedPreInit) > 0 {
+		if _, err := fmt.Fprintf(w, "# %d region(s) could not be registered (MPI not initialized)\n", len(r.FailedPreInit)); err != nil {
+			return err
+		}
+	}
+	if len(r.FailedEntries) > 0 {
+		if _, err := fmt.Fprintf(w, "# %d region(s) failed on re-entry\n", len(r.FailedEntries)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the report as JSON (the runtime-queryable form the
+// paper mentions: schedulers/resource managers can consume the metrics).
+func (r *Report) WriteJSON(w io.Writer) error {
+	type regionJSON struct {
+		Name        string  `json:"name"`
+		Visits      int64   `json:"visits"`
+		ElapsedNs   int64   `json:"elapsedNs"`
+		ParallelEff float64 `json:"parallelEfficiency"`
+		CommEff     float64 `json:"communicationEfficiency"`
+		LoadBalance float64 `json:"loadBalance"`
+		AvgUsefulNs int64   `json:"avgUsefulNs"`
+		MaxUsefulNs int64   `json:"maxUsefulNs"`
+	}
+	out := struct {
+		WorldSize     int          `json:"worldSize"`
+		Regions       []regionJSON `json:"regions"`
+		FailedPreInit []string     `json:"failedPreInit,omitempty"`
+		FailedEntries []string     `json:"failedEntries,omitempty"`
+	}{WorldSize: r.WorldSize, FailedPreInit: r.FailedPreInit, FailedEntries: r.FailedEntries}
+	for _, reg := range r.Regions {
+		out.Regions = append(out.Regions, regionJSON{
+			Name:        reg.Name,
+			Visits:      reg.Visits,
+			ElapsedNs:   reg.Elapsed,
+			ParallelEff: reg.Metrics.ParallelEfficiency,
+			CommEff:     reg.Metrics.CommunicationEfficiency,
+			LoadBalance: reg.Metrics.LoadBalance,
+			AvgUsefulNs: reg.Metrics.AvgUseful,
+			MaxUsefulNs: reg.Metrics.MaxUseful,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Region returns the report entry for the named region, or nil.
+func (r *Report) Region(name string) *RegionReport {
+	for i := range r.Regions {
+		if r.Regions[i].Name == name {
+			return &r.Regions[i]
+		}
+	}
+	return nil
+}

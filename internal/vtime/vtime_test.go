@@ -1,0 +1,109 @@
+package vtime
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueClock(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("zero clock Now() = %d, want 0", c.Now())
+	}
+	if c.Seconds() != 0 {
+		t.Fatalf("zero clock Seconds() = %v, want 0", c.Seconds())
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	var c Clock
+	c.Advance(10)
+	c.Advance(5)
+	if got := c.Now(); got != 15 {
+		t.Fatalf("Now() = %d, want 15", got)
+	}
+}
+
+func TestAdvanceIgnoresNegative(t *testing.T) {
+	var c Clock
+	c.Advance(100)
+	c.Advance(-50)
+	if got := c.Now(); got != 100 {
+		t.Fatalf("Now() = %d after negative advance, want 100", got)
+	}
+}
+
+func TestAdvanceTo(t *testing.T) {
+	var c Clock
+	if !c.AdvanceTo(42) {
+		t.Fatal("AdvanceTo(42) from 0 should report movement")
+	}
+	if c.AdvanceTo(10) {
+		t.Fatal("AdvanceTo(10) from 42 should not move backwards")
+	}
+	if got := c.Now(); got != 42 {
+		t.Fatalf("Now() = %d, want 42", got)
+	}
+}
+
+func TestSecondsConversion(t *testing.T) {
+	var c Clock
+	c.Advance(Second + 500*Millisecond)
+	if got := c.Seconds(); got != 1.5 {
+		t.Fatalf("Seconds() = %v, want 1.5", got)
+	}
+}
+
+func TestFormatSeconds(t *testing.T) {
+	if got := FormatSeconds(1234 * Millisecond); got != "1.234s" {
+		t.Fatalf("FormatSeconds = %q, want \"1.234s\"", got)
+	}
+	var c Clock
+	c.Advance(2 * Second)
+	if got := c.String(); got != "2.000s" {
+		t.Fatalf("String() = %q, want \"2.000s\"", got)
+	}
+}
+
+func TestSecondsRoundTrip(t *testing.T) {
+	if got := Seconds(3.25); got != 3250*Millisecond {
+		t.Fatalf("Seconds(3.25) = %d, want %d", got, 3250*Millisecond)
+	}
+}
+
+// Property: a clock never moves backwards under any interleaving of Advance
+// and AdvanceTo calls.
+func TestClockMonotonicProperty(t *testing.T) {
+	f := func(steps []int64) bool {
+		var c Clock
+		prev := c.Now()
+		for i, s := range steps {
+			if i%2 == 0 {
+				c.Advance(s % (1 << 40))
+			} else {
+				c.AdvanceTo(s % (1 << 40))
+			}
+			if c.Now() < prev {
+				return false
+			}
+			prev = c.Now()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Advance by a non-negative amount is exact addition.
+func TestAdvanceExactProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		var c Clock
+		c.Advance(int64(a))
+		c.Advance(int64(b))
+		return c.Now() == int64(a)+int64(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,405 @@
+// Package xray reimplements the runtime side of LLVM's XRay instrumentation
+// together with the DSO extension the paper contributes (§V-A/§V-B):
+//
+//   - a runtime registry of patchable objects — the executable is always
+//     object 0, dynamically loaded shared objects register through the
+//     xray-dso mechanism and receive IDs 1..255;
+//   - packed function IDs (Fig. 4): 8 bits of object ID, 24 bits of
+//     object-local function ID, keeping the external 32-bit API unchanged;
+//   - sled patching under mprotect: the pages containing a function's sleds
+//     are made writable, the NOP sleds are rewritten into trampoline jumps,
+//     and the protection is restored;
+//   - per-object trampolines (position-independent for DSOs) dispatching to
+//     a process-wide event handler.
+//
+// Handlers receive an explicit ThreadCtx (rank + virtual clock) instead of
+// reading TLS — the one deliberate API deviation from real XRay, documented
+// in DESIGN.md.
+package xray
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"capi/internal/mem"
+	"capi/internal/obj"
+	"capi/internal/vtime"
+)
+
+// Packed-ID layout (Fig. 4): 8-bit object ID, 24-bit function ID.
+const (
+	// MaxDSOs is the maximum number of registrable shared objects
+	// (object IDs 1..255; ID 0 is the main executable).
+	MaxDSOs = 255
+	// MaxFuncID is the largest object-local function ID (≈16.7 million
+	// functions per object; the paper's largest OpenFOAM object uses
+	// 28,687 IDs).
+	MaxFuncID = 1<<24 - 1
+)
+
+// PackID combines an object ID and an object-local function ID into the
+// packed 32-bit ID passed to handlers. The main executable is object 0, so
+// its packed IDs equal its function IDs — preserving backwards
+// compatibility with DSO-unaware tools.
+func PackID(object uint8, fn uint32) (int32, error) {
+	if fn > MaxFuncID {
+		return 0, fmt.Errorf("xray: function ID %d exceeds 24-bit limit", fn)
+	}
+	return int32(uint32(object)<<24 | fn), nil
+}
+
+// UnpackID splits a packed ID into object ID and function ID.
+func UnpackID(id int32) (object uint8, fn uint32) {
+	u := uint32(id)
+	return uint8(u >> 24), u & MaxFuncID
+}
+
+// EntryType tells a handler which kind of instrumentation point fired.
+type EntryType uint8
+
+// Entry and exit events (tail-call exits are folded into Exit).
+const (
+	Entry EntryType = iota
+	Exit
+)
+
+func (e EntryType) String() string {
+	if e == Entry {
+		return "entry"
+	}
+	return "exit"
+}
+
+// ThreadCtx is the execution context a handler runs under: the simulated
+// MPI rank and its virtual clock (for charging measurement costs).
+type ThreadCtx interface {
+	RankID() int
+	Clock() *vtime.Clock
+}
+
+// Handler is the XRay event handler: it receives the packed function ID and
+// the event type, exactly like __xray_set_handler's callback.
+type Handler func(tc ThreadCtx, id int32, kind EntryType)
+
+// Trampoline models a per-object trampoline pair. DSO trampolines must be
+// position-independent (addressing the handler through the GOT, §V-B2);
+// the executable's may use absolute addressing.
+type Trampoline struct {
+	Object              string
+	PositionIndependent bool
+}
+
+// Stats counts patching work for the init-time cost model.
+type Stats struct {
+	PatchedSleds   int64
+	UnpatchedSleds int64
+	MprotectPages  int64
+	MprotectCalls  int64
+}
+
+type objectState struct {
+	lo         *obj.LoadedObject
+	trampoline Trampoline
+}
+
+// Runtime is the XRay runtime for one process.
+type Runtime struct {
+	proc *obj.Process
+
+	mu      sync.Mutex
+	objects [MaxDSOs + 1]*objectState
+	objID   map[*obj.LoadedObject]uint8
+	nextDSO int
+
+	handler atomic.Value // of Handler
+	stats   Stats
+}
+
+// NewRuntime creates the runtime for a process: the executable is
+// registered as object 0 (when patchable), every already-loaded patchable
+// DSO is registered, and loader hooks keep future dlopen/dlclose in sync —
+// this models the xray-dso constructor/destructor registration.
+func NewRuntime(p *obj.Process) (*Runtime, error) {
+	rt := &Runtime{proc: p, objID: map[*obj.LoadedObject]uint8{}, nextDSO: 1}
+	exe := p.Executable()
+	if exe.Image.Patchable {
+		if exe.Image.NumFuncIDs > MaxFuncID+1 {
+			return nil, fmt.Errorf("xray: executable uses %d function IDs (limit %d)", exe.Image.NumFuncIDs, MaxFuncID+1)
+		}
+		rt.objects[0] = &objectState{lo: exe, trampoline: Trampoline{Object: exe.Image.Name}}
+		rt.objID[exe] = 0
+	}
+	for _, lo := range p.Objects() {
+		if lo == exe || !lo.Image.Patchable {
+			continue
+		}
+		if _, err := rt.RegisterObject(lo); err != nil {
+			return nil, err
+		}
+	}
+	p.OnLoad(func(lo *obj.LoadedObject) {
+		if lo.Image.Patchable {
+			_, _ = rt.RegisterObject(lo)
+		}
+	})
+	p.OnUnload(func(lo *obj.LoadedObject) {
+		if id, ok := rt.ObjectID(lo); ok && id != 0 {
+			_ = rt.UnregisterObject(id)
+		}
+	})
+	return rt, nil
+}
+
+// RegisterObject registers a patchable DSO, assigning it the next object ID
+// (1..255). It returns the assigned ID. Registering more than MaxDSOs
+// objects fails, as does an object exceeding the 24-bit function-ID space.
+func (rt *Runtime) RegisterObject(lo *obj.LoadedObject) (uint8, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if !lo.Image.Patchable {
+		return 0, fmt.Errorf("xray: object %q is not patchable", lo.Image.Name)
+	}
+	if _, dup := rt.objID[lo]; dup {
+		return 0, fmt.Errorf("xray: object %q already registered", lo.Image.Name)
+	}
+	if lo.Image.NumFuncIDs > MaxFuncID+1 {
+		return 0, fmt.Errorf("xray: object %q uses %d function IDs (limit %d)", lo.Image.Name, lo.Image.NumFuncIDs, MaxFuncID+1)
+	}
+	// Find a free slot (IDs may have been released by dlclose).
+	for i := 0; i < MaxDSOs; i++ {
+		id := uint8((rt.nextDSO-1+i)%MaxDSOs) + 1
+		if rt.objects[id] == nil {
+			rt.objects[id] = &objectState{
+				lo:         lo,
+				trampoline: Trampoline{Object: lo.Image.Name, PositionIndependent: true},
+			}
+			rt.objID[lo] = id
+			rt.nextDSO = int(id) + 1
+			return id, nil
+		}
+	}
+	return 0, fmt.Errorf("xray: object limit reached (%d DSOs)", MaxDSOs)
+}
+
+// UnregisterObject releases a DSO's object ID (dlclose path). Its sleds are
+// gone with the mapping; no unpatching is attempted.
+func (rt *Runtime) UnregisterObject(id uint8) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if id == 0 {
+		return fmt.Errorf("xray: cannot unregister the main executable")
+	}
+	st := rt.objects[id]
+	if st == nil {
+		return fmt.Errorf("xray: object ID %d not registered", id)
+	}
+	delete(rt.objID, st.lo)
+	rt.objects[id] = nil
+	return nil
+}
+
+// ObjectID returns the object ID assigned to a loaded object.
+func (rt *Runtime) ObjectID(lo *obj.LoadedObject) (uint8, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	id, ok := rt.objID[lo]
+	return id, ok
+}
+
+// Object returns the loaded object registered under the given ID.
+func (rt *Runtime) Object(id uint8) (*obj.LoadedObject, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	st := rt.objects[id]
+	if st == nil {
+		return nil, false
+	}
+	return st.lo, true
+}
+
+// Objects returns the registered (object ID, loaded object) pairs in ID
+// order.
+func (rt *Runtime) Objects() map[uint8]*obj.LoadedObject {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make(map[uint8]*obj.LoadedObject, len(rt.objID))
+	for lo, id := range rt.objID {
+		out[id] = lo
+	}
+	return out
+}
+
+// Trampoline returns the trampoline descriptor for an object ID.
+func (rt *Runtime) Trampoline(id uint8) (Trampoline, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	st := rt.objects[id]
+	if st == nil {
+		return Trampoline{}, false
+	}
+	return st.trampoline, true
+}
+
+// FunctionAddress returns the absolute entry address of the function with
+// the given packed ID — the __xray_function_address equivalent DynCaPI uses
+// to cross-check its symbol mapping (§VI-B(a)).
+func (rt *Runtime) FunctionAddress(id int32) (uint64, error) {
+	objID, fn := UnpackID(id)
+	rt.mu.Lock()
+	st := rt.objects[objID]
+	rt.mu.Unlock()
+	if st == nil {
+		return 0, fmt.Errorf("xray: object %d not registered", objID)
+	}
+	off, ok := st.lo.Image.FuncEntryOffset(fn)
+	if !ok {
+		return 0, fmt.Errorf("xray: object %d has no function %d", objID, fn)
+	}
+	return st.lo.Base + off, nil
+}
+
+// SetHandler installs the process-wide event handler (nil removes it).
+func (rt *Runtime) SetHandler(h Handler) { rt.handler.Store(h) }
+
+// Dispatch invokes the installed handler for a patched sled; the execution
+// engine calls it from the trampoline site. A missing handler is a no-op,
+// as in real XRay.
+func (rt *Runtime) Dispatch(tc ThreadCtx, id int32, kind EntryType) {
+	if h, ok := rt.handler.Load().(Handler); ok && h != nil {
+		h(tc, id, kind)
+	}
+}
+
+// setSleds patches or unpatches all sleds of one function, performing the
+// mprotect dance on the containing pages.
+func (rt *Runtime) setSleds(st *objectState, fn uint32, patched bool) error {
+	sleds := st.lo.Image.FuncSleds(fn)
+	if len(sleds) == 0 {
+		return fmt.Errorf("xray: object %q has no sleds for function %d", st.lo.Image.Name, fn)
+	}
+	lo, hi := st.lo.SledAddr(sleds[0]), st.lo.SledAddr(sleds[0])
+	for _, si := range sleds {
+		a := st.lo.SledAddr(si)
+		if a < lo {
+			lo = a
+		}
+		if a+obj.SledBytes > hi {
+			hi = a + obj.SledBytes
+		}
+	}
+	pages, err := rt.proc.AS.Mprotect(lo, hi-lo, mem.ProtRead|mem.ProtWrite|mem.ProtExec)
+	if err != nil {
+		return fmt.Errorf("xray: making sleds writable: %w", err)
+	}
+	var delta Stats
+	delta.MprotectCalls++
+	delta.MprotectPages += int64(pages)
+	var firstErr error
+	for _, si := range sleds {
+		if err := st.lo.WriteSled(si, patched); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if patched {
+			delta.PatchedSleds++
+		} else {
+			delta.UnpatchedSleds++
+		}
+	}
+	if _, err := rt.proc.AS.Mprotect(lo, hi-lo, mem.ProtRead|mem.ProtExec); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	delta.MprotectCalls++
+	rt.mu.Lock()
+	rt.stats.PatchedSleds += delta.PatchedSleds
+	rt.stats.UnpatchedSleds += delta.UnpatchedSleds
+	rt.stats.MprotectPages += delta.MprotectPages
+	rt.stats.MprotectCalls += delta.MprotectCalls
+	rt.mu.Unlock()
+	return firstErr
+}
+
+func (rt *Runtime) objectFor(id int32) (*objectState, uint32, error) {
+	objID, fn := UnpackID(id)
+	rt.mu.Lock()
+	st := rt.objects[objID]
+	rt.mu.Unlock()
+	if st == nil {
+		return nil, 0, fmt.Errorf("xray: object %d not registered", objID)
+	}
+	if fn >= st.lo.Image.NumFuncIDs {
+		return nil, 0, fmt.Errorf("xray: object %q has no function ID %d", st.lo.Image.Name, fn)
+	}
+	return st, fn, nil
+}
+
+// PatchFunction rewrites the sleds of one function to call the trampoline.
+func (rt *Runtime) PatchFunction(id int32) error {
+	st, fn, err := rt.objectFor(id)
+	if err != nil {
+		return err
+	}
+	return rt.setSleds(st, fn, true)
+}
+
+// UnpatchFunction restores the NOP sleds of one function.
+func (rt *Runtime) UnpatchFunction(id int32) error {
+	st, fn, err := rt.objectFor(id)
+	if err != nil {
+		return err
+	}
+	return rt.setSleds(st, fn, false)
+}
+
+// Patched reports whether the entry sled of the given function is patched.
+func (rt *Runtime) Patched(id int32) bool {
+	st, fn, err := rt.objectFor(id)
+	if err != nil {
+		return false
+	}
+	for _, si := range st.lo.Image.FuncSleds(fn) {
+		if st.lo.Image.Sleds[si].Kind == obj.SledEntry {
+			return st.lo.SledPatched(si)
+		}
+	}
+	return false
+}
+
+// PatchAll patches every sled of every registered object ("xray full"). It
+// returns the number of functions patched.
+func (rt *Runtime) PatchAll() (int, error) {
+	return rt.setAll(true)
+}
+
+// UnpatchAll restores every sled of every registered object.
+func (rt *Runtime) UnpatchAll() (int, error) {
+	return rt.setAll(false)
+}
+
+func (rt *Runtime) setAll(patched bool) (int, error) {
+	rt.mu.Lock()
+	states := make([]*objectState, 0, len(rt.objID))
+	for id := 0; id <= MaxDSOs; id++ {
+		if rt.objects[id] != nil {
+			states = append(states, rt.objects[id])
+		}
+	}
+	rt.mu.Unlock()
+	n := 0
+	for _, st := range states {
+		for fn := uint32(0); fn < st.lo.Image.NumFuncIDs; fn++ {
+			if err := rt.setSleds(st, fn, patched); err != nil {
+				return n, err
+			}
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Stats returns a snapshot of the patching statistics.
+func (rt *Runtime) Stats() Stats {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.stats
+}

@@ -1,0 +1,331 @@
+package xray
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"capi/internal/obj"
+	"capi/internal/vtime"
+)
+
+// makeImage builds a patchable image with n instrumented functions.
+func makeImage(name string, exe bool, n int) *obj.Image {
+	im := &obj.Image{Name: name, Exe: exe, Patchable: true}
+	var off uint64
+	for i := 0; i < n; i++ {
+		size := uint64(64)
+		im.Symbols = append(im.Symbols, obj.Symbol{
+			Name: fmt.Sprintf("%s_f%d", name, i), Value: off, Size: size, Kind: obj.SymFunc,
+		})
+		id := uint32(i)
+		im.Sleds = append(im.Sleds,
+			obj.Sled{Offset: off, FuncID: id, Kind: obj.SledEntry},
+			obj.Sled{Offset: off + size - obj.SledBytes, FuncID: id, Kind: obj.SledExit},
+		)
+		im.NumFuncIDs++
+		off += size
+	}
+	im.TextSize = off
+	if im.TextSize == 0 {
+		im.TextSize = 16
+	}
+	if err := im.Finalize(); err != nil {
+		panic(err)
+	}
+	return im
+}
+
+func newProc(t *testing.T, ndsos, funcsPer int) (*obj.Process, *Runtime) {
+	t.Helper()
+	p, err := obj.NewProcess(makeImage("exe", true, funcsPer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRuntime(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ndsos; i++ {
+		if _, err := p.Load(makeImage(fmt.Sprintf("lib%d.so", i), false, funcsPer)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p, rt
+}
+
+type fakeCtx struct {
+	rank int
+	clk  vtime.Clock
+}
+
+func (f *fakeCtx) RankID() int         { return f.rank }
+func (f *fakeCtx) Clock() *vtime.Clock { return &f.clk }
+
+func TestPackUnpackID(t *testing.T) {
+	id, err := PackID(3, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, f := UnpackID(id)
+	if o != 3 || f != 12345 {
+		t.Fatalf("unpack = %d/%d", o, f)
+	}
+	// Object 0 keeps packed == function ID (backwards compatibility).
+	id0, _ := PackID(0, 777)
+	if id0 != 777 {
+		t.Fatalf("exe packed ID = %d, want 777", id0)
+	}
+	if _, err := PackID(1, MaxFuncID+1); err == nil {
+		t.Fatal("function ID over 24 bits must fail")
+	}
+}
+
+func TestPackUnpackProperty(t *testing.T) {
+	f := func(object uint8, fn uint32) bool {
+		fn %= MaxFuncID + 1
+		id, err := PackID(object, fn)
+		if err != nil {
+			return false
+		}
+		o2, f2 := UnpackID(id)
+		return o2 == object && f2 == fn
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRuntimeRegistersExeAndDSOs(t *testing.T) {
+	p, rt := newProc(t, 2, 3)
+	objs := rt.Objects()
+	if len(objs) != 3 {
+		t.Fatalf("registered objects = %d, want 3", len(objs))
+	}
+	if id, ok := rt.ObjectID(p.Executable()); !ok || id != 0 {
+		t.Fatalf("exe object ID = %d, %v", id, ok)
+	}
+	// DSO trampolines are position independent; the exe's is not.
+	tr, ok := rt.Trampoline(0)
+	if !ok || tr.PositionIndependent {
+		t.Fatalf("exe trampoline = %+v", tr)
+	}
+	tr1, ok := rt.Trampoline(1)
+	if !ok || !tr1.PositionIndependent {
+		t.Fatalf("dso trampoline = %+v", tr1)
+	}
+	if _, ok := rt.Trampoline(99); ok {
+		t.Fatal("unregistered trampoline lookup should fail")
+	}
+}
+
+func TestPatchUnpatchFunction(t *testing.T) {
+	p, rt := newProc(t, 1, 4)
+	lib := p.Object("lib0.so")
+	libID, _ := rt.ObjectID(lib)
+	id, _ := PackID(libID, 2)
+
+	if rt.Patched(id) {
+		t.Fatal("freshly loaded sleds must be NOP")
+	}
+	if err := rt.PatchFunction(id); err != nil {
+		t.Fatal(err)
+	}
+	if !rt.Patched(id) {
+		t.Fatal("function should be patched")
+	}
+	// Text protection restored after patching.
+	if err := lib.WriteSled(0, true); err == nil {
+		t.Fatal("text should be read-exec again after patching")
+	}
+	if err := rt.UnpatchFunction(id); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Patched(id) {
+		t.Fatal("function should be unpatched")
+	}
+	st := rt.Stats()
+	if st.PatchedSleds != 2 || st.UnpatchedSleds != 2 || st.MprotectCalls < 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPatchErrors(t *testing.T) {
+	_, rt := newProc(t, 1, 2)
+	// Unregistered object.
+	bad, _ := PackID(7, 0)
+	if err := rt.PatchFunction(bad); err == nil || !strings.Contains(err.Error(), "not registered") {
+		t.Fatalf("err = %v", err)
+	}
+	// Function ID out of range.
+	bad2, _ := PackID(0, 99)
+	if err := rt.PatchFunction(bad2); err == nil || !strings.Contains(err.Error(), "no function ID") {
+		t.Fatalf("err = %v", err)
+	}
+	if rt.Patched(bad2) {
+		t.Fatal("out-of-range id cannot be patched")
+	}
+}
+
+func TestPatchAll(t *testing.T) {
+	_, rt := newProc(t, 2, 3)
+	n, err := rt.PatchAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 9 { // 3 objects x 3 functions
+		t.Fatalf("patched %d functions, want 9", n)
+	}
+	for id, lo := range rt.Objects() {
+		for fn := uint32(0); fn < lo.Image.NumFuncIDs; fn++ {
+			packed, _ := PackID(id, fn)
+			if !rt.Patched(packed) {
+				t.Fatalf("object %d fn %d not patched", id, fn)
+			}
+		}
+	}
+	if _, err := rt.UnpatchAll(); err != nil {
+		t.Fatal(err)
+	}
+	for id := range rt.Objects() {
+		packed, _ := PackID(id, 0)
+		if rt.Patched(packed) {
+			t.Fatal("still patched after UnpatchAll")
+		}
+	}
+}
+
+func TestFunctionAddress(t *testing.T) {
+	p, rt := newProc(t, 1, 3)
+	lib := p.Object("lib0.so")
+	libID, _ := rt.ObjectID(lib)
+	id, _ := PackID(libID, 1)
+	addr, err := rt.FunctionAddress(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != lib.Base+64 {
+		t.Fatalf("addr = %#x, want %#x", addr, lib.Base+64)
+	}
+	// The resolved symbol matches.
+	_, sym, ok := p.ResolveAddr(addr)
+	if !ok || sym.Name != "lib0.so_f1" {
+		t.Fatalf("resolve = %+v, %v", sym, ok)
+	}
+	if _, err := rt.FunctionAddress(int32(uint32(9)<<24 | 0)); err == nil {
+		t.Fatal("unregistered object address lookup should fail")
+	}
+}
+
+func TestDispatchHandler(t *testing.T) {
+	_, rt := newProc(t, 0, 1)
+	tc := &fakeCtx{rank: 2}
+	// No handler: no-op.
+	rt.Dispatch(tc, 0, Entry)
+
+	var events []string
+	rt.SetHandler(func(c ThreadCtx, id int32, kind EntryType) {
+		events = append(events, fmt.Sprintf("r%d:%d:%s", c.RankID(), id, kind))
+		c.Clock().Advance(10)
+	})
+	rt.Dispatch(tc, 5, Entry)
+	rt.Dispatch(tc, 5, Exit)
+	if len(events) != 2 || events[0] != "r2:5:entry" || events[1] != "r2:5:exit" {
+		t.Fatalf("events = %v", events)
+	}
+	if tc.clk.Now() != 20 {
+		t.Fatalf("handler cost not charged: %d", tc.clk.Now())
+	}
+	rt.SetHandler(nil)
+	rt.Dispatch(tc, 5, Entry)
+	if len(events) != 2 {
+		t.Fatal("nil handler should disable dispatch")
+	}
+}
+
+func TestUnregisterOnUnload(t *testing.T) {
+	p, rt := newProc(t, 2, 2)
+	lib := p.Object("lib0.so")
+	id, _ := rt.ObjectID(lib)
+	if err := p.Unload("lib0.so"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rt.Object(id); ok {
+		t.Fatal("object still registered after unload")
+	}
+	// The freed ID is reusable.
+	im := makeImage("lib9.so", false, 1)
+	lo, err := p.Load(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rt.ObjectID(lo); !ok {
+		t.Fatal("new DSO not registered via load hook")
+	}
+}
+
+func TestRegisterErrors(t *testing.T) {
+	p, rt := newProc(t, 1, 1)
+	lib := p.Object("lib0.so")
+	if _, err := rt.RegisterObject(lib); err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Fatalf("err = %v", err)
+	}
+	if err := rt.UnregisterObject(0); err == nil {
+		t.Fatal("unregistering the executable should fail")
+	}
+	if err := rt.UnregisterObject(200); err == nil {
+		t.Fatal("unregistering a free ID should fail")
+	}
+	// Non-patchable object.
+	np := makeImage("plain.so", false, 0)
+	np.Patchable = false
+	lo, err := p.Load(np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rt.ObjectID(lo); ok {
+		t.Fatal("non-patchable DSO must not be auto-registered")
+	}
+	if _, err := rt.RegisterObject(lo); err == nil {
+		t.Fatal("registering non-patchable object should fail")
+	}
+}
+
+func TestDSOLimit(t *testing.T) {
+	// Exhaust the 255 DSO slots cheaply with tiny images.
+	p, err := obj.NewProcess(makeImage("exe", true, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRuntime(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < MaxDSOs; i++ {
+		if _, err := p.Load(makeImage(fmt.Sprintf("l%d.so", i), false, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(rt.Objects()) != MaxDSOs+1 {
+		t.Fatalf("registered = %d", len(rt.Objects()))
+	}
+	// One more: the load succeeds but registration must fail.
+	extra := makeImage("overflow.so", false, 0)
+	lo, err := p.Load(extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rt.ObjectID(lo); ok {
+		t.Fatal("256th DSO should not have been registered")
+	}
+	if _, err := rt.RegisterObject(lo); err == nil || !strings.Contains(err.Error(), "limit") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEntryTypeString(t *testing.T) {
+	if Entry.String() != "entry" || Exit.String() != "exit" {
+		t.Fatal("EntryType strings wrong")
+	}
+}
