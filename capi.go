@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"capi/internal/adapt"
 	"capi/internal/callgraph"
 	"capi/internal/compiler"
 	"capi/internal/core"
@@ -12,6 +13,7 @@ import (
 	"capi/internal/ic"
 	"capi/internal/metacg"
 	"capi/internal/mpi"
+	"capi/internal/obj"
 	"capi/internal/prog"
 	"capi/internal/scorep"
 	"capi/internal/spec"
@@ -43,6 +45,12 @@ type (
 	ModuleLoader = spec.ModuleLoader
 	// MapModules serves specification modules from an in-memory map.
 	MapModules = spec.MapLoader
+	// AdaptOptions tunes the live overhead-budget controller.
+	AdaptOptions = adapt.Options
+	// AdaptEpoch records one controller decision (per epoch boundary).
+	AdaptEpoch = adapt.Epoch
+	// ReconfigReport summarizes one live re-selection (delta re-patch).
+	ReconfigReport = dyncapi.ReconfigReport
 )
 
 // Workload generators (stand-ins for the paper's two test cases plus a
@@ -202,20 +210,43 @@ type RunOptions struct {
 	PatchAll bool
 	// EmulateTALPBug enables TALP's re-entry bug compat mode (§VI-B(b)).
 	EmulateTALPBug bool
+	// Adapt enables the live overhead-budget controller: it watches
+	// per-function event counts and, at epoch boundaries of the virtual
+	// clock, narrows the selection in place (hottest low-duration
+	// functions dropped first) whenever the instrumentation overhead
+	// exceeds the budget. nil disables adaptation.
+	Adapt *AdaptOptions
 }
 
 // RunResult is the outcome of one measured execution.
 type RunResult struct {
-	// InitSeconds is the virtual DynCaPI start-up time (Table II T_init);
-	// negative when no instrumentation runtime ran.
+	// InitSeconds is the virtual instrumentation set-up cost this phase
+	// paid before executing: the DynCaPI start-up time (Table II T_init)
+	// on an instance's first run, the accumulated live re-patch cost of
+	// Reconfigure calls on later runs. Negative when no instrumentation
+	// runtime ran.
 	InitSeconds float64
-	// TotalSeconds is the virtual end-to-end runtime including init
-	// (Table II T_total).
+	// TotalSeconds is the virtual end-to-end runtime of this phase
+	// including InitSeconds (Table II T_total).
 	TotalSeconds float64
-	// Events is the number of instrumentation events dispatched.
+	// Events is the number of instrumentation events dispatched during
+	// this phase.
 	Events int64
-	// Patched is the number of functions whose sleds were patched.
+	// Patched is the number of functions whose sleds were patched at
+	// DynCaPI start-up.
 	Patched int
+	// ActiveFuncs is the selection size when the phase ended; it differs
+	// from Patched after live re-selection (Reconfigure or Adapt).
+	ActiveFuncs int
+	// Reconfigs counts the live re-selections applied so far (manual
+	// Reconfigure calls and controller decisions).
+	Reconfigs int
+	// DroppedFuncs lists the functions the adaptive controller has
+	// deselected, in drop order.
+	DroppedFuncs []string
+	// AdaptEpochs carries the controller's per-epoch decisions when
+	// RunOptions.Adapt was set.
+	AdaptEpochs []AdaptEpoch
 	// TALP carries the region report when Backend was BackendTALP.
 	TALP *TALPReport
 	// Profile carries the profile when Backend was BackendScoreP.
@@ -224,12 +255,41 @@ type RunResult struct {
 	WallSeconds float64
 }
 
-// Run executes the session's build with the selection patched in at
-// start-up, under the chosen measurement backend. A nil selection with
-// RunOptions.PatchAll false runs with inactive sleds (the "xray inactive"
-// baseline).
-func (s *Session) Run(sel *Selection, opts RunOptions) (*RunResult, error) {
-	start := time.Now()
+// Instance is a live execution environment prepared by Session.Start: the
+// loaded process, its XRay runtime and — when instrumented — the DynCaPI
+// runtime with the measurement backend attached. It is the unit of
+// *runtime adaptability*: the selection can be changed in place with
+// Reconfigure (only the delta sleds are re-patched) and the workload can be
+// executed repeatedly with Run, without ever rebuilding or re-initializing
+// the instrumentation — the Fig. 1 loop without leaving the process.
+type Instance struct {
+	s    *Session
+	opts RunOptions
+
+	proc *obj.Process
+	xr   *xray.Runtime
+	rt   *dyncapi.Runtime
+	ctrl *adapt.Controller
+
+	talpBackend *dyncapi.TALPBackend
+	spBackend   *dyncapi.ScorePBackend
+	meas        *scorep.Measurement
+
+	world *mpi.World
+	mon   *talp.Monitor
+
+	// pendingNs is virtual set-up cost to charge to the next Run: T_init
+	// before the first phase, accumulated Reconfigure costs afterwards.
+	pendingNs int64
+	runs      int
+	wallStart time.Time
+}
+
+// Start prepares a live instance: the build is loaded, the XRay runtime
+// registers every patchable object, and the selection is patched in (one
+// coalesced batch). A nil selection with RunOptions.PatchAll false prepares
+// an uninstrumented instance (the "xray inactive" baseline).
+func (s *Session) Start(sel *Selection, opts RunOptions) (*Instance, error) {
 	if opts.Ranks <= 0 {
 		opts.Ranks = 4
 	}
@@ -245,46 +305,138 @@ func (s *Session) Run(sel *Selection, opts RunOptions) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	inst := &Instance{s: s, opts: opts, proc: proc, xr: xr, world: world, wallStart: time.Now()}
 
-	out := &RunResult{InitSeconds: -1}
 	var cfg *ic.Config
 	if sel != nil {
 		cfg = sel.IC
 	}
+	if cfg == nil && !opts.PatchAll {
+		return inst, nil // uninstrumented baseline
+	}
+
 	var backend dyncapi.Backend
-	var mon *talp.Monitor
-	var meas *scorep.Measurement
-	instrumented := cfg != nil || opts.PatchAll
-	if instrumented {
-		switch opts.Backend {
-		case BackendTALP:
-			mon = talp.New(world, talp.Options{EmulateReentryBug: opts.EmulateTALPBug})
-			backend = dyncapi.NewTALPBackend(mon)
-		case BackendScoreP:
-			meas, err = scorep.New(scorep.Options{Ranks: opts.Ranks})
-			if err != nil {
-				return nil, err
-			}
-			backend = dyncapi.NewScorePBackend(meas, scorep.NewResolverFromExecutable(proc))
-		case BackendNone, "":
-			backend = &dyncapi.CygBackend{}
-		default:
-			return nil, fmt.Errorf("capi: unknown backend %q", opts.Backend)
-		}
-		rt, err := dyncapi.New(proc, xr, cfg, backend, dyncapi.Options{PatchAll: opts.PatchAll})
+	switch opts.Backend {
+	case BackendTALP:
+		inst.mon = talp.New(world, talp.Options{EmulateReentryBug: opts.EmulateTALPBug})
+		inst.talpBackend = dyncapi.NewTALPBackend(inst.mon)
+		backend = inst.talpBackend
+	case BackendScoreP:
+		inst.meas, err = scorep.New(scorep.Options{Ranks: opts.Ranks})
 		if err != nil {
 			return nil, err
 		}
-		out.InitSeconds = rt.InitSeconds()
-		out.Patched = rt.Report().Patched
+		inst.spBackend = dyncapi.NewScorePBackend(inst.meas, scorep.NewResolverFromExecutable(proc))
+		backend = inst.spBackend
+	case BackendNone, "":
+		backend = &dyncapi.CygBackend{}
+	default:
+		return nil, fmt.Errorf("capi: unknown backend %q", opts.Backend)
 	}
+	if opts.Adapt != nil {
+		inst.ctrl = adapt.New(backend, *opts.Adapt)
+		backend = inst.ctrl
+	}
+	rt, err := dyncapi.New(proc, xr, cfg, backend, dyncapi.Options{PatchAll: opts.PatchAll})
+	if err != nil {
+		return nil, err
+	}
+	if inst.ctrl != nil {
+		inst.ctrl.Attach(rt)
+	}
+	inst.rt = rt
+	inst.pendingNs = rt.Report().InitVirtualNs
+	return inst, nil
+}
 
+// Reconfigure applies a new selection to the live instance: the currently
+// patched set is diffed against the new IC and only the delta sleds are
+// re-patched, under coalesced mprotect windows. The accumulated virtual
+// re-patch cost is charged to the next Run as its set-up time — the dynamic
+// workflow's turnaround, where the static workflow pays a recompile.
+func (i *Instance) Reconfigure(sel *Selection) (ReconfigReport, error) {
+	if i.rt == nil {
+		return ReconfigReport{}, fmt.Errorf("capi: instance is not instrumented")
+	}
+	if sel == nil || sel.IC == nil {
+		return ReconfigReport{}, fmt.Errorf("capi: nil selection")
+	}
+	rep, err := i.rt.Reconfigure(sel.IC)
+	if err != nil {
+		return rep, err
+	}
+	i.pendingNs += rep.VirtualNs
+	return rep, nil
+}
+
+// InitSeconds returns the DynCaPI start-up time (T_init) in virtual
+// seconds, or -1 for an uninstrumented instance.
+func (i *Instance) InitSeconds() float64 {
+	if i.rt == nil {
+		return -1
+	}
+	return i.rt.InitSeconds()
+}
+
+// ActiveFunctions returns the current selection size.
+func (i *Instance) ActiveFunctions() int {
+	if i.rt == nil {
+		return 0
+	}
+	return i.rt.ActiveCount()
+}
+
+// Reconfigs returns how many live re-selections have been applied.
+func (i *Instance) Reconfigs() int {
+	if i.rt == nil {
+		return 0
+	}
+	return i.rt.Reconfigs()
+}
+
+// Run executes one phase of the workload on the live instance. The first
+// call pays the instrumentation start-up (T_init); later calls pay only the
+// virtual cost of Reconfigure calls made since the previous phase — the
+// instrumentation itself stays up between phases.
+func (i *Instance) Run() (*RunResult, error) {
+	world := i.world
+	i.world = nil
+	if i.runs > 0 {
+		// Wall-clock accounting restarts here so time the caller spent
+		// between phases (inspecting results, selecting) is not billed to
+		// the simulation.
+		i.wallStart = time.Now()
+	}
+	if world == nil {
+		// A later phase: fresh world (rank clocks restart at zero), fresh
+		// per-phase measurement state, re-armed adaptation controller. The
+		// instrumentation runtime and its patched sleds stay up.
+		var err error
+		world, err = mpi.NewWorld(i.opts.Ranks, mpi.DefaultCostModel())
+		if err != nil {
+			return nil, err
+		}
+		if i.talpBackend != nil {
+			i.mon = talp.New(world, talp.Options{EmulateReentryBug: i.opts.EmulateTALPBug})
+			i.talpBackend.Reset(i.mon)
+		}
+		if i.spBackend != nil {
+			i.meas, err = scorep.New(scorep.Options{Ranks: i.opts.Ranks})
+			if err != nil {
+				return nil, err
+			}
+			i.spBackend.Reset(i.meas)
+		}
+		if i.ctrl != nil {
+			i.ctrl.NewPhase()
+		}
+	}
 	eng, err := exec.New(exec.Config{
-		Build:        s.build,
-		Proc:         proc,
-		XRay:         xr,
+		Build:        i.s.build,
+		Proc:         i.proc,
+		XRay:         i.xr,
 		World:        world,
-		RankWorkSkew: s.opts.RankWorkSkew,
+		RankWorkSkew: i.s.opts.RankWorkSkew,
 	})
 	if err != nil {
 		return nil, err
@@ -293,6 +445,13 @@ func (s *Session) Run(sel *Selection, opts RunOptions) (*RunResult, error) {
 		return nil, err
 	}
 
+	out := &RunResult{InitSeconds: -1}
+	if i.rt != nil {
+		out.InitSeconds = float64(i.pendingNs) / 1e9
+		out.Patched = i.rt.Report().Patched
+		out.ActiveFuncs = i.rt.ActiveCount()
+		out.Reconfigs = i.rt.Reconfigs()
+	}
 	for _, r := range world.Ranks() {
 		if sec := r.Clock().Seconds(); sec > out.TotalSeconds {
 			out.TotalSeconds = sec
@@ -302,14 +461,32 @@ func (s *Session) Run(sel *Selection, opts RunOptions) (*RunResult, error) {
 		out.TotalSeconds += out.InitSeconds
 	}
 	out.Events = eng.TotalEvents()
-	if mon != nil {
-		out.TALP = mon.Report()
+	if i.ctrl != nil {
+		out.DroppedFuncs = i.ctrl.Dropped()
+		out.AdaptEpochs = i.ctrl.Epochs()
 	}
-	if meas != nil {
-		out.Profile = meas.Profile()
+	if i.mon != nil {
+		out.TALP = i.mon.Report()
 	}
-	out.WallSeconds = time.Since(start).Seconds()
+	if i.meas != nil {
+		out.Profile = i.meas.Profile()
+	}
+	out.WallSeconds = time.Since(i.wallStart).Seconds()
+	i.pendingNs = 0
+	i.runs++
 	return out, nil
+}
+
+// Run executes the session's build with the selection patched in at
+// start-up, under the chosen measurement backend. A nil selection with
+// RunOptions.PatchAll false runs with inactive sleds (the "xray inactive"
+// baseline). It is Start followed by one Instance.Run.
+func (s *Session) Run(sel *Selection, opts RunOptions) (*RunResult, error) {
+	inst, err := s.Start(sel, opts)
+	if err != nil {
+		return nil, err
+	}
+	return inst.Run()
 }
 
 // RunVanilla executes the uninstrumented build (no sleds at all) and

@@ -258,3 +258,160 @@ subtract(%%, %site_excluded)
 		t.Fatal("empty selection via custom module")
 	}
 }
+
+// TestLiveInstanceReconfigure exercises the Fig. 1 loop without leaving the
+// process: one instance, refined in place between execution phases.
+func TestLiveInstanceReconfigure(t *testing.T) {
+	s := newQuickSession(t)
+	sel1, err := s.Select(quickSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := s.Start(sel1, capi.RunOptions{Backend: capi.BackendTALP, Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := inst.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Events == 0 || res1.InitSeconds <= 0 {
+		t.Fatalf("phase 1: events %d, init %v", res1.Events, res1.InitSeconds)
+	}
+	if res1.TALP == nil {
+		t.Fatal("phase 1: no TALP report")
+	}
+
+	// Narrow the selection live: coarse regions only.
+	sel2, err := s.Select(`!import("mpi.capi")
+excluded = join(inSystemHeader(%%), inlineSpecified(%%))
+coarse(subtract(%mpi_comm, %excluded))
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := inst.Reconfigure(sel2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Unpatched == 0 {
+		t.Fatalf("narrowing unpatched nothing: %+v", rep)
+	}
+	if rep.Batch.BatchFuncs != int64(rep.Patched+rep.Unpatched) {
+		t.Fatalf("batch touched %d funcs, delta is %d", rep.Batch.BatchFuncs, rep.Patched+rep.Unpatched)
+	}
+	res2, err := inst.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Events >= res1.Events {
+		t.Fatalf("narrowed phase produced %d events >= %d", res2.Events, res1.Events)
+	}
+	// The second phase paid only the re-patch, not a full re-init.
+	if res2.InitSeconds >= res1.InitSeconds {
+		t.Fatalf("live turnaround %v not below T_init %v", res2.InitSeconds, res1.InitSeconds)
+	}
+	if res2.TALP == nil {
+		t.Fatal("phase 2: no TALP report")
+	}
+	if inst.Reconfigs() != 1 {
+		t.Fatalf("reconfigs = %d", inst.Reconfigs())
+	}
+	if got := inst.ActiveFunctions(); got != res2.ActiveFuncs || got == 0 {
+		t.Fatalf("active functions = %d (result says %d)", got, res2.ActiveFuncs)
+	}
+}
+
+// TestRunWithAdaptController exercises the public Adapt wiring: a tight
+// budget must trigger live narrowing during a plain Session.Run.
+func TestRunWithAdaptController(t *testing.T) {
+	s := newQuickSession(t)
+	res, err := s.Run(nil, capi.RunOptions{
+		Ranks:    2,
+		PatchAll: true,
+		Adapt:    &capi.AdaptOptions{Budget: 0.0001},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reconfigs == 0 {
+		t.Fatal("controller never narrowed under a tight budget")
+	}
+	if len(res.DroppedFuncs) == 0 || len(res.AdaptEpochs) == 0 {
+		t.Fatalf("adaptation not reported: dropped %v, epochs %d", res.DroppedFuncs, len(res.AdaptEpochs))
+	}
+	if res.ActiveFuncs >= res.Patched {
+		t.Fatalf("active %d not below initially patched %d", res.ActiveFuncs, res.Patched)
+	}
+	reconfigured := false
+	for _, ep := range res.AdaptEpochs {
+		if ep.Reconfigured {
+			reconfigured = true
+			if ep.Report.Batch.BatchFuncs == 0 {
+				t.Fatalf("reconfigured epoch did no batch work: %+v", ep.Report)
+			}
+		}
+	}
+	if !reconfigured {
+		t.Fatal("no reconfigured epoch recorded")
+	}
+}
+
+// TestAdaptControllerStaysArmedAcrossPhases is the regression for the
+// controller going dormant after the first phase: a fresh world restarts
+// the rank clocks at zero, so the epoch boundary must be re-armed.
+func TestAdaptControllerStaysArmedAcrossPhases(t *testing.T) {
+	s := newQuickSession(t)
+	inst, err := s.Start(nil, capi.RunOptions{
+		Ranks:    2,
+		PatchAll: true,
+		Adapt:    &capi.AdaptOptions{Budget: 0.0001},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := inst.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res1.AdaptEpochs) == 0 {
+		t.Fatal("phase 1: no epochs evaluated")
+	}
+	res2, err := inst.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.AdaptEpochs) <= len(res1.AdaptEpochs) {
+		t.Fatalf("controller dormant in phase 2: %d epochs then, %d now",
+			len(res1.AdaptEpochs), len(res2.AdaptEpochs))
+	}
+}
+
+// TestScorePProfileIsPerPhase pins the per-phase measurement semantics: a
+// later phase's profile must not double-count earlier phases.
+func TestScorePProfileIsPerPhase(t *testing.T) {
+	s := newQuickSession(t)
+	sel, err := s.Select(quickSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := s.Start(sel, capi.RunOptions{Backend: capi.BackendScoreP, Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := inst.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := inst.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, r2 := res1.Profile.Region("exchange_halo"), res2.Profile.Region("exchange_halo")
+	if r1 == nil || r2 == nil {
+		t.Fatal("exchange_halo missing from a phase profile")
+	}
+	if r2.Visits != r1.Visits {
+		t.Fatalf("phase 2 visits %d != phase 1 visits %d — profile accumulated across phases", r2.Visits, r1.Visits)
+	}
+}

@@ -10,6 +10,12 @@
 //	dyncapi -app openfoam -builtin "mpi coarse" -backend talp
 //	dyncapi -app openfoam -full -backend talp       # patch everything
 //	dyncapi -app quickstart -ic my.ic.json -backend scorep
+//	dyncapi -app openfoam -full -adapt -budget 0.01 # live narrowing
+//
+// With -adapt (or an explicit -budget), the overhead-budget controller
+// watches per-function event counts during the run and narrows the
+// selection in place at epoch boundaries — only delta sleds are re-patched,
+// the run is never restarted.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	capi "capi"
 	"capi/internal/experiments"
 	"capi/internal/ic"
+	"capi/internal/vtime"
 )
 
 func main() {
@@ -34,6 +41,9 @@ func main() {
 		ranks   = flag.Int("ranks", 4, "simulated MPI ranks")
 		talpBug = flag.Bool("talp-bug", false, "emulate the TALP re-entry bug (§VI-B(b))")
 		asJSON  = flag.Bool("json", false, "emit the tool report as JSON")
+		adapt   = flag.Bool("adapt", false, "enable live overhead-budget adaptation")
+		budget  = flag.Float64("budget", 0, "overhead budget per epoch as a fraction (implies -adapt)")
+		epoch   = flag.Float64("epoch", 0, "adaptation epoch length in virtual seconds (implies -adapt)")
 	)
 	flag.Parse()
 
@@ -72,18 +82,39 @@ func main() {
 		fatal(fmt.Errorf("one of -ic, -spec, -builtin or -full is required"))
 	}
 
-	res, err := session.Run(sel, capi.RunOptions{
+	runOpts := capi.RunOptions{
 		Backend:        capi.Backend(*backend),
 		Ranks:          *ranks,
 		PatchAll:       *full,
 		EmulateTALPBug: *talpBug,
-	})
+	}
+	if *adapt || *budget > 0 || *epoch > 0 {
+		runOpts.Adapt = &capi.AdaptOptions{
+			Budget: *budget,
+			Epoch:  vtime.Seconds(*epoch),
+		}
+	}
+	res, err := session.Run(sel, runOpts)
 	if err != nil {
 		fatal(err)
 	}
 
 	fmt.Fprintf(os.Stderr, "dyncapi: T_init %.2fs, T_total %.2fs (virtual), %d functions patched, %d events\n",
 		res.InitSeconds, res.TotalSeconds, res.Patched, res.Events)
+	if runOpts.Adapt != nil {
+		fmt.Fprintf(os.Stderr, "dyncapi: adapt: %d live re-selections, %d functions active (of %d initially), %d dropped\n",
+			res.Reconfigs, res.ActiveFuncs, res.Patched, len(res.DroppedFuncs))
+		for _, ep := range res.AdaptEpochs {
+			if !ep.Reconfigured {
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "dyncapi: adapt: epoch %d @%s on rank %d: overhead %.1fµs > budget %.1fµs, dropped %d (re-patched only the delta: %d sleds in %d mprotect windows)\n",
+				ep.Seq, vtime.FormatSeconds(ep.AtNs), ep.Rank,
+				float64(ep.OverheadNs)/1e3, float64(ep.BudgetNs)/1e3,
+				len(ep.Dropped), ep.Report.Batch.UnpatchedSleds+ep.Report.Batch.PatchedSleds,
+				ep.Report.Batch.BatchWindows)
+		}
+	}
 	switch {
 	case res.TALP != nil && *asJSON:
 		err = res.TALP.WriteJSON(os.Stdout)

@@ -23,7 +23,10 @@
 //	compiler  Clang/-fxray-instrument model: inlining, symbols, sleds
 //	obj/mem   object images, dynamic loader, page protection
 //	xray      sled patching runtime with packed DSO/function IDs (Fig. 4)
-//	dyncapi   the DynCaPI runtime: ID resolution, patching, event bridge
+//	dyncapi   the DynCaPI runtime: ID resolution, patching, event bridge,
+//	          live re-selection (Reconfigure: delta re-patch in place)
+//	adapt     overhead-budget controller: narrows the selection at epoch
+//	          boundaries while the program runs (hottest low-duration first)
 //	mpi       simulated MPI with PMPI interception
 //	scorep    Score-P measurement substrate
 //	talp/pop  TALP regions + POP efficiency metrics
@@ -44,6 +47,21 @@
 //	subtract(%mpi_comm, %excluded)`)
 //	res, _ := s.Run(sel, capi.RunOptions{Backend: capi.BackendScoreP, Ranks: 4})
 //	res.Profile.WriteText(os.Stdout)
+//
+// # Live re-selection
+//
+// The loop also runs without leaving the process: Start returns a live
+// Instance whose selection can be changed in place — Reconfigure diffs the
+// patched set against the new IC and re-patches only the delta, under
+// page-coalesced mprotect windows. RunOptions.Adapt goes further and lets
+// an overhead-budget controller (internal/adapt) narrow the selection
+// automatically at virtual-time epoch boundaries while the workload runs:
+//
+//	inst, _ := s.Start(sel, capi.RunOptions{Backend: capi.BackendTALP})
+//	res1, _ := inst.Run()               // pays T_init once
+//	sel2, _ := s.Select(refinedSpec)
+//	inst.Reconfigure(sel2)              // delta re-patch, runtime stays up
+//	res2, _ := inst.Run()               // pays only the re-patch
 //
 // Everything is deterministic: workloads are generated from fixed seeds and
 // time is virtual, so measurements are reproducible bit-for-bit.

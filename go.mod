@@ -1,0 +1,3 @@
+module capi
+
+go 1.24

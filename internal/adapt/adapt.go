@@ -1,0 +1,450 @@
+// Package adapt implements the overhead-budget controller that makes the
+// instrumentation genuinely *runtime-adaptable*: instead of the user
+// refining the selection between runs (the paper's §VII-A workflow), the
+// controller refines it *during* the run.
+//
+// The controller is a measurement-backend bridge: it wraps the real backend
+// (cyg-profile, Score-P or TALP), forwards every event, and keeps
+// per-function enter/exit counts and inclusive durations. At every epoch
+// boundary of the virtual-time executor — the first event whose rank clock
+// crosses the boundary triggers the evaluation — it compares the epoch's
+// instrumentation overhead (events × modelled per-event cost) against the
+// configured budget. When the budget is exceeded it generates a narrowed
+// instrumentation configuration, dropping the hottest low-duration
+// functions first (the functions the paper's refinement loop removes by
+// hand, à la Fig. 1), and applies it in place through
+// dyncapi.Runtime.Reconfigure — only the delta sleds are re-patched, under
+// coalesced mprotect windows, and the run is never torn down.
+//
+// This closes the loop related work points at: Mertz & Nunes
+// (arXiv:2305.01039) adapt monitoring online to bound overhead, and Arafa
+// et al. (arXiv:1703.02873) suppress redundant instrumentation mid-run.
+//
+// Like real XRay unpatching, dropping a function that some rank is
+// currently executing loses that invocation's exit event (see
+// dyncapi.Runtime.Reconfigure); measurement backends must tolerate one
+// dangling enter per rank per dropped function.
+package adapt
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"capi/internal/dyncapi"
+	"capi/internal/ic"
+	"capi/internal/vtime"
+	"capi/internal/xray"
+)
+
+// Options tunes the controller.
+type Options struct {
+	// Epoch is the virtual-time length of one control epoch. The selection
+	// is re-evaluated whenever an executing rank's clock crosses an epoch
+	// boundary. Default: 10ms.
+	Epoch int64
+	// Budget is the tolerated instrumentation overhead per rank and epoch
+	// as a fraction of the epoch length (0.01 = 1%); the controller scales
+	// the allowance by the number of ranks it has observed, since the
+	// event counts it watches aggregate all ranks. Default: 0.01.
+	Budget float64
+	// PerEventNs is the modelled cost of one dispatched event (trampoline +
+	// handler). Default: 25, the execution engine's dispatch cost.
+	PerEventNs int64
+	// MinMeanNs classifies functions as "low-duration": a function whose
+	// mean inclusive duration is below this threshold carries little
+	// measurement value per event and is dropped first. Default: 10µs.
+	MinMeanNs int64
+	// MaxReconfigs bounds the number of live re-selections (0 = unlimited).
+	MaxReconfigs int
+}
+
+func (o *Options) fill() {
+	if o.Epoch <= 0 {
+		o.Epoch = 10 * vtime.Millisecond
+	}
+	if o.Budget <= 0 {
+		o.Budget = 0.01
+	}
+	if o.PerEventNs <= 0 {
+		o.PerEventNs = 25
+	}
+	if o.MinMeanNs <= 0 {
+		o.MinMeanNs = 10 * vtime.Microsecond
+	}
+}
+
+// FuncStat is a snapshot of one function's observed behaviour.
+type FuncStat struct {
+	ID     int32
+	Name   string
+	Calls  int64 // entry events
+	Events int64 // entry + exit events
+	MeanNs int64 // mean inclusive duration of completed outermost invocations (0 = none completed)
+}
+
+// Epoch records one control decision.
+type Epoch struct {
+	// Seq is the 1-based epoch number; AtNs and Rank identify the clock
+	// value and rank that triggered the boundary.
+	Seq  int
+	AtNs int64
+	Rank int
+	// Events is the number of instrumentation events observed during the
+	// epoch; OverheadNs is their modelled cost, BudgetNs the allowance.
+	Events     int64
+	OverheadNs int64
+	BudgetNs   int64
+	// Dropped lists the functions deselected at this boundary (empty when
+	// the budget held). Reconfigured tells whether a live re-selection was
+	// applied; Report is its delta summary.
+	Dropped      []string
+	DroppedIDs   []int32
+	Reconfigured bool
+	Report       dyncapi.ReconfigReport
+}
+
+// funcStat is the controller's per-function accumulator.
+type funcStat struct {
+	name        string
+	calls       atomic.Int64 // all entry events, nested included
+	completions atomic.Int64 // completed outermost invocations
+	events      atomic.Int64
+	durNs       atomic.Int64 // inclusive ns of completed outermost invocations
+	epochEvents atomic.Int64
+}
+
+// meanNs returns the mean inclusive duration of completed outermost
+// invocations, or -1 when none completed yet (duration unknown).
+func (st *funcStat) meanNs() int64 {
+	done := st.completions.Load()
+	if done == 0 {
+		return -1
+	}
+	return st.durNs.Load() / done
+}
+
+// rankState tracks open invocations per function on one rank. Each rank is
+// driven by exactly one goroutine, so the state needs no locking.
+type rankState struct {
+	open map[int32]*openCall
+}
+
+type openCall struct {
+	depth   int
+	startNs int64
+}
+
+// Controller is the adaptive bridge backend. Create it with New, pass it to
+// dyncapi.New as the measurement backend, then Attach the resulting runtime
+// so the controller can reconfigure it.
+type Controller struct {
+	inner dyncapi.Backend
+	opts  Options
+
+	rt atomic.Pointer[dyncapi.Runtime]
+
+	stats  sync.Map // int32 -> *funcStat
+	ranks  sync.Map // int -> *rankState
+	events atomic.Int64
+
+	nextEpoch atomic.Int64
+	lastNs    atomic.Int64 // clock value of the previous evaluation
+	inEpoch   atomic.Bool
+
+	mu        sync.Mutex
+	epochs    []Epoch
+	reconfigs int
+	dropped   []string
+}
+
+// New wraps a measurement backend with the adaptive controller.
+func New(inner dyncapi.Backend, opts Options) *Controller {
+	opts.fill()
+	return &Controller{inner: inner, opts: opts}
+}
+
+// Attach hands the controller the runtime it adapts and arms the first
+// epoch boundary. Events observed before Attach are counted but never
+// trigger a reconfiguration.
+func (c *Controller) Attach(rt *dyncapi.Runtime) {
+	c.rt.Store(rt)
+	c.nextEpoch.Store(c.opts.Epoch)
+}
+
+// NewPhase re-arms the controller for an execution phase whose rank clocks
+// restart at zero (a fresh world): the epoch boundary is reset, the event
+// window cleared and open invocations from the previous phase forgotten.
+// Call it only between phases, never while handlers are executing.
+func (c *Controller) NewPhase() {
+	c.nextEpoch.Store(c.opts.Epoch)
+	c.lastNs.Store(0)
+	c.events.Store(0)
+	c.stats.Range(func(_, v any) bool {
+		v.(*funcStat).epochEvents.Store(0)
+		return true
+	})
+	c.ranks.Range(func(_, v any) bool {
+		v.(*rankState).open = map[int32]*openCall{}
+		return true
+	})
+}
+
+// Inner returns the wrapped measurement backend.
+func (c *Controller) Inner() dyncapi.Backend { return c.inner }
+
+// Name implements dyncapi.Backend.
+func (c *Controller) Name() string { return "adapt+" + c.inner.Name() }
+
+// InitCost implements dyncapi.Backend.
+func (c *Controller) InitCost(symbols int) int64 { return c.inner.InitCost(symbols) }
+
+func (c *Controller) stat(fn *dyncapi.ResolvedFunc) *funcStat {
+	if v, ok := c.stats.Load(fn.PackedID); ok {
+		return v.(*funcStat)
+	}
+	v, _ := c.stats.LoadOrStore(fn.PackedID, &funcStat{name: fn.Name})
+	return v.(*funcStat)
+}
+
+func (c *Controller) rank(id int) *rankState {
+	if v, ok := c.ranks.Load(id); ok {
+		return v.(*rankState)
+	}
+	v, _ := c.ranks.LoadOrStore(id, &rankState{open: map[int32]*openCall{}})
+	return v.(*rankState)
+}
+
+// OnEnter implements dyncapi.Backend: count, forward, check the epoch.
+func (c *Controller) OnEnter(tc xray.ThreadCtx, fn *dyncapi.ResolvedFunc) {
+	st := c.stat(fn)
+	st.calls.Add(1)
+	st.events.Add(1)
+	st.epochEvents.Add(1)
+	c.events.Add(1)
+	rs := c.rank(tc.RankID())
+	oc := rs.open[fn.PackedID]
+	if oc == nil {
+		oc = &openCall{}
+		rs.open[fn.PackedID] = oc
+	}
+	if oc.depth == 0 {
+		oc.startNs = tc.Clock().Now()
+	}
+	oc.depth++
+	c.inner.OnEnter(tc, fn)
+	c.maybeEpoch(tc)
+}
+
+// OnExit implements dyncapi.Backend.
+func (c *Controller) OnExit(tc xray.ThreadCtx, fn *dyncapi.ResolvedFunc) {
+	st := c.stat(fn)
+	st.events.Add(1)
+	st.epochEvents.Add(1)
+	c.events.Add(1)
+	rs := c.rank(tc.RankID())
+	if oc := rs.open[fn.PackedID]; oc != nil && oc.depth > 0 {
+		oc.depth--
+		if oc.depth == 0 {
+			st.durNs.Add(tc.Clock().Now() - oc.startNs)
+			st.completions.Add(1)
+		}
+	}
+	c.inner.OnExit(tc, fn)
+	c.maybeEpoch(tc)
+}
+
+// maybeEpoch runs the controller when the executing rank's clock has
+// crossed the armed epoch boundary. Exactly one rank wins the CAS and
+// evaluates; the others keep executing — their handlers are safe against
+// the concurrent Reconfigure by construction.
+func (c *Controller) maybeEpoch(tc xray.ThreadCtx) {
+	rt := c.rt.Load()
+	if rt == nil {
+		return
+	}
+	now := tc.Clock().Now()
+	if now < c.nextEpoch.Load() {
+		return
+	}
+	if !c.inEpoch.CompareAndSwap(false, true) {
+		return
+	}
+	defer c.inEpoch.Store(false)
+	if now < c.nextEpoch.Load() { // another rank just evaluated this boundary
+		return
+	}
+	c.runEpoch(rt, tc, now)
+	c.lastNs.Store(now)
+	c.nextEpoch.Store(now + c.opts.Epoch)
+}
+
+func (c *Controller) runEpoch(rt *dyncapi.Runtime, tc xray.ThreadCtx, now int64) {
+	events := c.events.Swap(0)
+	overhead := events * c.opts.PerEventNs
+	// The window since the previous evaluation may span several epochs
+	// (collectives can advance a clock far past a boundary); the budget
+	// covers the whole elapsed window, not a single epoch, so catch-up
+	// bursts are not overestimated.
+	elapsed := now - c.lastNs.Load()
+	if elapsed < c.opts.Epoch {
+		elapsed = c.opts.Epoch
+	}
+	// The event total aggregates every rank's handler calls, but elapsed is
+	// one rank's clock window — scale the allowance by the number of ranks
+	// observed so Budget stays a per-rank overhead fraction.
+	ranks := 0
+	c.ranks.Range(func(_, _ any) bool { ranks++; return true })
+	if ranks < 1 {
+		ranks = 1
+	}
+	budget := int64(c.opts.Budget * float64(elapsed) * float64(ranks))
+	ep := Epoch{AtNs: now, Rank: tc.RankID(), Events: events, OverheadNs: overhead, BudgetNs: budget}
+
+	c.mu.Lock()
+	limited := c.opts.MaxReconfigs > 0 && c.reconfigs >= c.opts.MaxReconfigs
+	c.mu.Unlock()
+
+	if overhead > budget && !limited {
+		c.narrow(rt, tc, &ep, overhead-budget)
+	}
+
+	// Reset the per-epoch counters for the next window.
+	c.stats.Range(func(_, v any) bool {
+		v.(*funcStat).epochEvents.Store(0)
+		return true
+	})
+
+	c.mu.Lock()
+	ep.Seq = len(c.epochs) + 1
+	c.epochs = append(c.epochs, ep)
+	c.mu.Unlock()
+}
+
+// narrow drops the hottest low-duration functions until the projected
+// overhead fits the budget, then applies the narrowed IC in place.
+func (c *Controller) narrow(rt *dyncapi.Runtime, tc xray.ThreadCtx, ep *Epoch, excess int64) {
+	type cand struct {
+		id          int32
+		name        string
+		epochEvents int64
+		meanNs      int64
+	}
+	active := rt.ActiveFuncs()
+	var cands []cand
+	for _, rf := range active {
+		v, ok := c.stats.Load(rf.PackedID)
+		if !ok {
+			continue
+		}
+		st := v.(*funcStat)
+		ev := st.epochEvents.Load()
+		if ev == 0 {
+			continue
+		}
+		cands = append(cands, cand{id: rf.PackedID, name: rf.Name, epochEvents: ev, meanNs: st.meanNs()})
+	}
+	// Hottest low-duration first: the low-duration class before everything
+	// else, then by event count descending, ID ascending for determinism.
+	// A function with no completed invocation yet (mean -1) has an unknown
+	// duration and is conservatively treated as not low-duration.
+	lowDur := func(mean int64) bool { return mean >= 0 && mean < c.opts.MinMeanNs }
+	sort.Slice(cands, func(i, j int) bool {
+		li, lj := lowDur(cands[i].meanNs), lowDur(cands[j].meanNs)
+		if li != lj {
+			return li
+		}
+		if cands[i].epochEvents != cands[j].epochEvents {
+			return cands[i].epochEvents > cands[j].epochEvents
+		}
+		return cands[i].id < cands[j].id
+	})
+	drop := map[int32]bool{}
+	for _, cd := range cands {
+		if excess <= 0 {
+			break
+		}
+		drop[cd.id] = true
+		excess -= cd.epochEvents * c.opts.PerEventNs
+		if cd.name != "" {
+			ep.Dropped = append(ep.Dropped, cd.name)
+		} else {
+			ep.Dropped = append(ep.Dropped, fmt.Sprintf("id:%d", cd.id))
+		}
+		ep.DroppedIDs = append(ep.DroppedIDs, cd.id)
+	}
+	if len(drop) == 0 {
+		return
+	}
+
+	var names []string
+	var keepIDs []int32
+	for _, rf := range active {
+		if drop[rf.PackedID] {
+			continue
+		}
+		if rf.Name != "" {
+			names = append(names, rf.Name)
+		}
+		keepIDs = append(keepIDs, rf.PackedID)
+	}
+	app, spec := "", "adapt"
+	if cfg := rt.Config(); cfg != nil {
+		app = cfg.App
+		if cfg.Spec != "" {
+			spec = cfg.Spec + "+adapt"
+		}
+	}
+	rep, err := rt.Reconfigure(ic.New(app, spec, names).WithIncludeIDs(keepIDs))
+	if err != nil {
+		return
+	}
+	// The re-patch is real work: charge it to the rank that performed it.
+	tc.Clock().Advance(rep.VirtualNs)
+	ep.Reconfigured = true
+	ep.Report = rep
+
+	c.mu.Lock()
+	c.reconfigs++
+	c.dropped = append(c.dropped, ep.Dropped...)
+	c.mu.Unlock()
+}
+
+// Epochs returns the recorded control decisions.
+func (c *Controller) Epochs() []Epoch {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Epoch(nil), c.epochs...)
+}
+
+// Reconfigs returns how many live re-selections the controller applied.
+func (c *Controller) Reconfigs() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reconfigs
+}
+
+// Dropped returns every function the controller has deselected, in drop
+// order.
+func (c *Controller) Dropped() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.dropped...)
+}
+
+// Stats returns per-function snapshots sorted by packed ID.
+func (c *Controller) Stats() []FuncStat {
+	var out []FuncStat
+	c.stats.Range(func(k, v any) bool {
+		st := v.(*funcStat)
+		fs := FuncStat{ID: k.(int32), Name: st.name, Calls: st.calls.Load(), Events: st.events.Load()}
+		if mean := st.meanNs(); mean > 0 {
+			fs.MeanNs = mean
+		}
+		out = append(out, fs)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,398 @@
+package adapt
+
+import (
+	"testing"
+
+	"capi/internal/compiler"
+	"capi/internal/dyncapi"
+	"capi/internal/exec"
+	"capi/internal/ic"
+	"capi/internal/mpi"
+	"capi/internal/obj"
+	"capi/internal/prog"
+	"capi/internal/scorep"
+	"capi/internal/vtime"
+	"capi/internal/xray"
+)
+
+type fakeCtx struct {
+	rank int
+	clk  vtime.Clock
+}
+
+func (f *fakeCtx) RankID() int         { return f.rank }
+func (f *fakeCtx) Clock() *vtime.Clock { return &f.clk }
+
+// twoFuncSetup builds exe{main, hot, slow}, an XRay runtime and a DynCaPI
+// runtime instrumenting hot+slow through the controller.
+func twoFuncSetup(t *testing.T, opts Options) (*compiler.Build, *obj.Process, *xray.Runtime, *dyncapi.Runtime, *Controller) {
+	t.Helper()
+	p := prog.New("app", "main")
+	p.MustAddUnit("app.exe", prog.Executable)
+	p.MustAddFunc(&prog.Function{Name: "main", Unit: "app.exe", Statements: 30,
+		Ops: []prog.Op{prog.Call("hot", 1), prog.Call("slow", 1)}})
+	p.MustAddFunc(&prog.Function{Name: "hot", Unit: "app.exe", Statements: 35})
+	p.MustAddFunc(&prog.Function{Name: "slow", Unit: "app.exe", Statements: 35})
+	b, err := compiler.Compile(p, compiler.Options{XRay: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := b.LoadProcess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	xr, err := xray.NewRuntime(proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := New(&dyncapi.CygBackend{}, opts)
+	rt, err := dyncapi.New(proc, xr, ic.New("app", "s", []string{"hot", "slow"}), ctrl, dyncapi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Attach(rt)
+	return b, proc, xr, rt, ctrl
+}
+
+func packedOf(t *testing.T, b *compiler.Build, xr *xray.Runtime, proc *obj.Process, name string) int32 {
+	t.Helper()
+	lay := b.Layout[name]
+	if lay == nil || !lay.HasSleds {
+		t.Fatalf("%s has no sleds", name)
+	}
+	lo := proc.Object(lay.Unit)
+	objID, ok := xr.ObjectID(lo)
+	if !ok {
+		t.Fatalf("object %s not registered", lay.Unit)
+	}
+	id, err := xray.PackID(objID, lay.FuncID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestControllerUnderBudgetKeepsSelection(t *testing.T) {
+	b, proc, xr, rt, ctrl := twoFuncSetup(t, Options{Epoch: vtime.Millisecond, Budget: 0.5})
+	tc := &fakeCtx{}
+	hot := packedOf(t, b, xr, proc, "hot")
+	// A handful of events, then cross the boundary: 25ns × 4 ≪ 500µs budget.
+	for i := 0; i < 2; i++ {
+		xr.Dispatch(tc, hot, xray.Entry)
+		tc.clk.Advance(100)
+		xr.Dispatch(tc, hot, xray.Exit)
+	}
+	tc.clk.Advance(vtime.Millisecond)
+	xr.Dispatch(tc, hot, xray.Entry)
+	xr.Dispatch(tc, hot, xray.Exit)
+
+	if ctrl.Reconfigs() != 0 || rt.Reconfigs() != 0 {
+		t.Fatalf("reconfigured although under budget: %d", ctrl.Reconfigs())
+	}
+	eps := ctrl.Epochs()
+	if len(eps) != 1 {
+		t.Fatalf("epochs = %d, want 1", len(eps))
+	}
+	if eps[0].Reconfigured || len(eps[0].Dropped) != 0 {
+		t.Fatalf("epoch = %+v", eps[0])
+	}
+	if eps[0].Events != 5 { // the four warm-up events + the boundary-crossing entry
+		t.Fatalf("epoch events = %d, want 5", eps[0].Events)
+	}
+	if !rt.Active(hot) {
+		t.Fatal("hot dropped under budget")
+	}
+}
+
+func TestControllerDropsHottestLowDurationFirst(t *testing.T) {
+	b, proc, xr, rt, ctrl := twoFuncSetup(t, Options{Epoch: vtime.Millisecond, Budget: 0.01})
+	hot := packedOf(t, b, xr, proc, "hot")
+	slow := packedOf(t, b, xr, proc, "slow")
+	tc := &fakeCtx{}
+	// 210 hot invocations of 100ns each: hot and low-duration.
+	for i := 0; i < 210; i++ {
+		xr.Dispatch(tc, hot, xray.Entry)
+		tc.clk.Advance(100)
+		xr.Dispatch(tc, hot, xray.Exit)
+	}
+	// One slow invocation of 1ms: its exit crosses the epoch boundary with
+	// 422 events ≈ 10550ns overhead against a ≈10210ns elapsed-scaled
+	// budget (1% of the 1.021ms window).
+	xr.Dispatch(tc, slow, xray.Entry)
+	tc.clk.Advance(vtime.Millisecond)
+	xr.Dispatch(tc, slow, xray.Exit)
+
+	if ctrl.Reconfigs() != 1 {
+		t.Fatalf("reconfigs = %d, want 1", ctrl.Reconfigs())
+	}
+	dropped := ctrl.Dropped()
+	if len(dropped) != 1 || dropped[0] != "hot" {
+		t.Fatalf("dropped = %v, want [hot] (hottest low-duration first)", dropped)
+	}
+	if rt.Active(hot) || xr.Patched(hot) {
+		t.Fatal("hot still active/patched")
+	}
+	if !rt.Active(slow) || !xr.Patched(slow) {
+		t.Fatal("slow (long-duration) must survive the narrowing")
+	}
+	eps := ctrl.Epochs()
+	if len(eps) != 1 || !eps[0].Reconfigured {
+		t.Fatalf("epochs = %+v", eps)
+	}
+	// Only the delta was touched: one function unpatched, none patched.
+	rep := eps[0].Report
+	if rep.Unpatched != 1 || rep.Patched != 0 || rep.Kept != 1 {
+		t.Fatalf("reconfig report = %+v", rep)
+	}
+	if rep.Batch.BatchFuncs != 1 || rep.Batch.UnpatchedSleds != 2 || rep.Batch.PatchedSleds != 0 {
+		t.Fatalf("batch stats = %+v (not delta-only)", rep.Batch)
+	}
+	// The re-patch cost was charged to the triggering rank's virtual clock.
+	if want := vtime.Millisecond + 210*100 + rep.VirtualNs; tc.clk.Now() != want {
+		t.Fatalf("clock = %d, want %d (reconfig cost charged)", tc.clk.Now(), want)
+	}
+}
+
+func TestControllerRespectsMaxReconfigs(t *testing.T) {
+	b, proc, xr, rt, ctrl := twoFuncSetup(t, Options{
+		Epoch: vtime.Millisecond, Budget: 0.0001, MaxReconfigs: 1,
+	})
+	hot := packedOf(t, b, xr, proc, "hot")
+	slow := packedOf(t, b, xr, proc, "slow")
+	tc := &fakeCtx{}
+	for epoch := 0; epoch < 3; epoch++ {
+		for i := 0; i < 50; i++ {
+			xr.Dispatch(tc, hot, xray.Entry)
+			tc.clk.Advance(100)
+			xr.Dispatch(tc, hot, xray.Exit)
+			xr.Dispatch(tc, slow, xray.Entry)
+			tc.clk.Advance(100)
+			xr.Dispatch(tc, slow, xray.Exit)
+		}
+		tc.clk.Advance(vtime.Millisecond)
+	}
+	xr.Dispatch(tc, slow, xray.Entry)
+	xr.Dispatch(tc, slow, xray.Exit)
+	if ctrl.Reconfigs() != 1 {
+		t.Fatalf("reconfigs = %d, want 1 (MaxReconfigs)", ctrl.Reconfigs())
+	}
+	_ = rt
+}
+
+// TestAdaptiveNarrowingMidRun is the end-to-end acceptance test: a workload
+// runs under the execution engine, the controller narrows the selection at
+// an epoch boundary *mid-run*, and
+//
+//	(a) only the delta sleds are re-patched (batch stats),
+//	(b) events stop arriving for the deselected function,
+//	(c) the DynCaPI runtime is never torn down.
+func TestAdaptiveNarrowingMidRun(t *testing.T) {
+	p := prog.New("adaptapp", "main")
+	p.MustAddUnit("app.exe", prog.Executable)
+	p.MustAddUnit("libmpi.so", prog.SystemLibrary)
+	p.MustAddFunc(&prog.Function{Name: "MPI_Init", Unit: "libmpi.so"})
+	p.MustAddFunc(&prog.Function{Name: "main", Unit: "app.exe", Statements: 30, Ops: []prog.Op{
+		prog.MPICall("MPI_Init", 0),
+		prog.Call("hot", 5000),
+		prog.Call("medium", 10),
+	}})
+	// hot: 5000 calls of 200ns — hot and low-duration, the refinement
+	// loop's classic drop candidate. medium: 10 calls of 1ms.
+	p.MustAddFunc(&prog.Function{Name: "hot", Unit: "app.exe", Statements: 35,
+		Ops: []prog.Op{prog.Work(200)}})
+	p.MustAddFunc(&prog.Function{Name: "medium", Unit: "app.exe", Statements: 35,
+		Ops: []prog.Op{prog.Work(vtime.Millisecond)}})
+	b, err := compiler.Compile(p, compiler.Options{XRay: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := b.LoadProcess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	xr, err := xray.NewRuntime(proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := New(&dyncapi.CygBackend{}, Options{Epoch: 100 * vtime.Microsecond, Budget: 0.01})
+	rt, err := dyncapi.New(proc, xr, ic.New("adaptapp", "test", []string{"hot", "medium"}), ctrl, dyncapi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Attach(rt)
+	hotID := packedOf(t, b, xr, proc, "hot")
+	mediumID := packedOf(t, b, xr, proc, "medium")
+	if !xr.Patched(hotID) || !xr.Patched(mediumID) {
+		t.Fatal("initial selection not patched")
+	}
+
+	// Phase 1: the workload runs; the controller must narrow mid-run.
+	world, err := mpi.NewWorld(1, mpi.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := exec.New(exec.Config{Build: b, Proc: proc, XRay: xr, World: world})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	if ctrl.Reconfigs() < 1 {
+		t.Fatal("controller never reconfigured although over budget")
+	}
+	if rt.Reconfigs() != ctrl.Reconfigs() {
+		t.Fatalf("runtime saw %d reconfigs, controller %d", rt.Reconfigs(), ctrl.Reconfigs())
+	}
+	if rt.Active(hotID) || xr.Patched(hotID) {
+		t.Fatal("hot must be deselected and unpatched mid-run")
+	}
+	if !rt.Active(mediumID) || !xr.Patched(mediumID) {
+		t.Fatal("medium must survive (long-duration)")
+	}
+
+	// (a) Only delta sleds were re-patched, under coalesced windows.
+	var reconfigured *Epoch
+	for i, ep := range ctrl.Epochs() {
+		if ep.Reconfigured {
+			reconfigured = &ctrl.Epochs()[i]
+			break
+		}
+	}
+	if reconfigured == nil {
+		t.Fatal("no reconfigured epoch recorded")
+	}
+	rep := reconfigured.Report
+	if int64(len(reconfigured.DroppedIDs)) != rep.Batch.BatchFuncs {
+		t.Fatalf("batch touched %d funcs, dropped %d — not delta-only",
+			rep.Batch.BatchFuncs, len(reconfigured.DroppedIDs))
+	}
+	if rep.Patched != 0 || rep.Unpatched != len(reconfigured.DroppedIDs) {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Batch.PatchedSleds != 0 {
+		t.Fatal("narrowing must not patch new sleds")
+	}
+
+	// (b) Post-reconfigure, events stop arriving for the deselected
+	// function: a second execution phase produces no hot events at all.
+	hotEventsAfterPhase1 := funcEvents(ctrl, hotID)
+	mediumEventsAfterPhase1 := funcEvents(ctrl, mediumID)
+	world2, err := mpi.NewWorld(1, mpi.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2, err := exec.New(exec.Config{Build: b, Proc: proc, XRay: xr, World: world2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := funcEvents(ctrl, hotID); got != hotEventsAfterPhase1 {
+		t.Fatalf("hot events grew %d → %d after deselection", hotEventsAfterPhase1, got)
+	}
+	if got := funcEvents(ctrl, mediumID); got <= mediumEventsAfterPhase1 {
+		t.Fatalf("medium events did not grow (%d → %d) — instrumentation died entirely", mediumEventsAfterPhase1, got)
+	}
+
+	// (c) The runtime was never torn down: same instance, same resolution
+	// table, init cost unchanged, and the second phase reused it.
+	if rt.Report().Patched != 2 {
+		t.Fatalf("init report mutated: %+v", rt.Report())
+	}
+	if rt.InitSeconds() <= 0 {
+		t.Fatal("init accounting lost")
+	}
+}
+
+func funcEvents(c *Controller, id int32) int64 {
+	for _, fs := range c.Stats() {
+		if fs.ID == id {
+			return fs.Events
+		}
+	}
+	return 0
+}
+
+// TestControllerForwardsSymbolInjection is the regression for the adapt
+// wrapper silently disabling Score-P's DSO symbol injection: DynCaPI must
+// find the SymbolInjector through the bridge.
+func TestControllerForwardsSymbolInjection(t *testing.T) {
+	p := prog.New("app", "main")
+	p.MustAddUnit("app.exe", prog.Executable)
+	p.MustAddUnit("lib.so", prog.SharedObject)
+	p.MustAddFunc(&prog.Function{Name: "main", Unit: "app.exe", Statements: 30,
+		Ops: []prog.Op{prog.Call("dso_fn", 1)}})
+	p.MustAddFunc(&prog.Function{Name: "dso_fn", Unit: "lib.so", Statements: 40})
+	b, err := compiler.Compile(p, compiler.Options{XRay: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := b.LoadProcess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	xr, err := xray.NewRuntime(proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := scorep.New(scorep.Options{Ranks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := New(dyncapi.NewScorePBackend(m, scorep.NewResolverFromExecutable(proc)), Options{})
+	rt, err := dyncapi.New(proc, xr, ic.New("app", "s", []string{"dso_fn"}), ctrl, dyncapi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Attach(rt)
+	if rt.Report().SymbolsInjected == 0 {
+		t.Fatal("DSO symbols not injected through the adapt bridge")
+	}
+}
+
+// TestRecursiveLongFunctionNotDroppedAsLowDuration is the regression for
+// the mean-duration denominator: nested (recursive) entries must not
+// dilute a long function's mean into the "low-duration" class.
+func TestRecursiveLongFunctionNotDroppedAsLowDuration(t *testing.T) {
+	b, proc, xr, rt, ctrl := twoFuncSetup(t, Options{Epoch: vtime.Millisecond, Budget: 0.01})
+	hot := packedOf(t, b, xr, proc, "hot")
+	slow := packedOf(t, b, xr, proc, "slow")
+	tc := &fakeCtx{}
+	// hot: 150 tiny invocations (clearly low-duration).
+	for i := 0; i < 150; i++ {
+		xr.Dispatch(tc, hot, xray.Entry)
+		tc.clk.Advance(100)
+		xr.Dispatch(tc, hot, xray.Exit)
+	}
+	// slow: ONE outer invocation of 1.75ms that recurses into itself 350
+	// times. The epoch boundary fires mid-recursion, when slow has more
+	// epoch events than hot — but its outer invocation is long (and still
+	// open), so it must not be classified low-duration and hot must be
+	// dropped first.
+	xr.Dispatch(tc, slow, xray.Entry)
+	for j := 0; j < 350; j++ {
+		xr.Dispatch(tc, slow, xray.Entry)
+		tc.clk.Advance(5 * vtime.Microsecond)
+		xr.Dispatch(tc, slow, xray.Exit)
+	}
+	xr.Dispatch(tc, slow, xray.Exit)
+
+	if ctrl.Reconfigs() != 1 {
+		t.Fatalf("reconfigs = %d, want 1", ctrl.Reconfigs())
+	}
+	if dropped := ctrl.Dropped(); len(dropped) != 1 || dropped[0] != "hot" {
+		t.Fatalf("dropped = %v, want [hot] — recursive slow misclassified as low-duration", dropped)
+	}
+	if !rt.Active(slow) || rt.Active(hot) {
+		t.Fatal("wrong function dropped")
+	}
+	// The completed outer invocation dominates the reported mean.
+	for _, fs := range ctrl.Stats() {
+		if fs.ID == slow && fs.MeanNs < vtime.Millisecond {
+			t.Fatalf("slow mean = %dns, diluted by nested entries", fs.MeanNs)
+		}
+	}
+}

@@ -62,6 +62,11 @@ func NewScorePBackend(m *scorep.Measurement, r *scorep.Resolver) *ScorePBackend 
 	return &ScorePBackend{M: m, Resolver: r}
 }
 
+// Reset attaches a fresh measurement for the next execution phase; the
+// resolver (and its injected DSO symbols) is kept. Call it only between
+// phases, never while handlers are executing.
+func (b *ScorePBackend) Reset(m *scorep.Measurement) { b.M = m }
+
 // Name implements Backend.
 func (b *ScorePBackend) Name() string { return "scorep" }
 
@@ -101,6 +106,16 @@ type talpRegionState struct {
 // NewTALPBackend wraps a TALP monitor.
 func NewTALPBackend(m *talp.Monitor) *TALPBackend {
 	return &TALPBackend{Mon: m, regions: map[int32]*talpRegionState{}}
+}
+
+// Reset attaches a fresh monitor for the next execution phase and forgets
+// the lazily registered regions (they belong to the previous monitor). Call
+// it only between phases, never while handlers are executing.
+func (b *TALPBackend) Reset(m *talp.Monitor) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.Mon = m
+	b.regions = map[int32]*talpRegionState{}
 }
 
 // Name implements Backend.

@@ -17,6 +17,9 @@ package dyncapi
 
 import (
 	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"capi/internal/ic"
 	"capi/internal/obj"
@@ -95,15 +98,40 @@ type Report struct {
 }
 
 // Runtime is one initialized DynCaPI instance.
+//
+// A Runtime is safe for concurrent use: XRay handler execution (events
+// firing on every rank) may overlap with Reconfigure. The full resolution
+// table (byID) is immutable after New; the handler looks up the *currently
+// selected* subset through an atomically swapped map, and all mutating
+// operations (Reconfigure) serialize on an internal mutex.
 type Runtime struct {
 	proc    *obj.Process
 	xr      *xray.Runtime
-	cfg     *ic.Config
 	backend Backend
 	opts    Options
 
+	// byID is the full function-ID → resolution table. It is built once in
+	// New and never mutated afterwards, so handlers may read it lock-free.
 	byID   map[int32]*ResolvedFunc
 	report Report
+
+	// mu serializes configuration changes (Reconfigure) and guards cfg and
+	// the reconfiguration counters.
+	mu         sync.Mutex
+	cfg        *ic.Config
+	reconfigs  int
+	reconfigNs int64
+
+	// active holds the map[int32]*ResolvedFunc of currently selected
+	// functions. The handler loads it atomically on every event;
+	// Reconfigure swaps in a fresh map (copy-on-write), so in-flight events
+	// for freshly deselected functions are dropped instead of racing the
+	// sled rewrite.
+	active atomic.Value
+
+	// dropped counts events that arrived for functions outside the active
+	// selection (the window between a sled firing and its unpatching).
+	dropped atomic.Int64
 }
 
 // New initializes DynCaPI: it resolves function IDs, patches according to
@@ -140,11 +168,34 @@ func New(proc *obj.Process, xr *xray.Runtime, cfg *ic.Config, backend Backend, o
 	return rt, nil
 }
 
+// backendUnwrapper is implemented by bridge backends (the adaptive
+// controller) that wrap the real measurement backend.
+type backendUnwrapper interface {
+	Inner() Backend
+}
+
+// symbolInjector finds the SymbolInjector in the backend chain, looking
+// through bridge backends so wrapping (e.g. the adapt controller around
+// Score-P) does not silently disable DSO symbol injection.
+func symbolInjector(b Backend) SymbolInjector {
+	for b != nil {
+		if inj, ok := b.(SymbolInjector); ok {
+			return inj
+		}
+		w, ok := b.(backendUnwrapper)
+		if !ok {
+			return nil
+		}
+		b = w.Inner()
+	}
+	return nil
+}
+
 // resolve builds the function-ID → name mapping per object. The executable
 // is resolved from its full symbol table; DSOs only expose their dynamic
 // symbols, so hidden functions stay unresolved (§VI-B(a)).
 func (rt *Runtime) resolve() error {
-	injector, _ := rt.backend.(SymbolInjector)
+	injector := symbolInjector(rt.backend)
 	for objID, lo := range rt.xr.Objects() {
 		rt.report.Objects++
 		var syms []obj.Symbol
@@ -204,35 +255,62 @@ func (rt *Runtime) resolve() error {
 	return nil
 }
 
-// patch applies the IC (or patches everything). A function is selected
-// either by resolved name or — the §VI-B(a) extension — by a statically
-// determined packed ID carried in the IC, which also covers hidden DSO
-// symbols that name resolution cannot reach.
-func (rt *Runtime) patch() error {
+// wantSet computes the subset of resolved functions the given configuration
+// selects. A function is selected either by resolved name or — the §VI-B(a)
+// extension — by a statically determined packed ID carried in the IC, which
+// also covers hidden DSO symbols that name resolution cannot reach.
+func (rt *Runtime) wantSet(cfg *ic.Config, patchAll bool) map[int32]*ResolvedFunc {
+	want := make(map[int32]*ResolvedFunc)
 	for packed, rf := range rt.byID {
-		want := rt.opts.PatchAll
-		if !want && rt.cfg != nil {
-			want = rt.cfg.ContainsID(packed) || (rf.Name != "" && rt.cfg.Contains(rf.Name))
+		w := patchAll
+		if !w && cfg != nil {
+			w = cfg.ContainsID(packed) || (rf.Name != "" && cfg.Contains(rf.Name))
 		}
-		if !want {
-			continue
+		if w {
+			want[packed] = rf
 		}
-		if err := rt.xr.PatchFunction(packed); err != nil {
-			return fmt.Errorf("dyncapi: patching %s: %w", rf.Name, err)
+	}
+	return want
+}
+
+func sortedIDs(set map[int32]*ResolvedFunc) []int32 {
+	ids := make([]int32, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// patch applies the initial IC (or patches everything) in one coalesced
+// batch and publishes the active set.
+func (rt *Runtime) patch() error {
+	want := rt.wantSet(rt.cfg, rt.opts.PatchAll)
+	ids := sortedIDs(want)
+	if len(ids) > 0 {
+		if _, err := rt.xr.PatchBatch(ids, true); err != nil {
+			return fmt.Errorf("dyncapi: patching %d functions: %w", len(ids), err)
 		}
-		rt.report.Patched++
-		if rf.Name == "" {
+	}
+	for _, id := range ids {
+		if want[id].Name == "" {
 			rt.report.PatchedByID++
 		}
-		rt.report.InitVirtualNs += rt.opts.Costs.PerPatch
 	}
+	rt.report.Patched = len(ids)
+	rt.report.InitVirtualNs += int64(len(ids)) * rt.opts.Costs.PerPatch
+	rt.active.Store(want)
 	return nil
 }
 
 func (rt *Runtime) installHandler() {
 	rt.xr.SetHandler(func(tc xray.ThreadCtx, id int32, kind xray.EntryType) {
-		rf := rt.byID[id]
+		m, _ := rt.active.Load().(map[int32]*ResolvedFunc)
+		rf := m[id]
 		if rf == nil {
+			if rt.byID[id] != nil {
+				rt.dropped.Add(1)
+			}
 			return
 		}
 		if kind == xray.Entry {
@@ -243,6 +321,105 @@ func (rt *Runtime) installHandler() {
 	})
 }
 
+// ReconfigReport summarizes one live re-selection (Reconfigure call).
+type ReconfigReport struct {
+	// Seq is the 1-based reconfiguration sequence number.
+	Seq int
+	// Patched and Unpatched count the functions whose sleds changed state —
+	// the delta between the old and new selection. Kept counts selected
+	// functions whose sleds were left untouched.
+	Patched   int
+	Unpatched int
+	Kept      int
+	// Active is the selection size after the reconfiguration.
+	Active int
+	// AddedNames and RemovedNames are the name-level IC diff.
+	AddedNames   []string
+	RemovedNames []string
+	// Batch is the XRay patching work this reconfiguration performed (only
+	// delta sleds, under coalesced mprotect windows).
+	Batch xray.Stats
+	// VirtualNs is the virtual-time cost of the re-patch per the CostModel.
+	VirtualNs int64
+}
+
+// Reconfigure applies a new instrumentation configuration to the running
+// instance without tearing anything down: it diffs the currently selected
+// set against the new IC and re-patches only the delta, in coalesced
+// batches. The new active set is published to the event handler *before*
+// sleds change, so events for deselected functions stop being delivered
+// immediately (in-flight sled hits are counted in DroppedEvents).
+// Reconfigure is safe to call while handlers execute on other ranks; it
+// always replaces a PatchAll selection.
+//
+// Known limitation, shared with real XRay unpatching: a rank that is
+// *inside* a deselected function when its exit sled is restored never
+// fires that exit event, so backends may see one dangling enter per rank
+// per deselected function. TALP tolerates the unbalanced stop; Score-P
+// keeps the region open on the simulated call stack. Delivering synthetic
+// exits would require cross-rank stack bookkeeping this model (and the
+// real runtime) does not do.
+func (rt *Runtime) Reconfigure(cfg *ic.Config) (ReconfigReport, error) {
+	if cfg == nil {
+		return ReconfigReport{}, fmt.Errorf("dyncapi: reconfigure requires an instrumentation configuration")
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+
+	want := rt.wantSet(cfg, false)
+	cur, _ := rt.active.Load().(map[int32]*ResolvedFunc)
+	var toPatch, toUnpatch []int32
+	kept := 0
+	for id := range want {
+		if _, ok := cur[id]; ok {
+			kept++
+		} else {
+			toPatch = append(toPatch, id)
+		}
+	}
+	for id := range cur {
+		if _, ok := want[id]; !ok {
+			toUnpatch = append(toUnpatch, id)
+		}
+	}
+	sort.Slice(toPatch, func(i, j int) bool { return toPatch[i] < toPatch[j] })
+	sort.Slice(toUnpatch, func(i, j int) bool { return toUnpatch[i] < toUnpatch[j] })
+
+	rep := ReconfigReport{
+		Patched:   len(toPatch),
+		Unpatched: len(toUnpatch),
+		Kept:      kept,
+		Active:    len(want),
+	}
+	rep.AddedNames, rep.RemovedNames = ic.Diff(rt.cfg, cfg)
+
+	// Publish the new selection first: deselected functions go silent now,
+	// newly selected ones only produce events once their sleds are patched.
+	rt.active.Store(want)
+	if len(toUnpatch) > 0 {
+		d, err := rt.xr.PatchBatch(toUnpatch, false)
+		rep.Batch.Add(d)
+		if err != nil {
+			return rep, fmt.Errorf("dyncapi: unpatching %d functions: %w", len(toUnpatch), err)
+		}
+	}
+	if len(toPatch) > 0 {
+		d, err := rt.xr.PatchBatch(toPatch, true)
+		rep.Batch.Add(d)
+		if err != nil {
+			return rep, fmt.Errorf("dyncapi: patching %d functions: %w", len(toPatch), err)
+		}
+	}
+	rep.VirtualNs = int64(len(toPatch)+len(toUnpatch)) * rt.opts.Costs.PerPatch
+
+	rt.cfg = cfg
+	rt.opts.PatchAll = false
+	rt.reconfigs++
+	rt.reconfigNs += rep.VirtualNs
+	rep.Seq = rt.reconfigs
+	return rep, nil
+}
+
 // Report returns the initialization summary.
 func (rt *Runtime) Report() Report { return rt.report }
 
@@ -251,6 +428,71 @@ func (rt *Runtime) Backend() Backend { return rt.backend }
 
 // Resolved returns the resolved function record for a packed ID.
 func (rt *Runtime) Resolved(id int32) *ResolvedFunc { return rt.byID[id] }
+
+// Funcs returns every resolved function, sorted by packed ID.
+func (rt *Runtime) Funcs() []*ResolvedFunc {
+	out := make([]*ResolvedFunc, 0, len(rt.byID))
+	for _, id := range sortedIDs(rt.byID) {
+		out = append(out, rt.byID[id])
+	}
+	return out
+}
+
+// Config returns the currently applied instrumentation configuration (nil
+// when running under PatchAll and never reconfigured).
+func (rt *Runtime) Config() *ic.Config {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.cfg
+}
+
+// Active reports whether the function is in the current selection.
+func (rt *Runtime) Active(id int32) bool {
+	m, _ := rt.active.Load().(map[int32]*ResolvedFunc)
+	return m[id] != nil
+}
+
+// ActiveIDs returns the packed IDs of the current selection, sorted.
+func (rt *Runtime) ActiveIDs() []int32 {
+	m, _ := rt.active.Load().(map[int32]*ResolvedFunc)
+	return sortedIDs(m)
+}
+
+// ActiveCount returns the current selection size.
+func (rt *Runtime) ActiveCount() int {
+	m, _ := rt.active.Load().(map[int32]*ResolvedFunc)
+	return len(m)
+}
+
+// ActiveFuncs returns the resolved records of the current selection, sorted
+// by packed ID.
+func (rt *Runtime) ActiveFuncs() []*ResolvedFunc {
+	m, _ := rt.active.Load().(map[int32]*ResolvedFunc)
+	out := make([]*ResolvedFunc, 0, len(m))
+	for _, id := range sortedIDs(m) {
+		out = append(out, m[id])
+	}
+	return out
+}
+
+// Reconfigs returns how many live re-selections have been applied.
+func (rt *Runtime) Reconfigs() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.reconfigs
+}
+
+// ReconfigVirtualNs returns the accumulated virtual-time cost of all
+// Reconfigure calls (not part of T_init).
+func (rt *Runtime) ReconfigVirtualNs() int64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.reconfigNs
+}
+
+// DroppedEvents counts events that fired for functions outside the active
+// selection — the race window between deselection and sled restoration.
+func (rt *Runtime) DroppedEvents() int64 { return rt.dropped.Load() }
 
 // InitSeconds returns T_init in (virtual) seconds.
 func (rt *Runtime) InitSeconds() float64 {

@@ -96,6 +96,49 @@ func (c *Config) WithIDs(ids map[string]int32) *Config {
 	return out
 }
 
+// Diff compares two configurations by included function name. It returns
+// the names only b includes (added) and the names only a includes (removed),
+// both sorted. A nil configuration is treated as empty, so Diff(nil, cfg)
+// reports every included name as added. The DynCaPI runtime uses this to
+// report what a live re-selection changed.
+func Diff(a, b *Config) (added, removed []string) {
+	if b != nil {
+		for _, n := range b.Include {
+			if a == nil || !a.Contains(n) {
+				added = append(added, n)
+			}
+		}
+	}
+	if a != nil {
+		for _, n := range a.Include {
+			if b == nil || !b.Contains(n) {
+				removed = append(removed, n)
+			}
+		}
+	}
+	sort.Strings(added)
+	sort.Strings(removed)
+	return added, removed
+}
+
+// WithIncludeIDs returns a copy of c whose IncludeIDs are exactly the given
+// packed IDs (sorted, deduplicated). Unlike WithIDs it does not consult a
+// static name→ID mapping — the adaptive controller uses it to carry the IDs
+// of functions it keeps, including ones that were only ever selected by ID
+// (hidden DSO symbols).
+func (c *Config) WithIncludeIDs(ids []int32) *Config {
+	out := New(c.App, c.Spec, c.Include)
+	seen := make(map[int32]bool, len(ids))
+	for _, id := range ids {
+		if !seen[id] {
+			seen[id] = true
+			out.IncludeIDs = append(out.IncludeIDs, id)
+		}
+	}
+	sort.Slice(out.IncludeIDs, func(i, j int) bool { return out.IncludeIDs[i] < out.IncludeIDs[j] })
+	return out
+}
+
 // WriteJSON serializes the configuration as JSON.
 func (c *Config) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)

@@ -137,3 +137,45 @@ func TestScorePFilterRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestDiff(t *testing.T) {
+	a := New("app", "s", []string{"a", "b", "c"})
+	b := New("app", "s", []string{"b", "c", "d", "e"})
+	added, removed := Diff(a, b)
+	if len(added) != 2 || added[0] != "d" || added[1] != "e" {
+		t.Fatalf("added = %v", added)
+	}
+	if len(removed) != 1 || removed[0] != "a" {
+		t.Fatalf("removed = %v", removed)
+	}
+	// nil configurations are empty sets.
+	added, removed = Diff(nil, a)
+	if len(added) != 3 || len(removed) != 0 {
+		t.Fatalf("Diff(nil, a) = %v, %v", added, removed)
+	}
+	added, removed = Diff(a, nil)
+	if len(added) != 0 || len(removed) != 3 {
+		t.Fatalf("Diff(a, nil) = %v, %v", added, removed)
+	}
+	added, removed = Diff(a, a)
+	if len(added) != 0 || len(removed) != 0 {
+		t.Fatalf("Diff(a, a) = %v, %v", added, removed)
+	}
+}
+
+func TestWithIncludeIDs(t *testing.T) {
+	c := New("app", "s", []string{"f", "g"})
+	out := c.WithIncludeIDs([]int32{9, 3, 9, 1})
+	if len(out.IncludeIDs) != 3 || out.IncludeIDs[0] != 1 || out.IncludeIDs[1] != 3 || out.IncludeIDs[2] != 9 {
+		t.Fatalf("IncludeIDs = %v", out.IncludeIDs)
+	}
+	if !out.ContainsID(3) || out.ContainsID(5) {
+		t.Fatal("ContainsID wrong")
+	}
+	if out.Len() != 2 || !out.Contains("f") {
+		t.Fatal("names not preserved")
+	}
+	if len(c.IncludeIDs) != 0 {
+		t.Fatal("original mutated")
+	}
+}

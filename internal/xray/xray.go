@@ -19,6 +19,7 @@ package xray
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -90,12 +91,33 @@ type Trampoline struct {
 	PositionIndependent bool
 }
 
-// Stats counts patching work for the init-time cost model.
+// Stats counts patching work for the init-time cost model and for the
+// live-reconfiguration batch path.
 type Stats struct {
 	PatchedSleds   int64
 	UnpatchedSleds int64
 	MprotectPages  int64
 	MprotectCalls  int64
+
+	// BatchCalls counts PatchBatch invocations.
+	BatchCalls int64
+	// BatchFuncs counts functions processed through PatchBatch.
+	BatchFuncs int64
+	// BatchWindows counts the mprotect open/close windows PatchBatch used;
+	// page coalescing makes this (much) smaller than BatchFuncs when sleds
+	// share text pages.
+	BatchWindows int64
+}
+
+// Add accumulates another Stats value into s.
+func (s *Stats) Add(d Stats) {
+	s.PatchedSleds += d.PatchedSleds
+	s.UnpatchedSleds += d.UnpatchedSleds
+	s.MprotectPages += d.MprotectPages
+	s.MprotectCalls += d.MprotectCalls
+	s.BatchCalls += d.BatchCalls
+	s.BatchFuncs += d.BatchFuncs
+	s.BatchWindows += d.BatchWindows
 }
 
 type objectState struct {
@@ -111,6 +133,11 @@ type Runtime struct {
 	objects [MaxDSOs + 1]*objectState
 	objID   map[*obj.LoadedObject]uint8
 	nextDSO int
+
+	// patchMu serializes sled rewriting (the mprotect open/write/close
+	// dance): concurrent patch operations must not interleave their
+	// protection windows.
+	patchMu sync.Mutex
 
 	handler atomic.Value // of Handler
 	stats   Stats
@@ -278,6 +305,16 @@ func (rt *Runtime) setSleds(st *objectState, fn uint32, patched bool) error {
 	if len(sleds) == 0 {
 		return fmt.Errorf("xray: object %q has no sleds for function %d", st.lo.Image.Name, fn)
 	}
+	rt.patchMu.Lock()
+	defer rt.patchMu.Unlock()
+	delta, err := rt.writeWindow(st, sleds, patched)
+	rt.addStats(delta)
+	return err
+}
+
+// writeWindow opens one mprotect window spanning the given sleds of one
+// object, rewrites them, and restores the protection. Callers hold patchMu.
+func (rt *Runtime) writeWindow(st *objectState, sleds []int, patched bool) (Stats, error) {
 	lo, hi := st.lo.SledAddr(sleds[0]), st.lo.SledAddr(sleds[0])
 	for _, si := range sleds {
 		a := st.lo.SledAddr(si)
@@ -288,11 +325,11 @@ func (rt *Runtime) setSleds(st *objectState, fn uint32, patched bool) error {
 			hi = a + obj.SledBytes
 		}
 	}
+	var delta Stats
 	pages, err := rt.proc.AS.Mprotect(lo, hi-lo, mem.ProtRead|mem.ProtWrite|mem.ProtExec)
 	if err != nil {
-		return fmt.Errorf("xray: making sleds writable: %w", err)
+		return delta, fmt.Errorf("xray: making sleds writable: %w", err)
 	}
-	var delta Stats
 	delta.MprotectCalls++
 	delta.MprotectPages += int64(pages)
 	var firstErr error
@@ -310,13 +347,94 @@ func (rt *Runtime) setSleds(st *objectState, fn uint32, patched bool) error {
 		firstErr = err
 	}
 	delta.MprotectCalls++
+	return delta, firstErr
+}
+
+func (rt *Runtime) addStats(delta Stats) {
 	rt.mu.Lock()
-	rt.stats.PatchedSleds += delta.PatchedSleds
-	rt.stats.UnpatchedSleds += delta.UnpatchedSleds
-	rt.stats.MprotectPages += delta.MprotectPages
-	rt.stats.MprotectCalls += delta.MprotectCalls
+	rt.stats.Add(delta)
 	rt.mu.Unlock()
-	return firstErr
+}
+
+// PatchBatch patches (or unpatches) many functions under coalesced mprotect
+// windows: the sleds of all requested functions are grouped per object and
+// per run of contiguous text pages, so one protection open/close window
+// covers every sled on those pages — the batch equivalent of setSleds that
+// makes live re-selection cheap (one window per dirty page run instead of
+// two mprotect calls per function). It returns the stats delta of this
+// batch; the delta is also accumulated into the runtime's Stats.
+//
+// All IDs are validated before any sled is touched, so an invalid ID leaves
+// the sled state unchanged.
+func (rt *Runtime) PatchBatch(ids []int32, patch bool) (Stats, error) {
+	type objSleds struct {
+		st    *objectState
+		sleds []int
+	}
+	var order []*objSleds
+	byState := map[*objectState]*objSleds{}
+	funcs := 0
+	seen := map[int32]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		st, fn, err := rt.objectFor(id)
+		if err != nil {
+			return Stats{}, err
+		}
+		sleds := st.lo.Image.FuncSleds(fn)
+		if len(sleds) == 0 {
+			return Stats{}, fmt.Errorf("xray: object %q has no sleds for function %d", st.lo.Image.Name, fn)
+		}
+		os, ok := byState[st]
+		if !ok {
+			os = &objSleds{st: st}
+			byState[st] = os
+			order = append(order, os)
+		}
+		os.sleds = append(os.sleds, sleds...)
+		funcs++
+	}
+
+	rt.patchMu.Lock()
+	defer rt.patchMu.Unlock()
+	var delta Stats
+	delta.BatchCalls = 1
+	delta.BatchFuncs = int64(funcs)
+	var firstErr error
+	for _, os := range order {
+		st := os.st
+		sleds := os.sleds
+		sort.Slice(sleds, func(i, j int) bool { return st.lo.SledAddr(sleds[i]) < st.lo.SledAddr(sleds[j]) })
+		// Split into runs of contiguous pages: a gap of one or more whole
+		// pages between consecutive sleds closes the current window, so the
+		// batch never opens write access on pages it does not rewrite.
+		for start := 0; start < len(sleds); {
+			end := start + 1
+			lastPage := (st.lo.SledAddr(sleds[start]) + obj.SledBytes - 1) / mem.PageSize
+			for end < len(sleds) {
+				a := st.lo.SledAddr(sleds[end])
+				if a/mem.PageSize > lastPage+1 {
+					break
+				}
+				if p := (a + obj.SledBytes - 1) / mem.PageSize; p > lastPage {
+					lastPage = p
+				}
+				end++
+			}
+			d, err := rt.writeWindow(st, sleds[start:end], patch)
+			delta.Add(d)
+			delta.BatchWindows++
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			start = end
+		}
+	}
+	rt.addStats(delta)
+	return delta, firstErr
 }
 
 func (rt *Runtime) objectFor(id int32) (*objectState, uint32, error) {

@@ -324,6 +324,135 @@ func TestDSOLimit(t *testing.T) {
 	}
 }
 
+// batchIDs returns the packed IDs of functions [0,n) of the given object.
+func batchIDs(t *testing.T, object uint8, n int) []int32 {
+	t.Helper()
+	ids := make([]int32, 0, n)
+	for fn := 0; fn < n; fn++ {
+		id, err := PackID(object, uint32(fn))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+func TestPatchBatchCoalescesPages(t *testing.T) {
+	// 64-byte functions: 64 per 4096-byte page, so 128 functions span only
+	// two text pages and one batch window must cover dozens of them.
+	const n = 128
+	_, single := newProc(t, 0, n)
+	for _, id := range batchIDs(t, 0, n) {
+		if err := single.PatchFunction(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	singleCalls := single.Stats().MprotectCalls // 2 per function
+
+	_, batch := newProc(t, 0, n)
+	delta, err := batch.PatchBatch(batchIDs(t, 0, n), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.MprotectCalls >= singleCalls {
+		t.Fatalf("batch used %d mprotect calls, singles used %d — no coalescing",
+			delta.MprotectCalls, singleCalls)
+	}
+	// The whole text is contiguous: one window suffices.
+	if delta.BatchWindows != 1 {
+		t.Fatalf("batch windows = %d, want 1 (contiguous pages)", delta.BatchWindows)
+	}
+	if delta.BatchFuncs != n || delta.BatchCalls != 1 {
+		t.Fatalf("batch stats = %+v", delta)
+	}
+	if delta.PatchedSleds != 2*n {
+		t.Fatalf("patched sleds = %d, want %d", delta.PatchedSleds, 2*n)
+	}
+	// Both approaches leave the same sled state.
+	for _, id := range batchIDs(t, 0, n) {
+		if !single.Patched(id) || !batch.Patched(id) {
+			t.Fatalf("fn %d not patched (single %v, batch %v)", id, single.Patched(id), batch.Patched(id))
+		}
+	}
+}
+
+func TestPatchBatchRoundTripRestoresPristineSleds(t *testing.T) {
+	const n = 16
+	p, rt := newProc(t, 1, n)
+	lib := p.Object("lib0.so")
+	libID, _ := rt.ObjectID(lib)
+	ids := append(batchIDs(t, 0, n), batchIDs(t, libID, n)...)
+
+	exe := p.Executable()
+	pristineExe, pristineLib := exe.NumPatched(), lib.NumPatched()
+	if pristineExe != 0 || pristineLib != 0 {
+		t.Fatalf("fresh objects have patched sleds: %d/%d", pristineExe, pristineLib)
+	}
+
+	if _, err := rt.PatchBatch(ids, true); err != nil {
+		t.Fatal(err)
+	}
+	if exe.NumPatched() != 2*n || lib.NumPatched() != 2*n {
+		t.Fatalf("after patch: %d/%d sleds, want %d each", exe.NumPatched(), lib.NumPatched(), 2*n)
+	}
+	if _, err := rt.PatchBatch(ids, false); err != nil {
+		t.Fatal(err)
+	}
+	// Unpatch restores the pristine image: every sled byte back to NOP.
+	if exe.NumPatched() != 0 || lib.NumPatched() != 0 {
+		t.Fatalf("after unpatch: %d/%d sleds still patched", exe.NumPatched(), lib.NumPatched())
+	}
+	for _, id := range ids {
+		if rt.Patched(id) {
+			t.Fatalf("fn %d still patched after round trip", id)
+		}
+	}
+	if _, err := rt.PatchBatch(ids, true); err != nil {
+		t.Fatal(err)
+	}
+	if exe.NumPatched() != 2*n || lib.NumPatched() != 2*n {
+		t.Fatalf("re-patch: %d/%d sleds, want %d each", exe.NumPatched(), lib.NumPatched(), 2*n)
+	}
+	// Text protection is read-exec again after the batch windows closed.
+	if err := exe.WriteSled(0, true); err == nil {
+		t.Fatal("text writable after PatchBatch — protection not restored")
+	}
+	st := rt.Stats()
+	if st.BatchCalls != 3 {
+		t.Fatalf("accumulated batch calls = %d, want 3", st.BatchCalls)
+	}
+}
+
+func TestPatchBatchValidatesBeforePatching(t *testing.T) {
+	_, rt := newProc(t, 0, 4)
+	bad, _ := PackID(9, 0) // unregistered object
+	ids := append(batchIDs(t, 0, 4), bad)
+	if _, err := rt.PatchBatch(ids, true); err == nil {
+		t.Fatal("batch with invalid ID must fail")
+	}
+	for _, id := range batchIDs(t, 0, 4) {
+		if rt.Patched(id) {
+			t.Fatal("failed batch must leave sleds untouched")
+		}
+	}
+	if st := rt.Stats(); st.MprotectCalls != 0 || st.PatchedSleds != 0 {
+		t.Fatalf("failed batch accounted work: %+v", st)
+	}
+}
+
+func TestPatchBatchDeduplicatesIDs(t *testing.T) {
+	_, rt := newProc(t, 0, 2)
+	id, _ := PackID(0, 1)
+	delta, err := rt.PatchBatch([]int32{id, id, id}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.BatchFuncs != 1 || delta.PatchedSleds != 2 {
+		t.Fatalf("duplicate IDs not deduplicated: %+v", delta)
+	}
+}
+
 func TestEntryTypeString(t *testing.T) {
 	if Entry.String() != "entry" || Exit.String() != "exit" {
 		t.Fatal("EntryType strings wrong")
