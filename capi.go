@@ -18,6 +18,7 @@ import (
 	"capi/internal/scorep"
 	"capi/internal/spec"
 	"capi/internal/talp"
+	"capi/internal/trace"
 	"capi/internal/workload"
 	"capi/internal/xray"
 )
@@ -51,6 +52,13 @@ type (
 	AdaptEpoch = adapt.Epoch
 	// ReconfigReport summarizes one live re-selection (delta re-patch).
 	ReconfigReport = dyncapi.ReconfigReport
+	// TraceReport is the extrae backend's end-of-run trace summary:
+	// per-rank accounting (recorded/dropped/wrapped/flushes), per-function
+	// totals and the virtual-time-ordered merged timeline.
+	TraceReport = trace.Report
+	// TraceOptions tunes the extrae backend's sharded trace buffer (ring
+	// size, retained budget, drop vs. wrap policy).
+	TraceOptions = trace.Options
 )
 
 // Workload generators (stand-ins for the paper's two test cases plus a
@@ -76,6 +84,9 @@ const (
 	BackendTALP Backend = "talp"
 	// BackendScoreP records call-path profiles.
 	BackendScoreP Backend = "scorep"
+	// BackendExtrae records a per-rank sharded event trace with a merged
+	// end-of-run timeline (Extrae-style tracing).
+	BackendExtrae Backend = "extrae"
 )
 
 // SessionOptions configures session preparation.
@@ -216,6 +227,10 @@ type RunOptions struct {
 	// functions dropped first) whenever the instrumentation overhead
 	// exceeds the budget. nil disables adaptation.
 	Adapt *AdaptOptions
+	// Trace tunes the extrae backend's sharded buffer; nil uses defaults
+	// (4096-event rings, unbounded retention). Ranks is filled in from
+	// RunOptions.Ranks. Ignored for other backends.
+	Trace *TraceOptions
 }
 
 // RunResult is the outcome of one measured execution.
@@ -251,6 +266,8 @@ type RunResult struct {
 	TALP *TALPReport
 	// Profile carries the profile when Backend was BackendScoreP.
 	Profile *Profile
+	// Trace carries the trace summary when Backend was BackendExtrae.
+	Trace *TraceReport
 	// WallSeconds is the real time the simulation took (diagnostics).
 	WallSeconds float64
 }
@@ -273,7 +290,10 @@ type Instance struct {
 
 	talpBackend *dyncapi.TALPBackend
 	spBackend   *dyncapi.ScorePBackend
+	exBackend   *dyncapi.ExtraeBackend
 	meas        *scorep.Measurement
+	traceBuf    *trace.Buffer
+	traceOpts   trace.Options
 
 	world *mpi.World
 	mon   *talp.Monitor
@@ -328,6 +348,18 @@ func (s *Session) Start(sel *Selection, opts RunOptions) (*Instance, error) {
 		}
 		inst.spBackend = dyncapi.NewScorePBackend(inst.meas, scorep.NewResolverFromExecutable(proc))
 		backend = inst.spBackend
+	case BackendExtrae:
+		inst.traceOpts = trace.Options{}
+		if opts.Trace != nil {
+			inst.traceOpts = *opts.Trace
+		}
+		inst.traceOpts.Ranks = opts.Ranks
+		inst.traceBuf, err = trace.New(inst.traceOpts)
+		if err != nil {
+			return nil, err
+		}
+		inst.exBackend = dyncapi.NewExtraeBackend(inst.traceBuf)
+		backend = inst.exBackend
 	case BackendNone, "":
 		backend = &dyncapi.CygBackend{}
 	default:
@@ -394,6 +426,38 @@ func (i *Instance) Reconfigs() int {
 	return i.rt.Reconfigs()
 }
 
+// TraceReport returns the extrae backend's current trace summary, or nil
+// when the instance does not trace. It must not be called while a Run is
+// executing (the shards are single-writer).
+func (i *Instance) TraceReport() *TraceReport {
+	if i.traceBuf == nil {
+		return nil
+	}
+	return i.traceBuf.Report()
+}
+
+// DroppedEvents returns the split drop accounting of the live runtime:
+// inFlight counts events dropped in the window between the latest
+// re-selection and its sled restore (the documented drop class), unpatched
+// counts sled hits for known functions outside any such window. Both are 0
+// for an uninstrumented instance.
+func (i *Instance) DroppedEvents() (inFlight, unpatched int64) {
+	if i.rt == nil {
+		return 0, 0
+	}
+	return i.rt.DroppedInFlight(), i.rt.DroppedUnpatched()
+}
+
+// SyntheticExits returns how many dangling enters the measurement backend
+// closed across all live re-selections (ranks caught inside a function when
+// it was deselected).
+func (i *Instance) SyntheticExits() int64 {
+	if i.rt == nil {
+		return 0
+	}
+	return i.rt.SyntheticExits()
+}
+
 // Run executes one phase of the workload on the live instance. The first
 // call pays the instrumentation start-up (T_init); later calls pay only the
 // virtual cost of Reconfigure calls made since the previous phase — the
@@ -426,6 +490,13 @@ func (i *Instance) Run() (*RunResult, error) {
 				return nil, err
 			}
 			i.spBackend.Reset(i.meas)
+		}
+		if i.exBackend != nil {
+			i.traceBuf, err = trace.New(i.traceOpts)
+			if err != nil {
+				return nil, err
+			}
+			i.exBackend.Reset(i.traceBuf)
 		}
 		if i.ctrl != nil {
 			i.ctrl.NewPhase()
@@ -470,6 +541,9 @@ func (i *Instance) Run() (*RunResult, error) {
 	}
 	if i.meas != nil {
 		out.Profile = i.meas.Profile()
+	}
+	if i.traceBuf != nil {
+		out.Trace = i.traceBuf.Report()
 	}
 	out.WallSeconds = time.Since(i.wallStart).Seconds()
 	i.pendingNs = 0

@@ -415,3 +415,89 @@ func TestScorePProfileIsPerPhase(t *testing.T) {
 		t.Fatalf("phase 2 visits %d != phase 1 visits %d — profile accumulated across phases", r2.Visits, r1.Visits)
 	}
 }
+
+// TestRunWithExtraeTrace exercises the trace backend end to end: every
+// dispatched event must land in the sharded buffer, the merged timeline
+// must be virtual-time-ordered, and per-rank streams must be balanced.
+func TestRunWithExtraeTrace(t *testing.T) {
+	s := newQuickSession(t)
+	sel, err := s.Select(quickSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(sel, capi.RunOptions{Backend: capi.BackendExtrae, Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil {
+		t.Fatal("no trace report")
+	}
+	if res.Trace.Recorded != res.Events {
+		t.Fatalf("trace recorded %d of %d dispatched events", res.Trace.Recorded, res.Events)
+	}
+	if res.Trace.Dropped != 0 || res.Trace.Wrapped != 0 {
+		t.Fatalf("unbounded buffer dropped/wrapped events: %+v", res.Trace)
+	}
+	if len(res.Trace.Ranks) != 2 {
+		t.Fatalf("rank summaries = %d", len(res.Trace.Ranks))
+	}
+	for _, rs := range res.Trace.Ranks {
+		if rs.Enters != rs.Exits {
+			t.Fatalf("rank %d unbalanced: %d enters, %d exits", rs.Rank, rs.Enters, rs.Exits)
+		}
+	}
+	if int64(len(res.Trace.Timeline)) != res.Trace.Recorded {
+		t.Fatalf("timeline %d records, recorded %d", len(res.Trace.Timeline), res.Trace.Recorded)
+	}
+	for i := 1; i < len(res.Trace.Timeline); i++ {
+		if res.Trace.Timeline[i].TimeNs < res.Trace.Timeline[i-1].TimeNs {
+			t.Fatal("merged timeline not virtual-time-ordered")
+		}
+	}
+	if res.InitSeconds <= 0 {
+		t.Fatal("tracer init cost not accounted")
+	}
+}
+
+// TestExtraeTraceBoundedBuffer drives the same run through a tiny wrap-mode
+// buffer: everything is still accounted, only the newest window survives.
+func TestExtraeTraceBoundedBuffer(t *testing.T) {
+	s := newQuickSession(t)
+	sel, err := s.Select(quickSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := s.Start(sel, capi.RunOptions{
+		Backend: capi.BackendExtrae,
+		Ranks:   2,
+		Trace:   &capi.TraceOptions{BufEvents: 8, MaxEvents: 32, Wrap: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := inst.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace.Recorded != res.Events {
+		t.Fatalf("wrap mode rejected events: recorded %d of %d", res.Trace.Recorded, res.Events)
+	}
+	if res.Trace.Wrapped == 0 {
+		t.Fatal("tiny buffer never wrapped")
+	}
+	if res.Trace.Recorded != res.Trace.Retained+res.Trace.Wrapped {
+		t.Fatalf("accounting: recorded %d != retained %d + wrapped %d",
+			res.Trace.Recorded, res.Trace.Retained, res.Trace.Wrapped)
+	}
+	// A second phase starts from a fresh buffer.
+	res2, err := inst.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Trace.Recorded != res2.Events {
+		t.Fatalf("phase 2 trace incomplete: %d of %d", res2.Trace.Recorded, res2.Events)
+	}
+	if inFlight, unpatched := inst.DroppedEvents(); inFlight != 0 || unpatched != 0 {
+		t.Fatalf("drops without any reconfigure: %d/%d", inFlight, unpatched)
+	}
+}

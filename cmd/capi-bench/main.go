@@ -8,6 +8,12 @@
 //	capi-bench -table 2 -ranks 4        # instrumentation overhead
 //	capi-bench -facts                   # §VI-B facts (OpenFOAM)
 //	capi-bench -all -scale 0.1          # everything, at call-graph scale 0.1
+//	capi-bench -json                    # machine-readable micro-benchmarks
+//
+// -json emits a BENCH_*.json-style document: wall-clock dispatch ns/op per
+// measurement backend (none/talp/scorep/extrae) and the coalesced batch-
+// patching statistics, so performance trajectories can accumulate across
+// commits.
 //
 // Scale 1.0 reproduces the paper's 410,666-node OpenFOAM call graph; smaller
 // scales keep turnaround short. Absolute virtual seconds are not comparable
@@ -15,33 +21,45 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"testing"
 
 	"capi/internal/dyncapi"
 	"capi/internal/experiments"
 	"capi/internal/ic"
 	"capi/internal/report"
 	"capi/internal/talp"
+	"capi/internal/xray"
 )
 
 func main() {
 	var (
-		table = flag.Int("table", 0, "regenerate Table `N` (1 or 2)")
-		facts = flag.Bool("facts", false, "gather the §VI-B / §VII-A facts")
-		all   = flag.Bool("all", false, "regenerate every artifact")
-		scale = flag.Float64("scale", 0.1, "OpenFOAM call-graph scale (1.0 = paper size)")
-		ranks = flag.Int("ranks", 4, "simulated MPI ranks")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		probe = flag.Bool("probe", false, "print calibration counters (maintainer tool)")
+		table  = flag.Int("table", 0, "regenerate Table `N` (1 or 2)")
+		facts  = flag.Bool("facts", false, "gather the §VI-B / §VII-A facts")
+		all    = flag.Bool("all", false, "regenerate every artifact")
+		scale  = flag.Float64("scale", 0.1, "OpenFOAM call-graph scale (1.0 = paper size)")
+		ranks  = flag.Int("ranks", 4, "simulated MPI ranks")
+		csv    = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		asJSON = flag.Bool("json", false, "emit machine-readable micro-benchmark JSON (dispatch ns/op per backend, batch patch stats)")
+		probe  = flag.Bool("probe", false, "print calibration counters (maintainer tool)")
 	)
 	flag.Parse()
-	if !*all && *table == 0 && !*facts && !*probe {
+	if !*all && *table == 0 && !*facts && !*probe && !*asJSON {
 		flag.Usage()
 		os.Exit(2)
 	}
 	opts := experiments.Options{Scale: *scale, Ranks: *ranks}
+
+	if *asJSON {
+		if err := runBenchJSON(opts); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *all || *table == 1 {
 		rows, err := experiments.Table1(opts)
@@ -69,6 +87,115 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// dispatchJSON is one backend's dispatch micro-benchmark result.
+type dispatchJSON struct {
+	Backend    string  `json:"backend"`
+	NsPerPair  float64 `json:"ns_per_pair"` // one enter/exit pair
+	NsPerEvent float64 `json:"ns_per_event"`
+	Iters      int     `json:"iters"`
+}
+
+// batchJSON summarizes one coalesced PatchBatch patch+unpatch cycle.
+type batchJSON struct {
+	Funcs          int64   `json:"funcs"`
+	PatchedSleds   int64   `json:"patched_sleds"`
+	UnpatchedSleds int64   `json:"unpatched_sleds"`
+	BatchWindows   int64   `json:"mprotect_windows"`
+	MprotectCalls  int64   `json:"mprotect_calls"`
+	NsPerFunc      float64 `json:"ns_per_func"` // wall clock, full cycle / funcs
+}
+
+// benchJSON is the -json document.
+type benchJSON struct {
+	Schema     string         `json:"schema"`
+	App        string         `json:"app"`
+	Scale      float64        `json:"scale"`
+	Dispatch   []dispatchJSON `json:"dispatch"`
+	BatchPatch batchJSON      `json:"batch_patch"`
+}
+
+// runBenchJSON measures wall-clock dispatch throughput per backend and the
+// batch-patching path, and emits one JSON document on stdout.
+func runBenchJSON(opts experiments.Options) error {
+	out := benchJSON{Schema: "capi-bench/v1", App: "openfoam", Scale: opts.Scale}
+	for _, backend := range []string{
+		experiments.BackendNone,
+		experiments.BackendTALP,
+		experiments.BackendScoreP,
+		experiments.BackendExtrae,
+	} {
+		h, err := experiments.NewDispatchHarness(backend, nil)
+		if err != nil {
+			return err
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				h.Dispatch(i)
+			}
+		})
+		perPair := float64(r.T.Nanoseconds()) / float64(r.N)
+		out.Dispatch = append(out.Dispatch, dispatchJSON{
+			Backend:    backend,
+			NsPerPair:  perPair,
+			NsPerEvent: perPair / 2,
+			Iters:      r.N,
+		})
+	}
+
+	bundle, err := experiments.PrepareOpenFOAM(opts)
+	if err != nil {
+		return err
+	}
+	byName, err := bundle.Build.StaticPackedIDs()
+	if err != nil {
+		return err
+	}
+	ids := make([]int32, 0, len(byName))
+	for _, id := range byName {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	proc, err := bundle.Build.LoadProcess()
+	if err != nil {
+		return err
+	}
+	xr, err := xray.NewRuntime(proc)
+	if err != nil {
+		return err
+	}
+	delta, err := xr.PatchBatch(ids, true)
+	if err != nil {
+		return err
+	}
+	d2, err := xr.PatchBatch(ids, false)
+	if err != nil {
+		return err
+	}
+	delta.Add(d2)
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := xr.PatchBatch(ids, true); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := xr.PatchBatch(ids, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	out.BatchPatch = batchJSON{
+		Funcs:          int64(len(ids)),
+		PatchedSleds:   delta.PatchedSleds,
+		UnpatchedSleds: delta.UnpatchedSleds,
+		BatchWindows:   delta.BatchWindows,
+		MprotectCalls:  delta.MprotectCalls,
+		NsPerFunc:      float64(r.T.Nanoseconds()) / float64(r.N) / float64(len(ids)),
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // runProbe prints per-variant event and TALP-touch counters used to

@@ -10,6 +10,7 @@
 //	dyncapi -app openfoam -builtin "mpi coarse" -backend talp
 //	dyncapi -app openfoam -full -backend talp       # patch everything
 //	dyncapi -app quickstart -ic my.ic.json -backend scorep
+//	dyncapi -app lulesh -builtin mpi -backend extrae -trace-buf 8192
 //	dyncapi -app openfoam -full -adapt -budget 0.01 # live narrowing
 //
 // With -adapt (or an explicit -budget), the overhead-budget controller
@@ -31,19 +32,22 @@ import (
 
 func main() {
 	var (
-		app     = flag.String("app", "quickstart", "workload: quickstart, lulesh or openfoam")
-		scale   = flag.Float64("scale", 0.1, "openfoam call-graph scale")
-		icFile  = flag.String("ic", "", "instrumentation configuration (JSON) to apply")
-		spec    = flag.String("spec", "", "specification file to select with")
-		builtin = flag.String("builtin", "", `built-in spec name (e.g. "mpi", "kernels coarse")`)
-		full    = flag.Bool("full", false, "patch every sled (xray full)")
-		backend = flag.String("backend", "talp", "measurement backend: talp, scorep or none")
-		ranks   = flag.Int("ranks", 4, "simulated MPI ranks")
-		talpBug = flag.Bool("talp-bug", false, "emulate the TALP re-entry bug (§VI-B(b))")
-		asJSON  = flag.Bool("json", false, "emit the tool report as JSON")
-		adapt   = flag.Bool("adapt", false, "enable live overhead-budget adaptation")
-		budget  = flag.Float64("budget", 0, "overhead budget per epoch as a fraction (implies -adapt)")
-		epoch   = flag.Float64("epoch", 0, "adaptation epoch length in virtual seconds (implies -adapt)")
+		app      = flag.String("app", "quickstart", "workload: quickstart, lulesh or openfoam")
+		scale    = flag.Float64("scale", 0.1, "openfoam call-graph scale")
+		icFile   = flag.String("ic", "", "instrumentation configuration (JSON) to apply")
+		spec     = flag.String("spec", "", "specification file to select with")
+		builtin  = flag.String("builtin", "", `built-in spec name (e.g. "mpi", "kernels coarse")`)
+		full     = flag.Bool("full", false, "patch every sled (xray full)")
+		backend  = flag.String("backend", "talp", "measurement backend: talp, scorep, extrae or none")
+		ranks    = flag.Int("ranks", 4, "simulated MPI ranks")
+		traceBuf = flag.Int("trace-buf", 0, "extrae: ring capacity per rank in events (0 = default 4096)")
+		traceMax = flag.Int("trace-max", 0, "extrae: retained events per rank (0 = unbounded)")
+		traceWrp = flag.Bool("trace-wrap", false, "extrae: wrap (discard oldest segment) instead of dropping new events when -trace-max is exceeded")
+		talpBug  = flag.Bool("talp-bug", false, "emulate the TALP re-entry bug (§VI-B(b))")
+		asJSON   = flag.Bool("json", false, "emit the tool report as JSON")
+		adapt    = flag.Bool("adapt", false, "enable live overhead-budget adaptation")
+		budget   = flag.Float64("budget", 0, "overhead budget per epoch as a fraction (implies -adapt)")
+		epoch    = flag.Float64("epoch", 0, "adaptation epoch length in virtual seconds (implies -adapt)")
 	)
 	flag.Parse()
 
@@ -94,6 +98,13 @@ func main() {
 			Epoch:  vtime.Seconds(*epoch),
 		}
 	}
+	if runOpts.Backend == capi.BackendExtrae {
+		runOpts.Trace = &capi.TraceOptions{
+			BufEvents: *traceBuf,
+			MaxEvents: *traceMax,
+			Wrap:      *traceWrp,
+		}
+	}
 	res, err := session.Run(sel, runOpts)
 	if err != nil {
 		fatal(err)
@@ -122,6 +133,8 @@ func main() {
 		err = res.TALP.WriteText(os.Stdout)
 	case res.Profile != nil:
 		err = res.Profile.WriteText(os.Stdout)
+	case res.Trace != nil:
+		err = res.Trace.WriteText(os.Stdout)
 	}
 	if err != nil {
 		fatal(err)

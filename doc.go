@@ -9,8 +9,9 @@
 // whole-program call graph, and — the paper's core contribution — applies
 // that selection at program start by patching XRay NOP sleds instead of
 // recompiling, including inside dynamic shared objects (DSOs). Measurement
-// flows to Score-P (fine-grained profiles) or TALP (POP parallel-efficiency
-// metrics per region).
+// flows to Score-P (fine-grained profiles), TALP (POP parallel-efficiency
+// metrics per region) or an Extrae-style event tracer (per-rank sharded
+// trace buffers with a merged timeline).
 //
 // # Architecture (paper Fig. 2/3)
 //
@@ -30,6 +31,8 @@
 //	mpi       simulated MPI with PMPI interception
 //	scorep    Score-P measurement substrate
 //	talp/pop  TALP regions + POP efficiency metrics
+//	trace     Extrae-style event tracing: per-rank sharded ring buffers,
+//	          batched segment flush, merged virtual-time timeline
 //	exec      deterministic virtual-time execution engine
 //	workload  LULESH / OpenFOAM-icoFoam workload generators
 //
@@ -62,6 +65,13 @@
 //	sel2, _ := s.Select(refinedSpec)
 //	inst.Reconfigure(sel2)              // delta re-patch, runtime stays up
 //	res2, _ := inst.Run()               // pays only the re-patch
+//
+// A rank caught inside a deselected function can never fire its exit
+// event; Reconfigure delivers synthetic exits through the backend's
+// Deselector hook so Score-P closes the dangling region and TALP balances
+// the start (ReconfigReport.SyntheticExits counts them), and the runtime's
+// split drop counters (in-flight vs. spurious) let trace completeness be
+// asserted exactly.
 //
 // Everything is deterministic: workloads are generated from fixed seeds and
 // time is virtual, so measurements are reproducible bit-for-bit.

@@ -22,8 +22,11 @@
 //
 // Like real XRay unpatching, dropping a function that some rank is
 // currently executing loses that invocation's exit event (see
-// dyncapi.Runtime.Reconfigure); measurement backends must tolerate one
-// dangling enter per rank per dropped function.
+// dyncapi.Runtime.Reconfigure); backends implementing dyncapi.Deselector
+// (Score-P, TALP) receive synthetic exits for those dangling enters under
+// the reconfigure lock, so no region stays open across a controller
+// decision. The controller's own duration estimator tolerates the lost
+// exits (an invocation without a completion never contributes to the mean).
 package adapt
 
 import (

@@ -11,6 +11,7 @@ import (
 	"capi/internal/obj"
 	"capi/internal/prog"
 	"capi/internal/scorep"
+	"capi/internal/trace"
 	"capi/internal/vtime"
 	"capi/internal/xray"
 )
@@ -24,8 +25,8 @@ func (f *fakeCtx) RankID() int         { return f.rank }
 func (f *fakeCtx) Clock() *vtime.Clock { return &f.clk }
 
 // twoFuncSetup builds exe{main, hot, slow}, an XRay runtime and a DynCaPI
-// runtime instrumenting hot+slow through the controller.
-func twoFuncSetup(t *testing.T, opts Options) (*compiler.Build, *obj.Process, *xray.Runtime, *dyncapi.Runtime, *Controller) {
+// runtime instrumenting hot+slow through a controller wrapping inner.
+func twoFuncSetup(t *testing.T, opts Options, inner dyncapi.Backend) (*compiler.Build, *obj.Process, *xray.Runtime, *dyncapi.Runtime, *Controller) {
 	t.Helper()
 	p := prog.New("app", "main")
 	p.MustAddUnit("app.exe", prog.Executable)
@@ -45,7 +46,7 @@ func twoFuncSetup(t *testing.T, opts Options) (*compiler.Build, *obj.Process, *x
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctrl := New(&dyncapi.CygBackend{}, opts)
+	ctrl := New(inner, opts)
 	rt, err := dyncapi.New(proc, xr, ic.New("app", "s", []string{"hot", "slow"}), ctrl, dyncapi.Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -73,7 +74,7 @@ func packedOf(t *testing.T, b *compiler.Build, xr *xray.Runtime, proc *obj.Proce
 }
 
 func TestControllerUnderBudgetKeepsSelection(t *testing.T) {
-	b, proc, xr, rt, ctrl := twoFuncSetup(t, Options{Epoch: vtime.Millisecond, Budget: 0.5})
+	b, proc, xr, rt, ctrl := twoFuncSetup(t, Options{Epoch: vtime.Millisecond, Budget: 0.5}, &dyncapi.CygBackend{})
 	tc := &fakeCtx{}
 	hot := packedOf(t, b, xr, proc, "hot")
 	// A handful of events, then cross the boundary: 25ns × 4 ≪ 500µs budget.
@@ -105,7 +106,7 @@ func TestControllerUnderBudgetKeepsSelection(t *testing.T) {
 }
 
 func TestControllerDropsHottestLowDurationFirst(t *testing.T) {
-	b, proc, xr, rt, ctrl := twoFuncSetup(t, Options{Epoch: vtime.Millisecond, Budget: 0.01})
+	b, proc, xr, rt, ctrl := twoFuncSetup(t, Options{Epoch: vtime.Millisecond, Budget: 0.01}, &dyncapi.CygBackend{})
 	hot := packedOf(t, b, xr, proc, "hot")
 	slow := packedOf(t, b, xr, proc, "slow")
 	tc := &fakeCtx{}
@@ -156,7 +157,7 @@ func TestControllerDropsHottestLowDurationFirst(t *testing.T) {
 func TestControllerRespectsMaxReconfigs(t *testing.T) {
 	b, proc, xr, rt, ctrl := twoFuncSetup(t, Options{
 		Epoch: vtime.Millisecond, Budget: 0.0001, MaxReconfigs: 1,
-	})
+	}, &dyncapi.CygBackend{})
 	hot := packedOf(t, b, xr, proc, "hot")
 	slow := packedOf(t, b, xr, proc, "slow")
 	tc := &fakeCtx{}
@@ -357,7 +358,7 @@ func TestControllerForwardsSymbolInjection(t *testing.T) {
 // the mean-duration denominator: nested (recursive) entries must not
 // dilute a long function's mean into the "low-duration" class.
 func TestRecursiveLongFunctionNotDroppedAsLowDuration(t *testing.T) {
-	b, proc, xr, rt, ctrl := twoFuncSetup(t, Options{Epoch: vtime.Millisecond, Budget: 0.01})
+	b, proc, xr, rt, ctrl := twoFuncSetup(t, Options{Epoch: vtime.Millisecond, Budget: 0.01}, &dyncapi.CygBackend{})
 	hot := packedOf(t, b, xr, proc, "hot")
 	slow := packedOf(t, b, xr, proc, "slow")
 	tc := &fakeCtx{}
@@ -394,5 +395,53 @@ func TestRecursiveLongFunctionNotDroppedAsLowDuration(t *testing.T) {
 		if fs.ID == slow && fs.MeanNs < vtime.Millisecond {
 			t.Fatalf("slow mean = %dns, diluted by nested entries", fs.MeanNs)
 		}
+	}
+}
+
+// TestControllerCountsAgreeWithTraceTotals pins the controller/tracer
+// interop contract: the adaptive controller and the extrae backend observe
+// the same event stream (the controller forwards every event it counts), so
+// the controller's per-function totals must equal the trace buffer's
+// recorded + policy-dropped accounting — even across a live narrowing that
+// deselects a function mid-trace.
+func TestControllerCountsAgreeWithTraceTotals(t *testing.T) {
+	buf, err := trace.New(trace.Options{Ranks: 1, BufEvents: 32, MaxEvents: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, proc, xr, rt, ctrl := twoFuncSetup(t,
+		Options{Epoch: vtime.Millisecond, Budget: 0.000001, MinMeanNs: vtime.Second},
+		dyncapi.NewExtraeBackend(buf))
+	hot := packedOf(t, b, xr, proc, "hot")
+	slow := packedOf(t, b, xr, proc, "slow")
+	tc := &fakeCtx{}
+	for epoch := 0; epoch < 4; epoch++ {
+		for i := 0; i < 60; i++ {
+			xr.Dispatch(tc, hot, xray.Entry)
+			tc.clk.Advance(200)
+			xr.Dispatch(tc, hot, xray.Exit)
+			xr.Dispatch(tc, slow, xray.Entry)
+			tc.clk.Advance(200)
+			xr.Dispatch(tc, slow, xray.Exit)
+		}
+		tc.clk.Advance(vtime.Millisecond)
+	}
+	if ctrl.Reconfigs() == 0 {
+		t.Fatal("tight budget never narrowed the selection")
+	}
+
+	var ctrlEvents int64
+	for _, fs := range ctrl.Stats() {
+		ctrlEvents += fs.Events
+	}
+	rep := buf.Report()
+	if got := rep.Recorded + rep.Dropped; got != ctrlEvents {
+		t.Fatalf("trace totals %d (recorded %d + dropped %d) != controller events %d",
+			got, rep.Recorded, rep.Dropped, ctrlEvents)
+	}
+	// Runtime-level drops (post-deselection stragglers) are outside both
+	// counts by design: controller and tracer sit behind the active check.
+	if rt.DroppedInFlight() == 0 {
+		t.Fatal("narrowing produced no in-flight drops — test not exercising the window")
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"capi/internal/mpi"
 	"capi/internal/scorep"
 	"capi/internal/talp"
+	"capi/internal/trace"
 	"capi/internal/xray"
 )
 
@@ -86,6 +87,23 @@ func (b *ScorePBackend) InitCost(symbols int) int64 { return b.M.InitCost(symbol
 
 // InjectSymbol implements SymbolInjector.
 func (b *ScorePBackend) InjectSymbol(addr uint64, name string) { b.Resolver.Inject(addr, name) }
+
+// OnDeselect implements Deselector: every frame of the function's region
+// still open on any rank's simulated call stack is closed with a synthetic
+// exit, so live re-selection cannot leak open regions. Unresolvable
+// functions recorded into the UNKNOWN region are skipped — their frames
+// cannot be attributed to one function.
+func (b *ScorePBackend) OnDeselect(fn *ResolvedFunc) int {
+	name, ok := b.Resolver.Resolve(fn.Addr)
+	if !ok {
+		return 0
+	}
+	region, ok := b.M.LookupRegion(name)
+	if !ok {
+		return 0 // never entered
+	}
+	return b.M.CloseDangling(region)
+}
 
 // TALPBackend maps instrumented functions to TALP monitoring regions
 // (§V-C2): a region is registered lazily on a function's first entry, and
@@ -175,6 +193,17 @@ func (b *TALPBackend) OnExit(tc xray.ThreadCtx, fn *ResolvedFunc) {
 // InitCost implements Backend.
 func (b *TALPBackend) InitCost(int) int64 { return b.Mon.InitCost() }
 
+// OnDeselect implements Deselector: dangling starts of the function's
+// monitoring region are balanced with synthetic stops on every rank, so the
+// accumulators close and the open count stays correct.
+func (b *TALPBackend) OnDeselect(fn *ResolvedFunc) int {
+	st, ok := b.state(fn.PackedID)
+	if !ok || st.failed || st.reg == nil {
+		return 0
+	}
+	return b.Mon.CloseOpen(st.reg)
+}
+
 // FailedRegions returns how many functions could not be registered
 // (entered before MPI_Init).
 func (b *TALPBackend) FailedRegions() int {
@@ -188,3 +217,59 @@ func (b *TALPBackend) FailedRegions() int {
 	}
 	return n
 }
+
+// ExtraeBackend records every event as a timestamped trace record in a
+// per-rank sharded buffer (Extrae-style tracing): the enter/exit hot path
+// appends to the executing rank's own shard without taking any lock, full
+// rings are flushed as batched segments, and the end-of-run report merges
+// the shards into one virtual-time-ordered timeline. It is the cheapest
+// per-event backend after the discarding cyg-profile interface — the
+// sharding is what keeps it that way under many ranks.
+//
+// The backend does not implement Deselector: a trace has no open state to
+// close, and completeness of the event stream is asserted through the
+// runtime's split drop counters (DroppedInFlight/DroppedUnpatched) plus the
+// buffer's own drop/wrap accounting.
+type ExtraeBackend struct {
+	Buf   *trace.Buffer
+	costs trace.CostModel
+}
+
+// NewExtraeBackend wraps a sharded trace buffer.
+func NewExtraeBackend(buf *trace.Buffer) *ExtraeBackend {
+	return &ExtraeBackend{Buf: buf, costs: buf.Costs()}
+}
+
+// Reset attaches a fresh buffer for the next execution phase. Call it only
+// between phases, never while handlers are executing.
+func (b *ExtraeBackend) Reset(buf *trace.Buffer) {
+	b.Buf = buf
+	b.costs = buf.Costs()
+}
+
+// Name implements Backend.
+func (b *ExtraeBackend) Name() string { return "extrae" }
+
+// OnEnter implements Backend: charge the trace-write cost, record, and pay
+// the flush stall when this append wrote out a full ring.
+func (b *ExtraeBackend) OnEnter(tc xray.ThreadCtx, fn *ResolvedFunc) {
+	c := tc.Clock()
+	c.Advance(b.costs.EventCost)
+	if b.Buf.Append(tc.RankID(), c.Now(), fn.PackedID, fn.Name, trace.Enter) {
+		c.Advance(b.costs.FlushCost)
+	}
+}
+
+// OnExit implements Backend. The exit timestamp is taken before the probe's
+// own cost is charged, so tracing overhead does not inflate region time.
+func (b *ExtraeBackend) OnExit(tc xray.ThreadCtx, fn *ResolvedFunc) {
+	c := tc.Clock()
+	t := c.Now()
+	c.Advance(b.costs.EventCost)
+	if b.Buf.Append(tc.RankID(), t, fn.PackedID, fn.Name, trace.Exit) {
+		c.Advance(b.costs.FlushCost)
+	}
+}
+
+// InitCost implements Backend.
+func (b *ExtraeBackend) InitCost(int) int64 { return b.costs.InitBase }

@@ -54,6 +54,24 @@ type SymbolInjector interface {
 	InjectSymbol(addr uint64, name string)
 }
 
+// Deselector is implemented by measurement backends that can close the
+// dangling state a live re-selection leaves behind: a rank that is *inside*
+// a function when Reconfigure restores its exit sled never fires that exit
+// event, so without help Score-P would keep the region open on the
+// simulated call stack forever and TALP would never balance the start.
+//
+// OnDeselect is invoked under the reconfigure lock, once per deselected
+// function, after the new active set is published and the delta sleds are
+// re-patched. It returns the number of dangling enters it closed (the
+// synthetic exits delivered); the total is reported in
+// ReconfigReport.SyntheticExits. Backends whose per-event state needs no
+// closing (cyg-profile, the extrae tracer — trace completeness is asserted
+// through the split drop counters instead) simply do not implement the
+// interface.
+type Deselector interface {
+	OnDeselect(fn *ResolvedFunc) int
+}
+
 // CostModel holds the virtual-time costs of runtime initialization.
 type CostModel struct {
 	// PerSledResolve: determining address and name of one function ID.
@@ -129,9 +147,25 @@ type Runtime struct {
 	// sled rewrite.
 	active atomic.Value
 
-	// dropped counts events that arrived for functions outside the active
-	// selection (the window between a sled firing and its unpatching).
-	dropped atomic.Int64
+	// deselected holds the map[int32]struct{} of functions removed by the
+	// most recent Reconfigure, so the handler can tell a deselected
+	// in-flight drop apart from a spurious event for an unpatched-but-known
+	// function. Swapped atomically alongside active.
+	deselected atomic.Value
+
+	// droppedInFlight counts events that arrived for functions removed by
+	// the latest re-selection — the window between publishing the new
+	// active set and the sled restore taking effect. droppedUnpatched
+	// counts events for known functions outside both the active set and
+	// that window (a sled hit that should not have happened). The split
+	// lets trace completeness be asserted: dispatched events ==
+	// delivered + droppedInFlight + droppedUnpatched.
+	droppedInFlight  atomic.Int64
+	droppedUnpatched atomic.Int64
+
+	// synthExits accumulates the synthetic exits delivered through the
+	// Deselector hook across all reconfigurations (guarded by mu).
+	synthExits int64
 }
 
 // New initializes DynCaPI: it resolves function IDs, patches according to
@@ -309,7 +343,13 @@ func (rt *Runtime) installHandler() {
 		rf := m[id]
 		if rf == nil {
 			if rt.byID[id] != nil {
-				rt.dropped.Add(1)
+				if d, _ := rt.deselected.Load().(map[int32]struct{}); d != nil {
+					if _, ok := d[id]; ok {
+						rt.droppedInFlight.Add(1)
+						return
+					}
+				}
+				rt.droppedUnpatched.Add(1)
 			}
 			return
 		}
@@ -339,6 +379,10 @@ type ReconfigReport struct {
 	// Batch is the XRay patching work this reconfiguration performed (only
 	// delta sleds, under coalesced mprotect windows).
 	Batch xray.Stats
+	// SyntheticExits counts the dangling enters the measurement backend
+	// closed for deselected functions through the Deselector hook — ranks
+	// that were inside a function when its exit sled was restored.
+	SyntheticExits int
 	// VirtualNs is the virtual-time cost of the re-patch per the CostModel.
 	VirtualNs int64
 }
@@ -352,13 +396,15 @@ type ReconfigReport struct {
 // Reconfigure is safe to call while handlers execute on other ranks; it
 // always replaces a PatchAll selection.
 //
-// Known limitation, shared with real XRay unpatching: a rank that is
-// *inside* a deselected function when its exit sled is restored never
-// fires that exit event, so backends may see one dangling enter per rank
-// per deselected function. TALP tolerates the unbalanced stop; Score-P
-// keeps the region open on the simulated call stack. Delivering synthetic
-// exits would require cross-rank stack bookkeeping this model (and the
-// real runtime) does not do.
+// A rank that is *inside* a deselected function when its exit sled is
+// restored never fires that exit event (the same is true of real XRay
+// unpatching). This used to leak: Score-P kept the region open on the
+// simulated call stack forever and TALP never balanced the start. Backends
+// implementing Deselector now receive an OnDeselect call per removed
+// function — under the reconfigure lock, after the sleds changed — and
+// close those dangling enters with synthetic exits; the count is reported
+// in ReconfigReport.SyntheticExits. Events still in flight during the
+// active-set swap are dropped and counted in DroppedInFlight.
 func (rt *Runtime) Reconfigure(cfg *ic.Config) (ReconfigReport, error) {
 	if cfg == nil {
 		return ReconfigReport{}, fmt.Errorf("dyncapi: reconfigure requires an instrumentation configuration")
@@ -395,6 +441,14 @@ func (rt *Runtime) Reconfigure(cfg *ic.Config) (ReconfigReport, error) {
 
 	// Publish the new selection first: deselected functions go silent now,
 	// newly selected ones only produce events once their sleds are patched.
+	// The deselected set is published before the active set so a handler
+	// observing the new selection always classifies a straggler as an
+	// in-flight drop, never as a spurious sled hit.
+	desel := make(map[int32]struct{}, len(toUnpatch))
+	for _, id := range toUnpatch {
+		desel[id] = struct{}{}
+	}
+	rt.deselected.Store(desel)
 	rt.active.Store(want)
 	if len(toUnpatch) > 0 {
 		d, err := rt.xr.PatchBatch(toUnpatch, false)
@@ -411,6 +465,30 @@ func (rt *Runtime) Reconfigure(cfg *ic.Config) (ReconfigReport, error) {
 		}
 	}
 	rep.VirtualNs = int64(len(toPatch)+len(toUnpatch)) * rt.opts.Costs.PerPatch
+
+	// Deliver synthetic exits for ranks caught inside a deselected
+	// function: the sleds are restored, so no real exit can arrive anymore.
+	// Every Deselector in the backend chain (the adapt controller may wrap
+	// the measurement backend) gets to close its dangling state.
+	if len(toUnpatch) > 0 {
+		var dss []Deselector
+		for b := rt.backend; b != nil; {
+			if ds, ok := b.(Deselector); ok {
+				dss = append(dss, ds)
+			}
+			w, ok := b.(backendUnwrapper)
+			if !ok {
+				break
+			}
+			b = w.Inner()
+		}
+		for _, id := range toUnpatch {
+			for _, ds := range dss {
+				rep.SyntheticExits += ds.OnDeselect(rt.byID[id])
+			}
+		}
+		rt.synthExits += int64(rep.SyntheticExits)
+	}
 
 	rt.cfg = cfg
 	rt.opts.PatchAll = false
@@ -490,9 +568,30 @@ func (rt *Runtime) ReconfigVirtualNs() int64 {
 	return rt.reconfigNs
 }
 
-// DroppedEvents counts events that fired for functions outside the active
-// selection — the race window between deselection and sled restoration.
-func (rt *Runtime) DroppedEvents() int64 { return rt.dropped.Load() }
+// DroppedEvents counts every event that fired for a known function outside
+// the active selection — the sum of DroppedInFlight and DroppedUnpatched.
+func (rt *Runtime) DroppedEvents() int64 {
+	return rt.droppedInFlight.Load() + rt.droppedUnpatched.Load()
+}
+
+// DroppedInFlight counts events dropped in the window between the latest
+// re-selection publishing its active set and the sled restore taking
+// effect — the expected, documented drop class.
+func (rt *Runtime) DroppedInFlight() int64 { return rt.droppedInFlight.Load() }
+
+// DroppedUnpatched counts events for known functions that were neither
+// active nor removed by the latest re-selection — sled hits that should not
+// have happened (e.g. a stale patch). A nonzero value indicates a
+// patching bug, so trace completeness checks can assert on it separately.
+func (rt *Runtime) DroppedUnpatched() int64 { return rt.droppedUnpatched.Load() }
+
+// SyntheticExits returns the accumulated dangling enters closed through the
+// Deselector hook across all reconfigurations.
+func (rt *Runtime) SyntheticExits() int64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.synthExits
+}
 
 // InitSeconds returns T_init in (virtual) seconds.
 func (rt *Runtime) InitSeconds() float64 {

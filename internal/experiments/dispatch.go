@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+
+	"capi/internal/compiler"
+	"capi/internal/dyncapi"
+	"capi/internal/ic"
+	"capi/internal/mpi"
+	"capi/internal/prog"
+	"capi/internal/scorep"
+	"capi/internal/talp"
+	"capi/internal/trace"
+	"capi/internal/vtime"
+	"capi/internal/xray"
+)
+
+// DispatchHarness drives the event hot path — xray.Dispatch through the
+// DynCaPI handler into a measurement backend — in isolation, for the
+// backend throughput comparison (none vs. talp vs. scorep vs. extrae). It
+// is shared by the BenchmarkDispatch* family and capi-bench's JSON mode.
+type DispatchHarness struct {
+	Backend string
+	XR      *xray.Runtime
+	RT      *dyncapi.Runtime
+	Buf     *trace.Buffer // non-nil for the extrae backend
+
+	ids []int32
+	tc  *dispatchCtx
+}
+
+// dispatchCtx is the harness's ThreadCtx: rank 0 of a 1-rank world, so the
+// TALP backend can register regions (MPI is initialized) and every backend
+// sees a real clock.
+type dispatchCtx struct {
+	rank *mpi.Rank
+}
+
+func (c *dispatchCtx) RankID() int         { return c.rank.ID() }
+func (c *dispatchCtx) Clock() *vtime.Clock { return c.rank.Clock() }
+func (c *dispatchCtx) MPIRank() *mpi.Rank  { return c.rank }
+
+// NewDispatchHarness compiles a four-kernel miniature program, patches the
+// kernels under the named backend and initializes MPI on the driving rank.
+// traceOpts tunes the extrae buffer (nil = bounded wrap-mode defaults so
+// long benchmark runs stay in constant memory).
+func NewDispatchHarness(backend string, traceOpts *trace.Options) (*DispatchHarness, error) {
+	p := prog.New("dispatchbench", "main")
+	p.MustAddUnit("app.exe", prog.Executable)
+	p.MustAddUnit("libmpi.so", prog.SystemLibrary)
+	p.MustAddFunc(&prog.Function{Name: "MPI_Init", Unit: "libmpi.so"})
+	kernels := []string{"k0", "k1", "k2", "k3"}
+	ops := []prog.Op{prog.MPICall("MPI_Init", 0)}
+	for _, k := range kernels {
+		p.MustAddFunc(&prog.Function{Name: k, Unit: "app.exe", Statements: 25})
+		ops = append(ops, prog.Call(k, 1))
+	}
+	p.MustAddFunc(&prog.Function{Name: "main", Unit: "app.exe", Statements: 30, Ops: ops})
+	build, err := compiler.Compile(p, compiler.Options{XRay: true})
+	if err != nil {
+		return nil, err
+	}
+	proc, err := build.LoadProcess()
+	if err != nil {
+		return nil, err
+	}
+	xr, err := xray.NewRuntime(proc)
+	if err != nil {
+		return nil, err
+	}
+	world, err := mpi.NewWorld(1, mpi.DefaultCostModel())
+	if err != nil {
+		return nil, err
+	}
+
+	h := &DispatchHarness{Backend: backend, XR: xr}
+	var back dyncapi.Backend
+	switch backend {
+	case BackendNone:
+		back = &dyncapi.CygBackend{}
+	case BackendTALP:
+		back = dyncapi.NewTALPBackend(talp.New(world, talp.Options{}))
+	case BackendScoreP:
+		m, err := scorep.New(scorep.Options{Ranks: 1})
+		if err != nil {
+			return nil, err
+		}
+		back = dyncapi.NewScorePBackend(m, scorep.NewResolverFromExecutable(proc))
+	case BackendExtrae:
+		topts := trace.Options{Ranks: 1, BufEvents: 8192, MaxEvents: 1 << 16, Wrap: true}
+		if traceOpts != nil {
+			topts = *traceOpts
+			topts.Ranks = 1
+		}
+		h.Buf, err = trace.New(topts)
+		if err != nil {
+			return nil, err
+		}
+		back = dyncapi.NewExtraeBackend(h.Buf)
+	default:
+		return nil, fmt.Errorf("experiments: unknown dispatch backend %q", backend)
+	}
+	rt, err := dyncapi.New(proc, xr, ic.New("dispatchbench", "bench", kernels), back, dyncapi.Options{})
+	if err != nil {
+		return nil, err
+	}
+	h.RT = rt
+	// Initialize MPI on the lone rank (a 1-rank collective completes
+	// inline) so TALP region registration succeeds.
+	r := world.Rank(0)
+	if err := r.Init(); err != nil {
+		return nil, err
+	}
+	h.tc = &dispatchCtx{rank: r}
+	for _, k := range kernels {
+		lay := build.Layout[k]
+		lo := proc.Object(lay.Unit)
+		objID, ok := xr.ObjectID(lo)
+		if !ok {
+			return nil, fmt.Errorf("experiments: object %q not registered", lay.Unit)
+		}
+		id, err := xray.PackID(objID, lay.FuncID)
+		if err != nil {
+			return nil, err
+		}
+		h.ids = append(h.ids, id)
+	}
+	return h, nil
+}
+
+// Dispatch fires one enter/exit event pair for the i-th kernel (rotating).
+// Each call is two dispatched events.
+func (h *DispatchHarness) Dispatch(i int) {
+	id := h.ids[i%len(h.ids)]
+	h.XR.Dispatch(h.tc, id, xray.Entry)
+	h.XR.Dispatch(h.tc, id, xray.Exit)
+}
+
+// Funcs returns the packed IDs of the patched kernels.
+func (h *DispatchHarness) Funcs() []int32 { return h.ids }

@@ -10,14 +10,16 @@ import (
 	"capi/internal/mpi"
 	"capi/internal/scorep"
 	"capi/internal/talp"
+	"capi/internal/trace"
 	"capi/internal/xray"
 )
 
-// Backend names for Table II.
+// Backend names for Table II and the dispatch benchmarks.
 const (
 	BackendNone   = "none" // vanilla / xray-inactive
 	BackendTALP   = "talp"
 	BackendScoreP = "scorep"
+	BackendExtrae = "extrae"
 )
 
 // Variant names for Table II rows.
@@ -100,6 +102,12 @@ func RunVariant(bundle *AppBundle, backend, variant string, cfg *ic.Config, opts
 				return nil, err
 			}
 			back = dyncapi.NewScorePBackend(m, scorep.NewResolverFromExecutable(proc))
+		case BackendExtrae:
+			buf, err := trace.New(trace.Options{Ranks: opts.Ranks})
+			if err != nil {
+				return nil, err
+			}
+			back = dyncapi.NewExtraeBackend(buf)
 		case BackendNone:
 			back = &dyncapi.CygBackend{}
 		default:

@@ -100,10 +100,21 @@ type cnode struct {
 }
 
 type rankState struct {
+	// mu guards all fields. The owning rank's goroutine is the only event
+	// writer, so the lock is uncontended on the hot path; it exists so
+	// CloseDangling (synthetic exits delivered from a concurrent
+	// reconfiguration) and post-run readers are race-free.
+	mu sync.Mutex
+
 	nodes    []cnode
 	stack    []int
 	rootKids map[int]int
 	edges    map[[2]int]struct{}
+
+	// lastNs is the rank clock value after its most recent recorded event —
+	// the timestamp synthetic exits close dangling regions at (the rank's
+	// own clock cannot be read from another goroutine).
+	lastNs int64
 
 	unknownEvents  int64
 	filteredEvents int64
@@ -175,6 +186,15 @@ func (m *Measurement) RegionHandle(name string) int {
 	return id
 }
 
+// LookupRegion returns the handle of an already registered region, without
+// registering it.
+func (m *Measurement) LookupRegion(name string) (int, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	id, ok := m.regionIdx[name]
+	return id, ok
+}
+
 // RegionName returns the name of a region handle.
 func (m *Measurement) RegionName(id int) string {
 	m.mu.RLock()
@@ -194,7 +214,10 @@ func (m *Measurement) filtered(tc ThreadCtx, name string) bool {
 	}
 	tc.Clock().Advance(m.opts.Costs.FilterCheckCost)
 	if m.opts.RuntimeFilter.Excluded(name) {
-		m.rank(tc).filteredEvents++
+		rs := m.rank(tc)
+		rs.mu.Lock()
+		rs.filteredEvents++
+		rs.mu.Unlock()
 		return true
 	}
 	return false
@@ -209,11 +232,14 @@ func (m *Measurement) pressure(rs *rankState) int64 {
 func (m *Measurement) EnterID(tc ThreadCtx, region int) {
 	c := tc.Clock()
 	rs := m.rank(tc)
+	rs.mu.Lock()
 	c.Advance(m.opts.Costs.EnterCost + m.pressure(rs))
 	m.push(rs, region, c.Now())
 	if rs.trace != nil || m.opts.TraceCapacity > 0 {
 		m.traceEvent(rs, c.Now(), region, true)
 	}
+	rs.lastNs = c.Now()
+	rs.mu.Unlock()
 }
 
 // ExitID records a region exit by handle. The exit timestamp is taken
@@ -223,16 +249,33 @@ func (m *Measurement) EnterID(tc ThreadCtx, region int) {
 func (m *Measurement) ExitID(tc ThreadCtx, region int) {
 	c := tc.Clock()
 	rs := m.rank(tc)
-	m.pop(rs, c.Now())
+	rs.mu.Lock()
+	m.pop(rs, region, c.Now())
 	c.Advance(m.opts.Costs.ExitCost + m.pressure(rs))
 	if rs.trace != nil || m.opts.TraceCapacity > 0 {
 		m.traceEvent(rs, c.Now(), region, false)
 	}
+	rs.lastNs = c.Now()
+	rs.mu.Unlock()
 }
 
 // CallTreeSize returns the number of calling-context-tree nodes recorded on
 // one rank (the quantity driving TreePressureCost).
-func (m *Measurement) CallTreeSize(rank int) int { return len(m.ranks[rank].nodes) }
+func (m *Measurement) CallTreeSize(rank int) int {
+	rs := m.ranks[rank]
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return len(rs.nodes)
+}
+
+// OpenRegions returns the number of frames currently open on a rank's
+// simulated call stack.
+func (m *Measurement) OpenRegions(rank int) int {
+	rs := m.ranks[rank]
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return len(rs.stack)
+}
 
 // Enter records a region entry by name, applying the runtime filter.
 func (m *Measurement) Enter(tc ThreadCtx, name string) {
@@ -258,7 +301,7 @@ func (m *Measurement) CygEnter(tc ThreadCtx, r *Resolver, addr uint64) {
 	tc.Clock().Advance(m.opts.Costs.ResolveCost)
 	name, ok := r.Resolve(addr)
 	if !ok {
-		m.rank(tc).unknownEvents++
+		m.countUnknown(tc)
 		m.EnterID(tc, m.unknownRegion)
 		return
 	}
@@ -270,11 +313,18 @@ func (m *Measurement) CygExit(tc ThreadCtx, r *Resolver, addr uint64) {
 	tc.Clock().Advance(m.opts.Costs.ResolveCost)
 	name, ok := r.Resolve(addr)
 	if !ok {
-		m.rank(tc).unknownEvents++
+		m.countUnknown(tc)
 		m.ExitID(tc, m.unknownRegion)
 		return
 	}
 	m.Exit(tc, name)
+}
+
+func (m *Measurement) countUnknown(tc ThreadCtx) {
+	rs := m.rank(tc)
+	rs.mu.Lock()
+	rs.unknownEvents++
+	rs.mu.Unlock()
 }
 
 func (m *Measurement) push(rs *rankState, region int, now int64) {
@@ -306,11 +356,28 @@ func (m *Measurement) push(rs *rankState, region int, now int64) {
 	}
 }
 
-func (m *Measurement) pop(rs *rankState, now int64) {
+// pop closes the exiting region's frame. The top of the stack matches on
+// every well-formed stream; a mismatch means the frame was already closed
+// by a synthetic exit racing this in-flight real exit (live re-selection),
+// so the matching deeper frame — if any survives — is spliced out instead
+// of corrupting the top of the stack, and an exit whose region is not open
+// at all is ignored as spurious.
+func (m *Measurement) pop(rs *rankState, region int, now int64) {
 	if len(rs.stack) == 0 {
 		return // spurious exit
 	}
 	idx := rs.stack[len(rs.stack)-1]
+	if rs.nodes[idx].region != region {
+		for i := len(rs.stack) - 2; i >= 0; i-- {
+			if fi := rs.stack[i]; rs.nodes[fi].region == region {
+				n := &rs.nodes[fi]
+				n.inclusive += now - n.enterTime
+				rs.stack = append(rs.stack[:i], rs.stack[i+1:]...)
+				return
+			}
+		}
+		return // already synthetically closed
+	}
 	rs.stack = rs.stack[:len(rs.stack)-1]
 	n := &rs.nodes[idx]
 	n.inclusive += now - n.enterTime
@@ -331,5 +398,37 @@ func (m *Measurement) traceEvent(rs *rankState, now int64, region int, enter boo
 // dropped events.
 func (m *Measurement) Trace(rank int) ([]TraceEvent, int64) {
 	rs := m.ranks[rank]
-	return rs.trace, rs.traceDropped
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return append([]TraceEvent(nil), rs.trace...), rs.traceDropped
+}
+
+// CloseDangling delivers synthetic exits for every open call-stack frame of
+// the given region, on every rank: the frame is spliced out of the
+// simulated stack and its inclusive time is closed at the rank's last
+// recorded event timestamp. Frames nested above the spliced one stay on the
+// stack, so later real exits remain balanced. It returns the number of
+// frames closed.
+//
+// It is safe to call while other ranks record events (per-rank locking);
+// the caller must guarantee the region produces no further events — DynCaPI
+// calls it under the reconfigure lock after a function is deselected.
+func (m *Measurement) CloseDangling(region int) int {
+	closed := 0
+	for _, rs := range m.ranks {
+		rs.mu.Lock()
+		kept := rs.stack[:0]
+		for _, idx := range rs.stack {
+			n := &rs.nodes[idx]
+			if n.region == region {
+				n.inclusive += rs.lastNs - n.enterTime
+				closed++
+				continue
+			}
+			kept = append(kept, idx)
+		}
+		rs.stack = kept
+		rs.mu.Unlock()
+	}
+	return closed
 }

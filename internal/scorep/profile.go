@@ -53,6 +53,7 @@ func (m *Measurement) Profile() *Profile {
 	flat := map[int]*RegionProfile{}
 	edgeSet := map[[2]int]struct{}{}
 	for _, rs := range m.ranks {
+		rs.mu.Lock()
 		p.UnknownEvents += rs.unknownEvents
 		p.FilteredEvents += rs.filteredEvents
 		for i := range rs.nodes {
@@ -74,6 +75,7 @@ func (m *Measurement) Profile() *Profile {
 		for e := range rs.edges {
 			edgeSet[e] = struct{}{}
 		}
+		rs.mu.Unlock()
 	}
 	for _, rp := range flat {
 		p.Regions = append(p.Regions, *rp)
@@ -99,6 +101,8 @@ func (m *Measurement) Profile() *Profile {
 
 	// Call tree from rank 0.
 	rs := m.ranks[0]
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
 	var walk func(kids map[int]int, depth int)
 	walk = func(kids map[int]int, depth int) {
 		idxs := make([]int, 0, len(kids))

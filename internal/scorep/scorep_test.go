@@ -402,3 +402,64 @@ func TestInitCost(t *testing.T) {
 		t.Fatal("init cost should grow with symbol count")
 	}
 }
+
+// TestCloseDanglingSplicesOpenFrames covers the synthetic-exit path live
+// re-selection uses: open frames of the deselected region are spliced off
+// the stack, frames above and below stay balanced.
+func TestCloseDanglingSplicesOpenFrames(t *testing.T) {
+	m := newM(t, 2)
+	tc := &fakeCtx{}
+	m.Enter(tc, "outer")
+	tc.clk.Advance(1000)
+	m.Enter(tc, "dangling")
+	tc.clk.Advance(1000)
+	m.Enter(tc, "inner")
+	region, ok := m.LookupRegion("dangling")
+	if !ok {
+		t.Fatal("region not registered")
+	}
+	if closed := m.CloseDangling(region); closed != 1 {
+		t.Fatalf("closed = %d, want 1", closed)
+	}
+	if got := m.OpenRegions(0); got != 2 {
+		t.Fatalf("open = %d, want 2 (outer, inner)", got)
+	}
+	// The surviving frames exit in order, untouched by the splice.
+	m.Exit(tc, "inner")
+	m.Exit(tc, "outer")
+	if got := m.OpenRegions(0); got != 0 {
+		t.Fatalf("open = %d after balanced exits", got)
+	}
+	if r := m.Profile().Region("dangling"); r == nil || r.Visits != 1 || r.Inclusive <= 0 {
+		t.Fatalf("dangling region not closed into profile: %+v", r)
+	}
+	// Closing a region with nothing open is a no-op.
+	if closed := m.CloseDangling(region); closed != 0 {
+		t.Fatalf("re-close closed %d", closed)
+	}
+}
+
+// TestLateExitAfterSyntheticClose is the regression for the in-flight race
+// on live re-selection: a real exit that was already past the runtime's
+// active check when the synthetic exit closed its frame must not pop an
+// unrelated frame off the stack.
+func TestLateExitAfterSyntheticClose(t *testing.T) {
+	m := newM(t, 1)
+	tc := &fakeCtx{}
+	m.Enter(tc, "outer")
+	m.Enter(tc, "dangling")
+	region, _ := m.LookupRegion("dangling")
+	if closed := m.CloseDangling(region); closed != 1 {
+		t.Fatal("synthetic close failed")
+	}
+	// The late real exit for the already-closed region: ignored, the
+	// still-open outer frame must survive.
+	m.Exit(tc, "dangling")
+	if got := m.OpenRegions(0); got != 1 {
+		t.Fatalf("open = %d, want 1 (outer)", got)
+	}
+	m.Exit(tc, "outer")
+	if got := m.OpenRegions(0); got != 0 {
+		t.Fatalf("open = %d", got)
+	}
+}

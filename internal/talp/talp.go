@@ -104,9 +104,22 @@ type regionAccum struct {
 }
 
 type rankState struct {
+	// mu guards all fields. The owning rank's goroutine is the only writer
+	// on the measurement path, so the lock is uncontended there; it exists
+	// so CloseOpen (synthetic stops delivered from a concurrent live
+	// re-selection) and cross-rank readers are race-free.
+	mu sync.Mutex
+
 	open      map[int]*openInfo
 	acc       map[int]*regionAccum
 	openCount int
+
+	// lastNs/lastMPI mirror the rank clock and MPI-time total as of the
+	// rank's most recent TALP activity — the timestamps synthetic stops
+	// close dangling regions at (another goroutine cannot read the rank's
+	// clock directly).
+	lastNs  int64
+	lastMPI int64
 
 	// calibration / diagnostics counters
 	startStops    int64 // Start + Stop invocations
@@ -176,12 +189,21 @@ func (m *Monitor) attach(r *mpi.Rank) {
 	r.AddHook(mpi.Hook{
 		Pre: func(rk *mpi.Rank, op mpi.Op, bytes int) {
 			rs := m.perRank[rk.ID()]
+			rs.mu.Lock()
 			rs.mpiCalls++
+			open := rs.openCount
 			// TALP touches every open monitor inside the PMPI wrapper.
-			if rs.openCount > 0 {
-				rs.regionTouches += int64(rs.openCount)
-				rk.Clock().Advance(int64(rs.openCount) * m.opts.Costs.PerOpenRegionMPI)
+			if open > 0 {
+				rs.regionTouches += int64(open)
 			}
+			rs.mu.Unlock()
+			if open > 0 {
+				rk.Clock().Advance(int64(open) * m.opts.Costs.PerOpenRegionMPI)
+			}
+			rs.mu.Lock()
+			rs.lastNs = rk.Clock().Now()
+			rs.lastMPI = rk.MPITimeTotal()
+			rs.mu.Unlock()
 			if op == mpi.OpFinalize {
 				m.stopOn(rk, m.global)
 			}
@@ -254,6 +276,8 @@ type Stats struct {
 // RankStats returns the activity counters of one rank.
 func (m *Monitor) RankStats(rank int) Stats {
 	rs := m.perRank[rank]
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
 	return Stats{StartStops: rs.startStops, MPICalls: rs.mpiCalls, RegionTouches: rs.regionTouches}
 }
 
@@ -264,7 +288,10 @@ func (m *Monitor) Start(r *mpi.Rank, reg *Region) error {
 	if reg == nil {
 		return fmt.Errorf("talp: Start with nil region")
 	}
-	m.perRank[r.ID()].startStops++
+	rs := m.perRank[r.ID()]
+	rs.mu.Lock()
+	rs.startStops++
+	rs.mu.Unlock()
 	r.Clock().Advance(m.opts.Costs.StartCost)
 	if reg != m.global && m.bugHits(reg.name) {
 		m.mu.Lock()
@@ -278,6 +305,8 @@ func (m *Monitor) Start(r *mpi.Rank, reg *Region) error {
 
 func (m *Monitor) startOn(r *mpi.Rank, reg *Region) {
 	rs := m.perRank[r.ID()]
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
 	oi := rs.open[reg.id]
 	if oi == nil {
 		oi = &openInfo{}
@@ -295,6 +324,8 @@ func (m *Monitor) startOn(r *mpi.Rank, reg *Region) {
 		rs.openCount++
 	}
 	oi.depth++
+	rs.lastNs = r.Clock().Now()
+	rs.lastMPI = r.MPITimeTotal()
 }
 
 // Stop leaves a monitoring region. Stopping a region that is not open is an
@@ -303,26 +334,32 @@ func (m *Monitor) Stop(r *mpi.Rank, reg *Region) error {
 	if reg == nil {
 		return fmt.Errorf("talp: Stop with nil region")
 	}
-	m.perRank[r.ID()].startStops++
-	r.Clock().Advance(m.opts.Costs.StopCost)
 	rs := m.perRank[r.ID()]
-	oi := rs.open[reg.id]
-	if oi == nil || oi.depth == 0 {
+	rs.mu.Lock()
+	rs.startStops++
+	rs.mu.Unlock()
+	r.Clock().Advance(m.opts.Costs.StopCost)
+	if !m.stopOn(r, reg) {
 		return fmt.Errorf("talp: Stop of region %q which is not open on rank %d", reg.name, r.ID())
 	}
-	m.stopOn(r, reg)
 	return nil
 }
 
-func (m *Monitor) stopOn(r *mpi.Rank, reg *Region) {
+// stopOn closes one nesting level of the region on the rank; it reports
+// whether the region was open.
+func (m *Monitor) stopOn(r *mpi.Rank, reg *Region) bool {
 	rs := m.perRank[r.ID()]
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
 	oi := rs.open[reg.id]
 	if oi == nil || oi.depth == 0 {
-		return
+		return false
 	}
+	rs.lastNs = r.Clock().Now()
+	rs.lastMPI = r.MPITimeTotal()
 	oi.depth--
 	if oi.depth > 0 {
-		return
+		return true
 	}
 	rs.openCount--
 	now := r.Clock().Now()
@@ -335,11 +372,59 @@ func (m *Monitor) stopOn(r *mpi.Rank, reg *Region) {
 	acc.elapsed += elapsed
 	acc.mpiTime += mpiDuring
 	acc.useful += elapsed - mpiDuring
+	return true
+}
+
+// CloseOpen balances the dangling starts of a region on every rank with
+// synthetic stops: the full nesting depth is closed at the rank's last
+// observed TALP activity timestamp, the elapsed/MPI split is accumulated
+// exactly as a real Stop would, and the open count is corrected. It returns
+// the number of dangling starts balanced.
+//
+// It is safe to call while other ranks measure (per-rank locking); the
+// caller must guarantee the region produces no further events — DynCaPI
+// calls it under the reconfigure lock after a function is deselected.
+func (m *Monitor) CloseOpen(reg *Region) int {
+	if reg == nil {
+		return 0
+	}
+	closed := 0
+	for _, rs := range m.perRank {
+		rs.mu.Lock()
+		oi := rs.open[reg.id]
+		if oi != nil && oi.depth > 0 {
+			closed += oi.depth
+			elapsed := rs.lastNs - oi.start
+			if elapsed < 0 {
+				elapsed = 0
+			}
+			mpiDuring := rs.lastMPI - oi.mpiSnap
+			if mpiDuring > elapsed {
+				mpiDuring = elapsed
+			}
+			if mpiDuring < 0 {
+				mpiDuring = 0
+			}
+			acc := rs.acc[reg.id]
+			acc.elapsed += elapsed
+			acc.mpiTime += mpiDuring
+			acc.useful += elapsed - mpiDuring
+			oi.depth = 0
+			rs.openCount--
+		}
+		rs.mu.Unlock()
+	}
+	return closed
 }
 
 // OpenCount returns the number of regions currently open on a rank (used
 // by tests and the overhead analysis).
-func (m *Monitor) OpenCount(rank int) int { return m.perRank[rank].openCount }
+func (m *Monitor) OpenCount(rank int) int {
+	rs := m.perRank[rank]
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.openCount
+}
 
 // Listing-2-compatible aliases (DLB API surface).
 
@@ -384,8 +469,10 @@ func (m *Monitor) Report() *Report {
 		rr := RegionReport{Name: reg.name, PerRank: make([]pop.RankTimes, m.world.Size())}
 		seen := false
 		for rank, rs := range m.perRank {
+			rs.mu.Lock()
 			acc := rs.acc[reg.id]
 			if acc == nil {
+				rs.mu.Unlock()
 				continue
 			}
 			seen = true
@@ -394,6 +481,7 @@ func (m *Monitor) Report() *Report {
 				rr.Elapsed = acc.elapsed
 			}
 			rr.PerRank[rank] = pop.RankTimes{Useful: acc.useful, MPI: acc.mpiTime}
+			rs.mu.Unlock()
 		}
 		if !seen {
 			continue
