@@ -2,6 +2,7 @@ package capi
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"capi/internal/adapt"
@@ -115,6 +116,24 @@ type Session struct {
 	build   *compiler.Build
 	vanilla *compiler.Build // built lazily for baselines
 	opts    SessionOptions
+}
+
+// NewAppSession prepares a session over one of the named stand-in
+// workloads — "quickstart", "lulesh" or "openfoam" (scale sizes the
+// OpenFOAM call graph; it is ignored otherwise). The optimization levels
+// match the paper's builds (LULESH at -O3, the rest at -O2). This is the
+// shared entry point of the CLI tools' -app flags.
+func NewAppSession(app string, scale float64) (*Session, error) {
+	switch app {
+	case "quickstart":
+		return NewSession(Quickstart(), SessionOptions{OptLevel: 2})
+	case "lulesh":
+		return NewSession(Lulesh(LuleshOptions{}), SessionOptions{OptLevel: 3})
+	case "openfoam":
+		return NewSession(OpenFOAM(OpenFOAMOptions{Scale: scale}), SessionOptions{OptLevel: 2})
+	default:
+		return nil, fmt.Errorf("capi: unknown app %q", app)
+	}
 }
 
 // NewSession analyses and compiles the program for dynamic instrumentation.
@@ -279,6 +298,12 @@ type RunResult struct {
 // Reconfigure (only the delta sleds are re-patched) and the workload can be
 // executed repeatedly with Run, without ever rebuilding or re-initializing
 // the instrumentation — the Fig. 1 loop without leaving the process.
+//
+// An Instance is safe for concurrent use: Reconfigure, Retune and every
+// accessor (Status, TraceReport, TALPReport, Profile, …) may be called from
+// other goroutines while a Run executes — this is what lets the HTTP
+// control plane (internal/ctl) drive a live instance remotely. Concurrent
+// Run calls serialize: phases never overlap.
 type Instance struct {
 	s    *Session
 	opts RunOptions
@@ -291,17 +316,26 @@ type Instance struct {
 	talpBackend *dyncapi.TALPBackend
 	spBackend   *dyncapi.ScorePBackend
 	exBackend   *dyncapi.ExtraeBackend
-	meas        *scorep.Measurement
-	traceBuf    *trace.Buffer
 	traceOpts   trace.Options
 
-	world *mpi.World
-	mon   *talp.Monitor
+	// runMu serializes Run calls: one phase at a time.
+	runMu sync.Mutex
 
+	// mu guards the per-phase state below. Run swaps the world and the
+	// backends' measurement substrates at phase boundaries while the control
+	// plane reads them for live reports; pendingNs is charged by Reconfigure
+	// on one goroutine and billed by Run on another.
+	mu       sync.Mutex
+	world    *mpi.World
+	mon      *talp.Monitor
+	meas     *scorep.Measurement
+	traceBuf *trace.Buffer
 	// pendingNs is virtual set-up cost to charge to the next Run: T_init
 	// before the first phase, accumulated Reconfigure costs afterwards.
 	pendingNs int64
 	runs      int
+	running   bool
+	events    int64 // dispatched events, accumulated across completed phases
 	wallStart time.Time
 }
 
@@ -385,7 +419,9 @@ func (s *Session) Start(sel *Selection, opts RunOptions) (*Instance, error) {
 // patched set is diffed against the new IC and only the delta sleds are
 // re-patched, under coalesced mprotect windows. The accumulated virtual
 // re-patch cost is charged to the next Run as its set-up time — the dynamic
-// workflow's turnaround, where the static workflow pays a recompile.
+// workflow's turnaround, where the static workflow pays a recompile. A
+// reconfiguration landing *during* a phase (another goroutine is inside
+// Run — the control plane's remote re-selection) is charged to that phase.
 func (i *Instance) Reconfigure(sel *Selection) (ReconfigReport, error) {
 	if i.rt == nil {
 		return ReconfigReport{}, fmt.Errorf("capi: instance is not instrumented")
@@ -397,9 +433,26 @@ func (i *Instance) Reconfigure(sel *Selection) (ReconfigReport, error) {
 	if err != nil {
 		return rep, err
 	}
+	i.mu.Lock()
 	i.pendingNs += rep.VirtualNs
+	i.mu.Unlock()
 	return rep, nil
 }
+
+// Retune adjusts the live overhead-budget controller's tuning (budget,
+// epoch length, reconfiguration bound) while the workload executes. Zero
+// fields keep their current value; a negative MaxReconfigs lifts the bound.
+// It fails when the instance was started without RunOptions.Adapt.
+func (i *Instance) Retune(opts AdaptOptions) (AdaptOptions, error) {
+	if i.ctrl == nil {
+		return AdaptOptions{}, fmt.Errorf("capi: instance is not adaptive (start with RunOptions.Adapt)")
+	}
+	return i.ctrl.Retune(opts), nil
+}
+
+// Adaptive reports whether the instance runs under the overhead-budget
+// controller.
+func (i *Instance) Adaptive() bool { return i.ctrl != nil }
 
 // InitSeconds returns the DynCaPI start-up time (T_init) in virtual
 // seconds, or -1 for an uninstrumented instance.
@@ -427,13 +480,169 @@ func (i *Instance) Reconfigs() int {
 }
 
 // TraceReport returns the extrae backend's current trace summary, or nil
-// when the instance does not trace. It must not be called while a Run is
-// executing (the shards are single-writer).
+// when the instance does not trace. It is safe to call while a Run is
+// executing: each shard is snapshotted under its lock, so a mid-phase
+// report is per-shard consistent.
 func (i *Instance) TraceReport() *TraceReport {
-	if i.traceBuf == nil {
+	i.mu.Lock()
+	buf := i.traceBuf
+	i.mu.Unlock()
+	if buf == nil {
 		return nil
 	}
-	return i.traceBuf.Report()
+	return buf.Report()
+}
+
+// TALPReport returns the TALP backend's current region report, or nil when
+// the instance does not run under TALP. Safe to call mid-phase.
+func (i *Instance) TALPReport() *TALPReport {
+	i.mu.Lock()
+	mon := i.mon
+	i.mu.Unlock()
+	if mon == nil {
+		return nil
+	}
+	return mon.Report()
+}
+
+// Profile returns the Score-P backend's current call-path profile, or nil
+// when the instance does not profile. Safe to call mid-phase.
+func (i *Instance) Profile() *Profile {
+	i.mu.Lock()
+	meas := i.meas
+	i.mu.Unlock()
+	if meas == nil {
+		return nil
+	}
+	return meas.Profile()
+}
+
+// Backend returns the measurement backend the instance was started with.
+func (i *Instance) Backend() Backend {
+	if i.opts.Backend == "" {
+		return BackendNone
+	}
+	return i.opts.Backend
+}
+
+// Ranks returns the simulated MPI world size.
+func (i *Instance) Ranks() int { return i.opts.Ranks }
+
+// Session returns the session the instance was started from.
+func (i *Instance) Session() *Session { return i.s }
+
+// Runs returns how many phases have completed.
+func (i *Instance) Runs() int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.runs
+}
+
+// ActiveFunctionNames returns the names of the currently selected
+// functions, sorted by packed ID; functions selected by static ID whose
+// name never resolved appear as "id:N".
+func (i *Instance) ActiveFunctionNames() []string {
+	if i.rt == nil {
+		return nil
+	}
+	funcs := i.rt.ActiveFuncs()
+	names := make([]string, 0, len(funcs))
+	for _, rf := range funcs {
+		if rf.Name != "" {
+			names = append(names, rf.Name)
+		} else {
+			names = append(names, fmt.Sprintf("id:%d", rf.PackedID))
+		}
+	}
+	return names
+}
+
+// UnknownFunctionNames returns the subset of names that do not resolve to
+// any patchable function of the live process — callers building an IC from
+// a raw name list (the control plane's include path) use it to reject
+// typos before a reconfiguration silently selects nothing. The resolution
+// table is immutable after Start, so this is safe mid-phase.
+func (i *Instance) UnknownFunctionNames(names []string) []string {
+	var unknown []string
+	if i.rt == nil {
+		return append(unknown, names...)
+	}
+	known := make(map[string]bool)
+	for _, rf := range i.rt.Funcs() {
+		if rf.Name != "" {
+			known[rf.Name] = true
+		}
+	}
+	for _, n := range names {
+		if !known[n] {
+			unknown = append(unknown, n)
+		}
+	}
+	return unknown
+}
+
+// InstanceStatus is a point-in-time snapshot of a live instance — what the
+// control plane serves on GET /v1/status and exports as Prometheus gauges.
+type InstanceStatus struct {
+	// Backend and Ranks echo the start configuration; Adaptive tells
+	// whether the overhead-budget controller is attached.
+	Backend  Backend `json:"backend"`
+	Ranks    int     `json:"ranks"`
+	Adaptive bool    `json:"adaptive"`
+	// Instrumented is false for the "xray inactive" baseline.
+	Instrumented bool `json:"instrumented"`
+	// Runs counts completed phases; Running tells whether one is executing.
+	Runs    int  `json:"runs"`
+	Running bool `json:"running"`
+	// Events is the number of instrumentation events dispatched across all
+	// completed phases.
+	Events int64 `json:"events"`
+	// ActiveFunctions is the current selection size; Patched the start-up
+	// count; Reconfigs the applied live re-selections.
+	ActiveFunctions int `json:"activeFunctions"`
+	Patched         int `json:"patched"`
+	Reconfigs       int `json:"reconfigs"`
+	// InitSeconds is T_init; ReconfigSeconds the accumulated virtual cost
+	// of all re-selections; PendingSeconds the set-up cost the next phase
+	// will be billed.
+	InitSeconds     float64 `json:"initSeconds"`
+	ReconfigSeconds float64 `json:"reconfigSeconds"`
+	PendingSeconds  float64 `json:"pendingSeconds"`
+	// DroppedInFlight / DroppedUnpatched are the split drop counters;
+	// SyntheticExits counts backend-closed dangling enters.
+	DroppedInFlight  int64 `json:"droppedInFlight"`
+	DroppedUnpatched int64 `json:"droppedUnpatched"`
+	SyntheticExits   int64 `json:"syntheticExits"`
+}
+
+// Status returns a consistent snapshot of the instance's live counters.
+// Safe to call concurrently with Run and Reconfigure.
+func (i *Instance) Status() InstanceStatus {
+	st := InstanceStatus{
+		Backend:  i.Backend(),
+		Ranks:    i.opts.Ranks,
+		Adaptive: i.ctrl != nil,
+	}
+	i.mu.Lock()
+	st.Runs = i.runs
+	st.Running = i.running
+	st.Events = i.events
+	st.PendingSeconds = float64(i.pendingNs) / 1e9
+	i.mu.Unlock()
+	if i.rt == nil {
+		return st
+	}
+	snap := i.rt.Snapshot()
+	st.Instrumented = true
+	st.ActiveFunctions = snap.Active
+	st.Patched = snap.Patched
+	st.Reconfigs = snap.Reconfigs
+	st.InitSeconds = float64(snap.InitVirtualNs) / 1e9
+	st.ReconfigSeconds = float64(snap.ReconfigVirtualNs) / 1e9
+	st.DroppedInFlight = snap.DroppedInFlight
+	st.DroppedUnpatched = snap.DroppedUnpatched
+	st.SyntheticExits = snap.SyntheticExits
+	return st
 }
 
 // DroppedEvents returns the split drop accounting of the live runtime:
@@ -461,8 +670,13 @@ func (i *Instance) SyntheticExits() int64 {
 // Run executes one phase of the workload on the live instance. The first
 // call pays the instrumentation start-up (T_init); later calls pay only the
 // virtual cost of Reconfigure calls made since the previous phase — the
-// instrumentation itself stays up between phases.
+// instrumentation itself stays up between phases. Concurrent Run calls
+// serialize; Reconfigure and the report accessors may land mid-phase.
 func (i *Instance) Run() (*RunResult, error) {
+	i.runMu.Lock()
+	defer i.runMu.Unlock()
+
+	i.mu.Lock()
 	world := i.world
 	i.world = nil
 	if i.runs > 0 {
@@ -478,6 +692,7 @@ func (i *Instance) Run() (*RunResult, error) {
 		var err error
 		world, err = mpi.NewWorld(i.opts.Ranks, mpi.DefaultCostModel())
 		if err != nil {
+			i.mu.Unlock()
 			return nil, err
 		}
 		if i.talpBackend != nil {
@@ -487,6 +702,7 @@ func (i *Instance) Run() (*RunResult, error) {
 		if i.spBackend != nil {
 			i.meas, err = scorep.New(scorep.Options{Ranks: i.opts.Ranks})
 			if err != nil {
+				i.mu.Unlock()
 				return nil, err
 			}
 			i.spBackend.Reset(i.meas)
@@ -494,6 +710,7 @@ func (i *Instance) Run() (*RunResult, error) {
 		if i.exBackend != nil {
 			i.traceBuf, err = trace.New(i.traceOpts)
 			if err != nil {
+				i.mu.Unlock()
 				return nil, err
 			}
 			i.exBackend.Reset(i.traceBuf)
@@ -502,6 +719,16 @@ func (i *Instance) Run() (*RunResult, error) {
 			i.ctrl.NewPhase()
 		}
 	}
+	i.running = true
+	i.mu.Unlock()
+	defer func() {
+		i.mu.Lock()
+		i.running = false
+		i.mu.Unlock()
+	}()
+
+	// The engine executes without the instance lock held, so control-plane
+	// calls (Reconfigure, Status, report scrapes) proceed while ranks run.
 	eng, err := exec.New(exec.Config{
 		Build:        i.s.build,
 		Proc:         i.proc,
@@ -517,6 +744,7 @@ func (i *Instance) Run() (*RunResult, error) {
 	}
 
 	out := &RunResult{InitSeconds: -1}
+	i.mu.Lock()
 	if i.rt != nil {
 		out.InitSeconds = float64(i.pendingNs) / 1e9
 		out.Patched = i.rt.Report().Patched
@@ -536,18 +764,22 @@ func (i *Instance) Run() (*RunResult, error) {
 		out.DroppedFuncs = i.ctrl.Dropped()
 		out.AdaptEpochs = i.ctrl.Epochs()
 	}
-	if i.mon != nil {
-		out.TALP = i.mon.Report()
-	}
-	if i.meas != nil {
-		out.Profile = i.meas.Profile()
-	}
-	if i.traceBuf != nil {
-		out.Trace = i.traceBuf.Report()
-	}
+	mon, meas, traceBuf := i.mon, i.meas, i.traceBuf
 	out.WallSeconds = time.Since(i.wallStart).Seconds()
 	i.pendingNs = 0
 	i.runs++
+	i.events += out.Events
+	i.mu.Unlock()
+	// The backends' own reports lock internally; build them outside i.mu.
+	if mon != nil {
+		out.TALP = mon.Report()
+	}
+	if meas != nil {
+		out.Profile = meas.Profile()
+	}
+	if traceBuf != nil {
+		out.Trace = traceBuf.Report()
+	}
 	return out, nil
 }
 

@@ -1,0 +1,66 @@
+// Command benchdiff is the benchmark-regression gate: it compares a fresh
+// `capi-bench -json` document against the checked-in baseline and exits
+// nonzero when any watched statistic regressed beyond the tolerance.
+//
+// Usage:
+//
+//	capi-bench -json > bench.json
+//	benchdiff -baseline BENCH_baseline.json -current bench.json
+//	capi-bench -json | benchdiff -baseline BENCH_baseline.json -current -
+//
+// Watched statistics: per-backend dispatch ns/op (none/talp/scorep/extrae)
+// and the batch-patch ns/func, gated by -tol (default 1.5x; raise it for
+// noisier environments), plus the deterministic mprotect call/window counts,
+// which are always gated exactly — a growth there is a coalescing
+// regression, not machine noise, so no tolerance excuses it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"capi/internal/benchcmp"
+)
+
+func main() {
+	var (
+		baseline = flag.String("baseline", "BENCH_baseline.json", "baseline capi-bench -json document")
+		current  = flag.String("current", "-", `current document ("-" = stdin)`)
+		tol      = flag.Float64("tol", 1.5, "tolerated ratio current/baseline for wall-clock statistics (deterministic counters are gated exactly)")
+		quiet    = flag.Bool("quiet", false, "print regressions only")
+	)
+	flag.Parse()
+	if *tol <= 0 {
+		fatal(fmt.Errorf("tolerance %v must be positive", *tol))
+	}
+
+	base, err := benchcmp.ReadFile(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := benchcmp.ReadFile(*current)
+	if err != nil {
+		fatal(err)
+	}
+
+	results := benchcmp.Compare(base, cur, *tol)
+	regs := benchcmp.Regressions(results)
+	for _, r := range results {
+		if *quiet && !r.Regressed {
+			continue
+		}
+		fmt.Println(r)
+	}
+	if len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d of %d statistics regressed beyond %.2fx\n",
+			len(regs), len(results), *tol)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d statistics within %.2fx of baseline\n", len(results), *tol)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

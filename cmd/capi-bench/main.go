@@ -28,6 +28,7 @@ import (
 	"sort"
 	"testing"
 
+	"capi/internal/benchcmp"
 	"capi/internal/dyncapi"
 	"capi/internal/experiments"
 	"capi/internal/ic"
@@ -89,37 +90,12 @@ func main() {
 	}
 }
 
-// dispatchJSON is one backend's dispatch micro-benchmark result.
-type dispatchJSON struct {
-	Backend    string  `json:"backend"`
-	NsPerPair  float64 `json:"ns_per_pair"` // one enter/exit pair
-	NsPerEvent float64 `json:"ns_per_event"`
-	Iters      int     `json:"iters"`
-}
-
-// batchJSON summarizes one coalesced PatchBatch patch+unpatch cycle.
-type batchJSON struct {
-	Funcs          int64   `json:"funcs"`
-	PatchedSleds   int64   `json:"patched_sleds"`
-	UnpatchedSleds int64   `json:"unpatched_sleds"`
-	BatchWindows   int64   `json:"mprotect_windows"`
-	MprotectCalls  int64   `json:"mprotect_calls"`
-	NsPerFunc      float64 `json:"ns_per_func"` // wall clock, full cycle / funcs
-}
-
-// benchJSON is the -json document.
-type benchJSON struct {
-	Schema     string         `json:"schema"`
-	App        string         `json:"app"`
-	Scale      float64        `json:"scale"`
-	Dispatch   []dispatchJSON `json:"dispatch"`
-	BatchPatch batchJSON      `json:"batch_patch"`
-}
-
 // runBenchJSON measures wall-clock dispatch throughput per backend and the
-// batch-patching path, and emits one JSON document on stdout.
+// batch-patching path, and emits one JSON document on stdout. The document
+// types live in internal/benchcmp — the regression gate (cmd/benchdiff)
+// decodes the same structs, so producer and comparator cannot drift.
 func runBenchJSON(opts experiments.Options) error {
-	out := benchJSON{Schema: "capi-bench/v1", App: "openfoam", Scale: opts.Scale}
+	out := benchcmp.Doc{Schema: benchcmp.Schema, App: "openfoam", Scale: opts.Scale}
 	for _, backend := range []string{
 		experiments.BackendNone,
 		experiments.BackendTALP,
@@ -136,7 +112,7 @@ func runBenchJSON(opts experiments.Options) error {
 			}
 		})
 		perPair := float64(r.T.Nanoseconds()) / float64(r.N)
-		out.Dispatch = append(out.Dispatch, dispatchJSON{
+		out.Dispatch = append(out.Dispatch, benchcmp.Dispatch{
 			Backend:    backend,
 			NsPerPair:  perPair,
 			NsPerEvent: perPair / 2,
@@ -184,7 +160,7 @@ func runBenchJSON(opts experiments.Options) error {
 			}
 		}
 	})
-	out.BatchPatch = batchJSON{
+	out.BatchPatch = benchcmp.BatchPatch{
 		Funcs:          int64(len(ids)),
 		PatchedSleds:   delta.PatchedSleds,
 		UnpatchedSleds: delta.UnpatchedSleds,

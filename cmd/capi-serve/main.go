@@ -1,0 +1,138 @@
+// Command capi-serve exposes a live, runtime-adaptable instrumentation
+// instance over HTTP: it prepares a workload session, patches the initial
+// selection in, and then serves the control plane (internal/ctl) so the
+// selection can be changed, phases executed and reports scraped remotely —
+// the Fig. 1 loop as a long-lived service.
+//
+// Usage:
+//
+//	capi-serve -app lulesh -builtin mpi -backend talp
+//	capi-serve -app openfoam -scale 0.1 -builtin "mpi coarse" -backend scorep
+//	capi-serve -app quickstart -backend extrae -addr 127.0.0.1:7070
+//	capi-serve -app lulesh -full -adapt -budget 0.01
+//
+// Then, from anywhere:
+//
+//	curl localhost:7070/v1/status
+//	curl -X POST -H 'Content-Type: application/json' \
+//	     -d '{"builtin":"mpi coarse"}' localhost:7070/v1/select
+//	curl -X POST -d '{"wait":false}' localhost:7070/v1/run
+//	curl localhost:7070/metrics
+//
+// The server shuts down gracefully on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	capi "capi"
+	"capi/internal/ctl"
+	"capi/internal/experiments"
+	"capi/internal/vtime"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7070", "listen address")
+		app     = flag.String("app", "quickstart", "workload: quickstart, lulesh or openfoam")
+		scale   = flag.Float64("scale", 0.1, "openfoam call-graph scale")
+		builtin = flag.String("builtin", "mpi", `initial built-in spec name (e.g. "mpi", "kernels coarse")`)
+		spec    = flag.String("spec", "", "initial specification file (overrides -builtin)")
+		full    = flag.Bool("full", false, "patch every sled initially (xray full)")
+		backend = flag.String("backend", "talp", "measurement backend: talp, scorep, extrae or none")
+		ranks   = flag.Int("ranks", 4, "simulated MPI ranks")
+		adapt   = flag.Bool("adapt", false, "enable the live overhead-budget controller")
+		budget  = flag.Float64("budget", 0, "overhead budget per epoch as a fraction (implies -adapt)")
+		epoch   = flag.Float64("epoch", 0, "adaptation epoch length in virtual seconds (implies -adapt)")
+	)
+	flag.Parse()
+
+	session, err := capi.NewAppSession(*app, *scale)
+	if err != nil {
+		fatal(err)
+	}
+
+	var sel *capi.Selection
+	if !*full {
+		src, err := specSource(*spec, *builtin)
+		if err != nil {
+			fatal(err)
+		}
+		sel, err = session.Select(src)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "capi-serve: initial selection: %d functions (%d pre, %d added)\n",
+			sel.IC.Len(), sel.Pre, sel.Added)
+	}
+
+	runOpts := capi.RunOptions{
+		Backend:  capi.Backend(*backend),
+		Ranks:    *ranks,
+		PatchAll: *full,
+	}
+	if *adapt || *budget > 0 || *epoch > 0 {
+		runOpts.Adapt = &capi.AdaptOptions{Budget: *budget, Epoch: vtime.Seconds(*epoch)}
+	}
+	inst, err := session.Start(sel, runOpts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "capi-serve: %s up: %d functions patched, T_init %.2fs (virtual)\n",
+		*app, inst.Status().Patched, inst.InitSeconds())
+
+	cp := ctl.New(session, inst, *app)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           cp,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	// Open SSE streams would otherwise hold Shutdown until its timeout.
+	srv.RegisterOnShutdown(cp.Shutdown)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "capi-serve: control plane on http://%s (GET /v1/status, POST /v1/select, POST /v1/run, GET /v1/report, GET /metrics, GET /v1/events)\n", *addr)
+
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "capi-serve: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			fatal(err)
+		}
+		st := inst.Status()
+		fmt.Fprintf(os.Stderr, "capi-serve: served %d phases, %d re-selections, %d events\n",
+			st.Runs, st.Reconfigs, st.Events)
+	}
+}
+
+func specSource(specFile, builtin string) (string, error) {
+	if specFile != "" {
+		data, err := os.ReadFile(specFile)
+		if err != nil {
+			return "", err
+		}
+		return string(data), nil
+	}
+	return experiments.SpecSource(builtin)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "capi-serve:", err)
+	os.Exit(1)
+}

@@ -51,7 +51,7 @@ func main() {
 	)
 	flag.Parse()
 
-	session, err := newSession(*app, *scale)
+	session, err := capi.NewAppSession(*app, *scale)
 	if err != nil {
 		fatal(err)
 	}
@@ -138,19 +138,6 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
-	}
-}
-
-func newSession(app string, scale float64) (*capi.Session, error) {
-	switch app {
-	case "quickstart":
-		return capi.NewSession(capi.Quickstart(), capi.SessionOptions{OptLevel: 2})
-	case "lulesh":
-		return capi.NewSession(capi.Lulesh(capi.LuleshOptions{}), capi.SessionOptions{OptLevel: 3})
-	case "openfoam":
-		return capi.NewSession(capi.OpenFOAM(capi.OpenFOAMOptions{Scale: scale}), capi.SessionOptions{OptLevel: 2})
-	default:
-		return nil, fmt.Errorf("unknown app %q", app)
 	}
 }
 

@@ -35,6 +35,11 @@
 //	          batched segment flush, merged virtual-time timeline
 //	exec      deterministic virtual-time execution engine
 //	workload  LULESH / OpenFOAM-icoFoam workload generators
+//	ctl       HTTP/JSON control plane over a live instance: remote
+//	          re-selection, phase execution, report scrapes, Prometheus
+//	          metrics, SSE reconfigure events (served by cmd/capi-serve)
+//	benchcmp  benchmark-regression comparator (cmd/benchdiff CI gate
+//	          against BENCH_baseline.json)
 //
 // # The Fig. 1 loop
 //
@@ -72,6 +77,16 @@
 // the start (ReconfigReport.SyntheticExits counts them), and the runtime's
 // split drop counters (in-flight vs. spurious) let trace completeness be
 // asserted exactly.
+//
+// # Remote control plane
+//
+// An Instance is safe for concurrent control calls against an executing
+// phase, which lets the selection be driven from *outside* the process:
+// cmd/capi-serve mounts internal/ctl over a live instance and serves
+// status, the current selection, live re-selection (POST a spec, get the
+// ReconfigReport), phase execution, measurement reports, adaptive-controller
+// retuning, Prometheus metrics and an SSE stream of reconfigure events.
+// Instance.Status returns the consistent snapshot those endpoints expose.
 //
 // Everything is deterministic: workloads are generated from fixed seeds and
 // time is virtual, so measurements are reproducible bit-for-bit.

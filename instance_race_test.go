@@ -1,0 +1,141 @@
+package capi_test
+
+import (
+	"sync"
+	"testing"
+
+	capi "capi"
+)
+
+const quickCoarseSpec = `!import("mpi.capi")
+excluded = join(inSystemHeader(%%), inlineSpecified(%%))
+coarse(subtract(%mpi_comm, %excluded))
+`
+
+// TestInstanceConcurrentControlPlane is the regression test for the
+// instance-level data races the HTTP control plane depends on: Run used to
+// swap mon/meas/traceBuf and bill pendingNs unsynchronized, and TraceReport
+// documented "must not be called while a Run is executing". Here two
+// goroutines hammer the instance — one flipping the selection back and
+// forth with Reconfigure, one scraping Status and the live reports — while
+// phases execute. Run with -race.
+func TestInstanceConcurrentControlPlane(t *testing.T) {
+	backends := []capi.Backend{capi.BackendTALP, capi.BackendScoreP, capi.BackendExtrae}
+	for _, backend := range backends {
+		t.Run(string(backend), func(t *testing.T) {
+			s := newQuickSession(t)
+			wide, err := s.Select(quickSpec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			narrow, err := s.Select(quickCoarseSpec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inst, err := s.Start(wide, capi.RunOptions{Backend: backend, Ranks: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			done := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(2)
+			go func() {
+				defer wg.Done()
+				for j := 0; ; j++ {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					sel := narrow
+					if j%2 == 1 {
+						sel = wide
+					}
+					if _, err := inst.Reconfigure(sel); err != nil {
+						t.Errorf("reconfigure: %v", err)
+						return
+					}
+				}
+			}()
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					st := inst.Status()
+					if !st.Instrumented || st.Ranks != 2 {
+						t.Errorf("status = %+v", st)
+						return
+					}
+					inst.TraceReport()
+					inst.TALPReport()
+					inst.Profile()
+					inst.ActiveFunctionNames()
+					inst.DroppedEvents()
+					inst.SyntheticExits()
+				}
+			}()
+
+			for phase := 0; phase < 3; phase++ {
+				if _, err := inst.Run(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			close(done)
+			wg.Wait()
+
+			st := inst.Status()
+			if st.Runs != 3 || st.Running {
+				t.Fatalf("final status = %+v", st)
+			}
+			if st.Reconfigs == 0 {
+				t.Fatal("no reconfiguration ever applied")
+			}
+			if st.Events == 0 {
+				t.Fatal("no events accumulated")
+			}
+			if st.DroppedUnpatched != 0 {
+				t.Fatalf("spurious sled hits: %d", st.DroppedUnpatched)
+			}
+		})
+	}
+}
+
+// TestInstanceConcurrentRunsSerialize: overlapping Run calls must not
+// interleave phases — they queue on the instance's run lock.
+func TestInstanceConcurrentRunsSerialize(t *testing.T) {
+	s := newQuickSession(t)
+	sel, err := s.Select(quickSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := s.Start(sel, capi.RunOptions{Backend: capi.BackendTALP, Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const phases = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, phases)
+	for p := 0; p < phases; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := inst.Run()
+			errs <- err
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := inst.Runs(); got != phases {
+		t.Fatalf("runs = %d, want %d", got, phases)
+	}
+}

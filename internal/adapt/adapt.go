@@ -144,7 +144,10 @@ type openCall struct {
 // so the controller can reconfigure it.
 type Controller struct {
 	inner dyncapi.Backend
-	opts  Options
+
+	// opts is swapped atomically so Retune can adjust the budget/epoch while
+	// handlers are evaluating boundaries on other ranks.
+	opts atomic.Pointer[Options]
 
 	rt atomic.Pointer[dyncapi.Runtime]
 
@@ -165,7 +168,9 @@ type Controller struct {
 // New wraps a measurement backend with the adaptive controller.
 func New(inner dyncapi.Backend, opts Options) *Controller {
 	opts.fill()
-	return &Controller{inner: inner, opts: opts}
+	c := &Controller{inner: inner}
+	c.opts.Store(&opts)
+	return c
 }
 
 // Attach hands the controller the runtime it adapts and arms the first
@@ -173,7 +178,50 @@ func New(inner dyncapi.Backend, opts Options) *Controller {
 // trigger a reconfiguration.
 func (c *Controller) Attach(rt *dyncapi.Runtime) {
 	c.rt.Store(rt)
-	c.nextEpoch.Store(c.opts.Epoch)
+	c.nextEpoch.Store(c.opts.Load().Epoch)
+}
+
+// Options returns the currently effective tuning.
+func (c *Controller) Options() Options { return *c.opts.Load() }
+
+// Retune adjusts the controller's tuning while the workload executes — the
+// control plane's POST /v1/adapt. Zero (or negative) fields keep their
+// current value, except MaxReconfigs where a negative value lifts the bound
+// (0 already means unlimited, so 0 must mean "keep"). When the epoch length
+// changes, the armed boundary is re-based on the previous evaluation so the
+// new cadence takes effect immediately rather than after one stale epoch.
+// Safe to call concurrently with handler execution. Returns the effective
+// options.
+func (c *Controller) Retune(o Options) Options {
+	// Serialize concurrent retunes: without the lock, two read-modify-write
+	// cycles could each start from the same snapshot and the later Store
+	// would erase the earlier caller's change. Handlers still read the
+	// options lock-free through the atomic pointer.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := *c.opts.Load()
+	if o.Epoch > 0 {
+		cur.Epoch = o.Epoch
+	}
+	if o.Budget > 0 {
+		cur.Budget = o.Budget
+	}
+	if o.PerEventNs > 0 {
+		cur.PerEventNs = o.PerEventNs
+	}
+	if o.MinMeanNs > 0 {
+		cur.MinMeanNs = o.MinMeanNs
+	}
+	if o.MaxReconfigs > 0 {
+		cur.MaxReconfigs = o.MaxReconfigs
+	} else if o.MaxReconfigs < 0 {
+		cur.MaxReconfigs = 0
+	}
+	c.opts.Store(&cur)
+	if o.Epoch > 0 {
+		c.nextEpoch.Store(c.lastNs.Load() + cur.Epoch)
+	}
+	return cur
 }
 
 // NewPhase re-arms the controller for an execution phase whose rank clocks
@@ -181,7 +229,7 @@ func (c *Controller) Attach(rt *dyncapi.Runtime) {
 // window cleared and open invocations from the previous phase forgotten.
 // Call it only between phases, never while handlers are executing.
 func (c *Controller) NewPhase() {
-	c.nextEpoch.Store(c.opts.Epoch)
+	c.nextEpoch.Store(c.opts.Load().Epoch)
 	c.lastNs.Store(0)
 	c.events.Store(0)
 	c.stats.Range(func(_, v any) bool {
@@ -280,19 +328,20 @@ func (c *Controller) maybeEpoch(tc xray.ThreadCtx) {
 	}
 	c.runEpoch(rt, tc, now)
 	c.lastNs.Store(now)
-	c.nextEpoch.Store(now + c.opts.Epoch)
+	c.nextEpoch.Store(now + c.opts.Load().Epoch)
 }
 
 func (c *Controller) runEpoch(rt *dyncapi.Runtime, tc xray.ThreadCtx, now int64) {
+	opts := c.opts.Load()
 	events := c.events.Swap(0)
-	overhead := events * c.opts.PerEventNs
+	overhead := events * opts.PerEventNs
 	// The window since the previous evaluation may span several epochs
 	// (collectives can advance a clock far past a boundary); the budget
 	// covers the whole elapsed window, not a single epoch, so catch-up
 	// bursts are not overestimated.
 	elapsed := now - c.lastNs.Load()
-	if elapsed < c.opts.Epoch {
-		elapsed = c.opts.Epoch
+	if elapsed < opts.Epoch {
+		elapsed = opts.Epoch
 	}
 	// The event total aggregates every rank's handler calls, but elapsed is
 	// one rank's clock window — scale the allowance by the number of ranks
@@ -302,11 +351,11 @@ func (c *Controller) runEpoch(rt *dyncapi.Runtime, tc xray.ThreadCtx, now int64)
 	if ranks < 1 {
 		ranks = 1
 	}
-	budget := int64(c.opts.Budget * float64(elapsed) * float64(ranks))
+	budget := int64(opts.Budget * float64(elapsed) * float64(ranks))
 	ep := Epoch{AtNs: now, Rank: tc.RankID(), Events: events, OverheadNs: overhead, BudgetNs: budget}
 
 	c.mu.Lock()
-	limited := c.opts.MaxReconfigs > 0 && c.reconfigs >= c.opts.MaxReconfigs
+	limited := opts.MaxReconfigs > 0 && c.reconfigs >= opts.MaxReconfigs
 	c.mu.Unlock()
 
 	if overhead > budget && !limited {
@@ -352,7 +401,8 @@ func (c *Controller) narrow(rt *dyncapi.Runtime, tc xray.ThreadCtx, ep *Epoch, e
 	// else, then by event count descending, ID ascending for determinism.
 	// A function with no completed invocation yet (mean -1) has an unknown
 	// duration and is conservatively treated as not low-duration.
-	lowDur := func(mean int64) bool { return mean >= 0 && mean < c.opts.MinMeanNs }
+	opts := c.opts.Load()
+	lowDur := func(mean int64) bool { return mean >= 0 && mean < opts.MinMeanNs }
 	sort.Slice(cands, func(i, j int) bool {
 		li, lj := lowDur(cands[i].meanNs), lowDur(cands[j].meanNs)
 		if li != lj {
@@ -369,7 +419,7 @@ func (c *Controller) narrow(rt *dyncapi.Runtime, tc xray.ThreadCtx, ep *Epoch, e
 			break
 		}
 		drop[cd.id] = true
-		excess -= cd.epochEvents * c.opts.PerEventNs
+		excess -= cd.epochEvents * opts.PerEventNs
 		if cd.name != "" {
 			ep.Dropped = append(ep.Dropped, cd.name)
 		} else {

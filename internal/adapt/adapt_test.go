@@ -445,3 +445,37 @@ func TestControllerCountsAgreeWithTraceTotals(t *testing.T) {
 		t.Fatal("narrowing produced no in-flight drops — test not exercising the window")
 	}
 }
+
+func TestRetuneAdjustsOptionsLive(t *testing.T) {
+	c := New(&dyncapi.CygBackend{}, Options{Budget: 0.05, Epoch: 10 * vtime.Millisecond})
+	got := c.Retune(Options{Budget: 0.2})
+	if got.Budget != 0.2 {
+		t.Fatalf("Budget = %v, want 0.2", got.Budget)
+	}
+	if got.Epoch != 10*vtime.Millisecond {
+		t.Fatalf("Epoch changed unexpectedly: %v", got.Epoch)
+	}
+	// Zero fields keep their value; a shorter epoch re-bases the armed
+	// boundary so the new cadence applies immediately.
+	c.lastNs.Store(42)
+	got = c.Retune(Options{Epoch: vtime.Millisecond})
+	if got.Epoch != vtime.Millisecond || got.Budget != 0.2 {
+		t.Fatalf("after epoch retune: %+v", got)
+	}
+	if next := c.nextEpoch.Load(); next != 42+vtime.Millisecond {
+		t.Fatalf("nextEpoch = %d, want %d", next, 42+vtime.Millisecond)
+	}
+	// MaxReconfigs: positive sets, negative lifts, zero keeps.
+	if got = c.Retune(Options{MaxReconfigs: 3}); got.MaxReconfigs != 3 {
+		t.Fatalf("MaxReconfigs = %d, want 3", got.MaxReconfigs)
+	}
+	if got = c.Retune(Options{}); got.MaxReconfigs != 3 {
+		t.Fatalf("MaxReconfigs = %d, want kept 3", got.MaxReconfigs)
+	}
+	if got = c.Retune(Options{MaxReconfigs: -1}); got.MaxReconfigs != 0 {
+		t.Fatalf("MaxReconfigs = %d, want lifted to 0", got.MaxReconfigs)
+	}
+	if c.Options().Budget != 0.2 {
+		t.Fatalf("Options() = %+v", c.Options())
+	}
+}

@@ -1,0 +1,188 @@
+// Package benchcmp compares two capi-bench -json documents and reports
+// performance regressions — the CI gate that keeps the dispatch hot path
+// and the coalesced batch-patching fast. A checked-in baseline
+// (BENCH_baseline.json at the repository root) anchors the trajectory; the
+// gate fails when any watched statistic of a fresh run exceeds the baseline
+// by more than a tolerance factor.
+package benchcmp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Schema is the accepted document schema tag (written by capi-bench -json).
+const Schema = "capi-bench/v1"
+
+// Dispatch is one backend's dispatch micro-benchmark result.
+type Dispatch struct {
+	Backend    string  `json:"backend"`
+	NsPerPair  float64 `json:"ns_per_pair"`
+	NsPerEvent float64 `json:"ns_per_event"`
+	Iters      int     `json:"iters"`
+}
+
+// BatchPatch summarizes one coalesced PatchBatch patch+unpatch cycle.
+type BatchPatch struct {
+	Funcs          int64   `json:"funcs"`
+	PatchedSleds   int64   `json:"patched_sleds"`
+	UnpatchedSleds int64   `json:"unpatched_sleds"`
+	BatchWindows   int64   `json:"mprotect_windows"`
+	MprotectCalls  int64   `json:"mprotect_calls"`
+	NsPerFunc      float64 `json:"ns_per_func"`
+}
+
+// Doc is one capi-bench -json document.
+type Doc struct {
+	Schema     string     `json:"schema"`
+	App        string     `json:"app"`
+	Scale      float64    `json:"scale"`
+	Dispatch   []Dispatch `json:"dispatch"`
+	BatchPatch BatchPatch `json:"batch_patch"`
+}
+
+// Read decodes and validates one document.
+func Read(r io.Reader) (*Doc, error) {
+	var d Doc
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("benchcmp: decoding: %w", err)
+	}
+	if d.Schema != Schema {
+		return nil, fmt.Errorf("benchcmp: schema %q, want %q", d.Schema, Schema)
+	}
+	if len(d.Dispatch) == 0 {
+		return nil, fmt.Errorf("benchcmp: document has no dispatch results")
+	}
+	return &d, nil
+}
+
+// ReadFile reads a document from a file, or from stdin when path is "-".
+func ReadFile(path string) (*Doc, error) {
+	if path == "-" {
+		return Read(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Result is the verdict on one watched statistic.
+type Result struct {
+	// Metric identifies the statistic (e.g. "dispatch/talp ns_per_event").
+	Metric string
+	// Baseline and Current are the two values; Ratio = Current/Baseline.
+	Baseline float64
+	Current  float64
+	Ratio    float64
+	// Limit is the tolerated ratio; Regressed = Ratio > Limit. Missing is
+	// set when the statistic exists in the baseline but not in the current
+	// document (counted as a regression: coverage must not silently drop).
+	Limit     float64
+	Regressed bool
+	Missing   bool
+}
+
+func (r Result) String() string {
+	switch {
+	case r.Missing:
+		return fmt.Sprintf("MISSING %-32s (present in baseline, absent in current run)", r.Metric)
+	case r.Regressed:
+		return fmt.Sprintf("FAIL    %-32s %12.2f -> %12.2f  (%.2fx > %.2fx tolerated)",
+			r.Metric, r.Baseline, r.Current, r.Ratio, r.Limit)
+	default:
+		return fmt.Sprintf("ok      %-32s %12.2f -> %12.2f  (%.2fx <= %.2fx)",
+			r.Metric, r.Baseline, r.Current, r.Ratio, r.Limit)
+	}
+}
+
+// compare produces the Result for one scalar statistic.
+func compare(metric string, base, cur, tol float64) Result {
+	r := Result{Metric: metric, Baseline: base, Current: cur, Limit: tol}
+	if base > 0 {
+		r.Ratio = cur / base
+		r.Regressed = r.Ratio > tol
+	} else {
+		// A zero baseline cannot anchor a ratio; only flag when the current
+		// value became nonzero (something that used to be free no longer is).
+		r.Ratio = 1
+		r.Regressed = cur > 0
+	}
+	return r
+}
+
+// Compare evaluates every watched statistic of cur against base. The
+// wall-clock statistics (per-backend dispatch ns_per_event, batch-patch
+// ns_per_func) are gated with the given tolerance factor (cur must stay
+// <= base*tol — machines differ in speed). The deterministic batch
+// counters (mprotect calls and coalesced windows) measure the *algorithm*,
+// not the machine, so they are gated exactly: any growth over the baseline
+// is a coalescing regression regardless of the tolerance. Returns every
+// result, regressed or not, so callers can print the full table.
+func Compare(base, cur *Doc, tol float64) []Result {
+	var out []Result
+	curDispatch := map[string]Dispatch{}
+	for _, d := range cur.Dispatch {
+		curDispatch[d.Backend] = d
+	}
+	for _, b := range base.Dispatch {
+		metric := "dispatch/" + b.Backend + " ns_per_event"
+		c, ok := curDispatch[b.Backend]
+		if !ok {
+			out = append(out, Result{Metric: metric, Baseline: b.NsPerEvent, Limit: tol, Regressed: true, Missing: true})
+			continue
+		}
+		out = append(out, compare(metric, b.NsPerEvent, c.NsPerEvent, tol))
+	}
+	// Machine-portable dispatch gates: each backend's cost *relative to the
+	// discarding "none" baseline of the same run* cancels the machine's
+	// speed out, so these stay meaningful when the current run executes on
+	// different hardware than the checked-in baseline (CI runners vs the
+	// authoring machine). The absolute ns gates above catch regressions on
+	// like-for-like machines; these catch per-backend algorithm regressions
+	// anywhere.
+	baseNone, curNone := dispatchNsPerEvent(base, "none"), dispatchNsPerEvent(cur, "none")
+	if baseNone > 0 && curNone > 0 {
+		for _, b := range base.Dispatch {
+			if b.Backend == "none" {
+				continue
+			}
+			c, ok := curDispatch[b.Backend]
+			if !ok {
+				continue // already reported missing above
+			}
+			out = append(out, compare("dispatch/"+b.Backend+" vs_none",
+				b.NsPerEvent/baseNone, c.NsPerEvent/curNone, tol))
+		}
+	}
+	out = append(out,
+		compare("batch_patch ns_per_func", base.BatchPatch.NsPerFunc, cur.BatchPatch.NsPerFunc, tol),
+		compare("batch_patch mprotect_calls", float64(base.BatchPatch.MprotectCalls), float64(cur.BatchPatch.MprotectCalls), 1),
+		compare("batch_patch mprotect_windows", float64(base.BatchPatch.BatchWindows), float64(cur.BatchPatch.BatchWindows), 1),
+	)
+	return out
+}
+
+func dispatchNsPerEvent(d *Doc, backend string) float64 {
+	for _, b := range d.Dispatch {
+		if b.Backend == backend {
+			return b.NsPerEvent
+		}
+	}
+	return 0
+}
+
+// Regressions filters results down to the failures.
+func Regressions(results []Result) []Result {
+	var out []Result
+	for _, r := range results {
+		if r.Regressed {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package benchcmp
+
+import (
+	"strings"
+	"testing"
+)
+
+func doc() *Doc {
+	return &Doc{
+		Schema: Schema,
+		App:    "openfoam",
+		Scale:  0.1,
+		Dispatch: []Dispatch{
+			{Backend: "none", NsPerPair: 100, NsPerEvent: 50, Iters: 1000},
+			{Backend: "talp", NsPerPair: 300, NsPerEvent: 150, Iters: 1000},
+			{Backend: "scorep", NsPerPair: 500, NsPerEvent: 250, Iters: 1000},
+			{Backend: "extrae", NsPerPair: 160, NsPerEvent: 80, Iters: 1000},
+		},
+		BatchPatch: BatchPatch{
+			Funcs: 4000, PatchedSleds: 8000, UnpatchedSleds: 8000,
+			BatchWindows: 40, MprotectCalls: 80, NsPerFunc: 90,
+		},
+	}
+}
+
+func TestCompareIdenticalDocsPass(t *testing.T) {
+	results := Compare(doc(), doc(), 1.5)
+	// 4 absolute dispatch + 3 vs_none ratios + 3 batch statistics.
+	if len(results) != 10 {
+		t.Fatalf("watched %d statistics, want 10", len(results))
+	}
+	if regs := Regressions(results); len(regs) != 0 {
+		t.Fatalf("identical docs regressed: %v", regs)
+	}
+}
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	cur := doc()
+	cur.Dispatch[1].NsPerEvent = 150 * 1.4 // talp 1.4x, under the 1.5x gate
+	cur.BatchPatch.NsPerFunc = 90 * 1.49
+	if regs := Regressions(Compare(doc(), cur, 1.5)); len(regs) != 0 {
+		t.Fatalf("within-tolerance run regressed: %v", regs)
+	}
+}
+
+// TestSyntheticRegressionFails is the gate's own acceptance check: inflate
+// the current run's numbers past the tolerance and the comparator must
+// fail, naming the offending statistics.
+func TestSyntheticRegressionFails(t *testing.T) {
+	cur := doc()
+	cur.Dispatch[2].NsPerEvent = 250 * 2 // scorep dispatch doubled
+	cur.BatchPatch.MprotectCalls = 80 * 3
+	regs := Regressions(Compare(doc(), cur, 1.5))
+	// The doubled scorep dispatch trips both its absolute and its
+	// vs_none gate (the "none" baseline is unchanged).
+	if len(regs) != 3 {
+		t.Fatalf("regressions = %v, want scorep absolute + vs_none + mprotect calls", regs)
+	}
+	if regs[0].Metric != "dispatch/scorep ns_per_event" || regs[0].Ratio != 2 {
+		t.Fatalf("first regression = %+v", regs[0])
+	}
+	if regs[1].Metric != "dispatch/scorep vs_none" || regs[1].Ratio != 2 {
+		t.Fatalf("second regression = %+v", regs[1])
+	}
+	if regs[2].Metric != "batch_patch mprotect_calls" {
+		t.Fatalf("third regression = %+v", regs[2])
+	}
+	if s := regs[0].String(); !strings.Contains(s, "FAIL") || !strings.Contains(s, "scorep") {
+		t.Fatalf("rendered: %s", s)
+	}
+}
+
+// TestDeterministicCountersGatedExactly: the mprotect counters measure the
+// coalescing algorithm, not machine speed, so even a generous wall-clock
+// tolerance (CI uses 2.5x) must not excuse their growth — while a count
+// that *shrinks* or a timing stat within tolerance passes.
+func TestDeterministicCountersGatedExactly(t *testing.T) {
+	cur := doc()
+	cur.Dispatch[1].NsPerEvent = 150 * 2.4 // noisy runner, under 2.5x
+	cur.BatchPatch.BatchWindows = 40 * 2   // coalescing regressed 2x
+	regs := Regressions(Compare(doc(), cur, 2.5))
+	if len(regs) != 1 || regs[0].Metric != "batch_patch mprotect_windows" {
+		t.Fatalf("regressions = %v, want exactly the window count", regs)
+	}
+	cur.BatchPatch.BatchWindows = 39 // improvement passes
+	if regs := Regressions(Compare(doc(), cur, 2.5)); len(regs) != 0 {
+		t.Fatalf("improvement flagged: %v", regs)
+	}
+}
+
+// TestVsNoneRatiosCancelMachineSpeed: a uniformly slower machine trips
+// only the absolute gates (tolerance policy), never the relative ones; a
+// genuine per-backend regression trips the relative gate even there.
+func TestVsNoneRatiosCancelMachineSpeed(t *testing.T) {
+	cur := doc()
+	for i := range cur.Dispatch {
+		cur.Dispatch[i].NsPerEvent *= 3
+	}
+	cur.BatchPatch.NsPerFunc *= 3
+	for _, r := range Regressions(Compare(doc(), cur, 1.5)) {
+		if strings.Contains(r.Metric, "vs_none") {
+			t.Fatalf("ratio gate tripped by machine speed alone: %+v", r)
+		}
+	}
+	cur.Dispatch[1].NsPerEvent *= 2 // talp regressed 2x relative to none
+	found := false
+	for _, r := range Regressions(Compare(doc(), cur, 1.5)) {
+		if r.Metric == "dispatch/talp vs_none" && r.Regressed {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("relative talp regression not caught on the slow machine")
+	}
+}
+
+func TestMissingBackendIsARegression(t *testing.T) {
+	cur := doc()
+	cur.Dispatch = cur.Dispatch[:3] // extrae vanished from the current run
+	regs := Regressions(Compare(doc(), cur, 1.5))
+	if len(regs) != 1 || !regs[0].Missing || !strings.Contains(regs[0].Metric, "extrae") {
+		t.Fatalf("regressions = %v", regs)
+	}
+	if s := regs[0].String(); !strings.Contains(s, "MISSING") {
+		t.Fatalf("rendered: %s", s)
+	}
+}
+
+func TestZeroBaselineOnlyFlagsNewCost(t *testing.T) {
+	base, cur := doc(), doc()
+	base.Dispatch[0].NsPerEvent = 0
+	cur.Dispatch[0].NsPerEvent = 0
+	if regs := Regressions(Compare(base, cur, 1.5)); len(regs) != 0 {
+		t.Fatalf("zero/zero regressed: %v", regs)
+	}
+	cur.Dispatch[0].NsPerEvent = 10
+	if regs := Regressions(Compare(base, cur, 1.5)); len(regs) != 1 {
+		t.Fatalf("new nonzero cost not flagged: %v", regs)
+	}
+}
+
+func TestReadValidatesSchema(t *testing.T) {
+	if _, err := Read(strings.NewReader(`{"schema":"other/v9"}`)); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"schema":"capi-bench/v1"}`)); err == nil {
+		t.Fatal("empty dispatch accepted")
+	}
+	if _, err := Read(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	d, err := Read(strings.NewReader(`{"schema":"capi-bench/v1","dispatch":[{"backend":"none","ns_per_event":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Dispatch[0].Backend != "none" {
+		t.Fatalf("doc = %+v", d)
+	}
+}

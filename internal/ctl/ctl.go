@@ -1,0 +1,475 @@
+// Package ctl is the HTTP/JSON control plane over a live capi.Instance: the
+// paper's runtime-adaptable selection, drivable *remotely*. In-process the
+// Fig. 1 loop iterates Select → Reconfigure → Run; ctl lifts the same loop
+// onto a long-lived service so a deployed run can be re-selected online —
+// the way adaptive-monitoring systems tune deployed web applications
+// without restarts (Mertz & Nunes, arXiv:2305.01039) and reactive
+// components are instrumented while they run (Aceto et al.,
+// arXiv:2406.19904).
+//
+// Endpoints:
+//
+//	GET  /v1/status     instance snapshot (active funcs, reconfigs, drops…)
+//	GET  /v1/selection  currently selected function names
+//	POST /v1/select     spec-DSL source, builtin name or include list →
+//	                    compiled via Session.Select, applied live via
+//	                    Instance.Reconfigure; returns the ReconfigReport
+//	POST /v1/run        execute the next phase ({"wait":false} → async)
+//	GET  /v1/report     measurement report (TALP / Score-P / trace) as JSON
+//	POST /v1/adapt      retune the overhead-budget controller live
+//	GET  /v1/events     SSE stream: one "reconfigure" event per re-selection
+//	GET  /metrics       Prometheus text exposition
+//
+// The server relies on capi.Instance being safe for concurrent control
+// calls against an executing phase: re-selections land mid-run and report
+// scrapes snapshot live measurement state.
+package ctl
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	capi "capi"
+	"capi/internal/experiments"
+	"capi/internal/ic"
+	"capi/internal/vtime"
+)
+
+// maxBodyBytes bounds request bodies (spec sources are small).
+const maxBodyBytes = 1 << 20
+
+// Server serves one live instance. Create it with New and mount it on any
+// http.Server (it implements http.Handler).
+type Server struct {
+	session *capi.Session
+	inst    *capi.Instance
+	app     string
+	started time.Time
+
+	mux *http.ServeMux
+	hub *hub
+
+	// httpSelects counts re-selections applied through POST /v1/select
+	// (the instance's Reconfigs counter also includes controller decisions
+	// and in-process callers).
+	httpSelects atomic.Int64
+
+	// inFlight guards POST /v1/run: one HTTP-initiated phase at a time.
+	inFlight atomic.Bool
+
+	mu      sync.Mutex
+	lastRun *RunSummary
+	lastErr string
+}
+
+// New builds a control-plane server over a started instance. app names the
+// workload in /v1/status and in ICs compiled from include lists.
+func New(session *capi.Session, inst *capi.Instance, app string) *Server {
+	s := &Server{
+		session: session,
+		inst:    inst,
+		app:     app,
+		started: time.Now(),
+		mux:     http.NewServeMux(),
+		hub:     newHub(),
+	}
+	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/selection", s.handleSelection)
+	s.mux.HandleFunc("POST /v1/select", s.handleSelect)
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("GET /v1/report", s.handleReport)
+	s.mux.HandleFunc("POST /v1/adapt", s.handleAdapt)
+	s.mux.HandleFunc("GET /v1/events", s.handleEvents)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /{$}", s.handleIndex)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Shutdown disconnects the SSE subscribers so their handlers return.
+// Register it with http.Server.RegisterOnShutdown: graceful shutdown waits
+// for in-flight handlers but never cancels their request contexts, so an
+// open /v1/events stream would otherwise hold Shutdown until its timeout.
+func (s *Server) Shutdown() { s.hub.shutdown() }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// StatusResponse is the GET /v1/status document.
+type StatusResponse struct {
+	App string `json:"app"`
+	capi.InstanceStatus
+	HTTPSelects   int64   `json:"httpSelects"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	// LastRun summarizes the most recently completed phase. It lags the
+	// Runs counter by one instant: the instance counts the phase before
+	// the server records the summary, so a poller that needs the summary
+	// should wait for LastRun.Phase == Runs (or LastRun non-nil), not for
+	// Runs alone.
+	LastRun   *RunSummary `json:"lastRun,omitempty"`
+	LastError string      `json:"lastError,omitempty"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	resp := StatusResponse{
+		App:            s.app,
+		InstanceStatus: s.inst.Status(),
+		HTTPSelects:    s.httpSelects.Load(),
+		UptimeSeconds:  time.Since(s.started).Seconds(),
+	}
+	s.mu.Lock()
+	resp.LastRun = s.lastRun
+	resp.LastError = s.lastErr
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// SelectionResponse is the GET /v1/selection document.
+type SelectionResponse struct {
+	Count     int      `json:"count"`
+	Functions []string `json:"functions"`
+}
+
+func (s *Server) handleSelection(w http.ResponseWriter, r *http.Request) {
+	names := s.inst.ActiveFunctionNames()
+	writeJSON(w, http.StatusOK, SelectionResponse{Count: len(names), Functions: names})
+}
+
+// SelectRequest is the POST /v1/select body. Exactly one selection source
+// must be set; a non-JSON body is treated as raw spec-DSL source. Include /
+// IncludeIDs may be combined (one IC), mirroring ic.Config.
+type SelectRequest struct {
+	// Spec is CaPI spec-DSL source, compiled via Session.Select.
+	Spec string `json:"spec,omitempty"`
+	// Builtin names a built-in specification ("mpi", "mpi coarse",
+	// "kernels", "kernels coarse").
+	Builtin string `json:"builtin,omitempty"`
+	// Include lists function names to instrument directly (no spec
+	// evaluation); IncludeIDs adds packed XRay IDs.
+	Include    []string `json:"include,omitempty"`
+	IncludeIDs []int32  `json:"includeIDs,omitempty"`
+}
+
+// SelectionSummary carries the Table I statistics of a compiled selection.
+type SelectionSummary struct {
+	Pre      int     `json:"pre"`
+	Selected int     `json:"selected"`
+	Added    int     `json:"added"`
+	Seconds  float64 `json:"seconds"`
+}
+
+// SelectResponse is the POST /v1/select result: the live re-selection's
+// delta report plus, when a spec was compiled, the selection statistics.
+type SelectResponse struct {
+	Report    capi.ReconfigReport `json:"report"`
+	Active    int                 `json:"active"`
+	Selection *SelectionSummary   `json:"selection,omitempty"`
+}
+
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	var req SelectRequest
+	ctype, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if ctype == "application/json" {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
+			return
+		}
+	} else {
+		// Raw body = spec-DSL source (curl --data-binary @my.capi).
+		req.Spec = string(body)
+	}
+	if strings.TrimSpace(req.Spec) == "" && req.Builtin == "" && len(req.Include) == 0 && len(req.IncludeIDs) == 0 {
+		writeErr(w, http.StatusBadRequest, "empty selection: provide spec source, a builtin name or an include list")
+		return
+	}
+
+	var sel *capi.Selection
+	var summary *SelectionSummary
+	switch {
+	case strings.TrimSpace(req.Spec) != "" || req.Builtin != "":
+		src := req.Spec
+		if strings.TrimSpace(src) == "" {
+			src, err = experiments.SpecSource(req.Builtin)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, "builtin %q: %v", req.Builtin, err)
+				return
+			}
+		}
+		sel, err = s.session.Select(src)
+		if err != nil {
+			// The compile error (lexer/parser/selector) goes back verbatim
+			// so the remote user can fix the spec.
+			writeErr(w, http.StatusBadRequest, "compiling spec: %v", err)
+			return
+		}
+		summary = &SelectionSummary{Pre: sel.Pre, Selected: sel.Selected, Added: sel.Added, Seconds: sel.Seconds}
+	default:
+		// A typo'd name would resolve to nothing and the reconfigure would
+		// silently unpatch it — reject unknown names instead, like the spec
+		// path rejects a spec that does not compile.
+		if unknown := s.inst.UnknownFunctionNames(req.Include); len(unknown) > 0 {
+			writeErr(w, http.StatusBadRequest, "unknown function name(s): %s", strings.Join(unknown, ", "))
+			return
+		}
+		cfg := ic.New(s.app, "http", req.Include).WithIncludeIDs(req.IncludeIDs)
+		sel = &capi.Selection{IC: cfg, Selected: cfg.Len()}
+	}
+
+	if !s.inst.Status().Instrumented {
+		writeErr(w, http.StatusConflict, "instance is not instrumented")
+		return
+	}
+	rep, err := s.inst.Reconfigure(sel)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "reconfigure: %v", err)
+		return
+	}
+	s.httpSelects.Add(1)
+	s.hub.publish("reconfigure", rep)
+	writeJSON(w, http.StatusOK, SelectResponse{Report: rep, Active: rep.Active, Selection: summary})
+}
+
+// RunRequest is the POST /v1/run body (optional). Wait=false returns 202
+// immediately and executes the phase in the background; its completion is
+// observable via /v1/status (lastRun) and the SSE "run" event.
+type RunRequest struct {
+	Wait *bool `json:"wait,omitempty"`
+}
+
+// RunSummary is the scalar slice of a capi.RunResult — the measurement
+// reports stay on GET /v1/report, where they can also be scraped mid-phase.
+type RunSummary struct {
+	Phase        int      `json:"phase"`
+	InitSeconds  float64  `json:"initSeconds"`
+	TotalSeconds float64  `json:"totalSeconds"`
+	Events       int64    `json:"events"`
+	Patched      int      `json:"patched"`
+	ActiveFuncs  int      `json:"activeFuncs"`
+	Reconfigs    int      `json:"reconfigs"`
+	WallSeconds  float64  `json:"wallSeconds"`
+	DroppedFuncs []string `json:"droppedFuncs,omitempty"`
+}
+
+func summarize(res *capi.RunResult, phase int) *RunSummary {
+	return &RunSummary{
+		Phase:        phase,
+		InitSeconds:  res.InitSeconds,
+		TotalSeconds: res.TotalSeconds,
+		Events:       res.Events,
+		Patched:      res.Patched,
+		ActiveFuncs:  res.ActiveFuncs,
+		Reconfigs:    res.Reconfigs,
+		WallSeconds:  res.WallSeconds,
+		DroppedFuncs: res.DroppedFuncs,
+	}
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
+			return
+		}
+	}
+	if !s.inFlight.CompareAndSwap(false, true) {
+		writeErr(w, http.StatusConflict, "a phase is already executing")
+		return
+	}
+	if req.Wait == nil || *req.Wait {
+		defer s.inFlight.Store(false)
+		sum, err := s.runPhase()
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "run: %v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, sum)
+		return
+	}
+	go func() {
+		defer s.inFlight.Store(false)
+		s.runPhase() //nolint:errcheck // recorded in lastErr
+	}()
+	writeJSON(w, http.StatusAccepted, map[string]any{"started": true})
+}
+
+// runPhase executes one phase and records its outcome for /v1/status.
+func (s *Server) runPhase() (*RunSummary, error) {
+	res, err := s.inst.Run()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		s.lastErr = err.Error()
+		return nil, err
+	}
+	s.lastErr = ""
+	s.lastRun = summarize(res, s.inst.Runs())
+	s.hub.publish("run", s.lastRun)
+	return s.lastRun, nil
+}
+
+// ReportResponse is the GET /v1/report envelope.
+type ReportResponse struct {
+	Backend capi.Backend    `json:"backend"`
+	Report  json.RawMessage `json:"report"`
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	backend := s.inst.Backend()
+	var (
+		raw []byte
+		err error
+	)
+	switch backend {
+	case capi.BackendTALP:
+		rep := s.inst.TALPReport()
+		if rep == nil {
+			writeErr(w, http.StatusNotFound, "no TALP report yet")
+			return
+		}
+		var buf strings.Builder
+		if err := rep.WriteJSON(&buf); err != nil {
+			writeErr(w, http.StatusInternalServerError, "rendering report: %v", err)
+			return
+		}
+		raw = []byte(buf.String())
+	case capi.BackendScoreP:
+		rep := s.inst.Profile()
+		if rep == nil {
+			writeErr(w, http.StatusNotFound, "no profile yet")
+			return
+		}
+		raw, err = json.Marshal(rep)
+	case capi.BackendExtrae:
+		rep := s.inst.TraceReport()
+		if rep == nil {
+			writeErr(w, http.StatusNotFound, "no trace yet")
+			return
+		}
+		raw, err = json.Marshal(rep)
+	default:
+		writeErr(w, http.StatusNotFound, "backend %q produces no report", backend)
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "rendering report: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ReportResponse{Backend: backend, Report: raw})
+}
+
+// AdaptRequest is the POST /v1/adapt body; zero fields keep their current
+// value, MaxReconfigs < 0 lifts the bound.
+type AdaptRequest struct {
+	Budget       float64 `json:"budget,omitempty"`
+	EpochSeconds float64 `json:"epochSeconds,omitempty"`
+	PerEventNs   int64   `json:"perEventNs,omitempty"`
+	MinMeanNs    int64   `json:"minMeanNs,omitempty"`
+	MaxReconfigs int     `json:"maxReconfigs,omitempty"`
+}
+
+// AdaptResponse echoes the effective tuning after the retune.
+type AdaptResponse struct {
+	Budget       float64 `json:"budget"`
+	EpochSeconds float64 `json:"epochSeconds"`
+	PerEventNs   int64   `json:"perEventNs"`
+	MinMeanNs    int64   `json:"minMeanNs"`
+	MaxReconfigs int     `json:"maxReconfigs"`
+}
+
+func (s *Server) handleAdapt(w http.ResponseWriter, r *http.Request) {
+	var req AdaptRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	got, err := s.inst.Retune(capi.AdaptOptions{
+		Budget:       req.Budget,
+		Epoch:        vtime.Seconds(req.EpochSeconds),
+		PerEventNs:   req.PerEventNs,
+		MinMeanNs:    req.MinMeanNs,
+		MaxReconfigs: req.MaxReconfigs,
+	})
+	if err != nil {
+		writeErr(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, AdaptResponse{
+		Budget:       got.Budget,
+		EpochSeconds: float64(got.Epoch) / float64(vtime.Second),
+		PerEventNs:   got.PerEventNs,
+		MinMeanNs:    got.MinMeanNs,
+		MaxReconfigs: got.MaxReconfigs,
+	})
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"app": s.app,
+		"endpoints": []string{
+			"GET /v1/status", "GET /v1/selection", "POST /v1/select",
+			"POST /v1/run", "GET /v1/report", "POST /v1/adapt",
+			"GET /v1/events", "GET /metrics",
+		},
+	})
+}
+
+// handleMetrics renders the Prometheus text exposition format (0.0.4).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.inst.Status()
+	running := 0
+	if st.Running {
+		running = 1
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+	gauge := func(name, help string, val any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, val)
+	}
+	counter := func(name, help string, val any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, val)
+	}
+	gauge("capi_active_functions", "Current selection size.", st.ActiveFunctions)
+	gauge("capi_patched_functions", "Functions patched at DynCaPI start-up.", st.Patched)
+	gauge("capi_running", "1 while a phase is executing.", running)
+	counter("capi_reconfigs_total", "Live re-selections applied (HTTP, in-process and controller).", st.Reconfigs)
+	counter("capi_http_selects_total", "Re-selections applied through POST /v1/select.", s.httpSelects.Load())
+	counter("capi_runs_total", "Completed phases.", st.Runs)
+	counter("capi_events_total", "Instrumentation events dispatched across completed phases.", st.Events)
+	fmt.Fprintf(&b, "# HELP capi_dropped_events_total Events dropped outside the active selection.\n# TYPE capi_dropped_events_total counter\n")
+	fmt.Fprintf(&b, "capi_dropped_events_total{class=\"in_flight\"} %d\n", st.DroppedInFlight)
+	fmt.Fprintf(&b, "capi_dropped_events_total{class=\"unpatched\"} %d\n", st.DroppedUnpatched)
+	counter("capi_synthetic_exits_total", "Dangling enters closed by the backend on deselection.", st.SyntheticExits)
+	gauge("capi_init_virtual_seconds", "DynCaPI start-up time (T_init), virtual.", st.InitSeconds)
+	counter("capi_reconfig_virtual_seconds_total", "Accumulated virtual re-patch cost of live re-selections.", st.ReconfigSeconds)
+	gauge("capi_sse_clients", "Connected /v1/events subscribers.", s.hub.clients())
+	io.WriteString(w, b.String()) //nolint:errcheck // client gone
+}

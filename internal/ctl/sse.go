@@ -1,0 +1,123 @@
+package ctl
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// event is one server-sent event: a named JSON payload with a monotonic id.
+type event struct {
+	id   int64
+	name string
+	data []byte
+}
+
+// hub fans reconfigure/run notifications out to the connected SSE clients.
+// Publishing never blocks: a subscriber that cannot keep up loses events
+// (its channel is bounded), which is the right trade for a control plane —
+// the authoritative state is always one GET /v1/status away.
+type hub struct {
+	mu     sync.Mutex
+	next   int64
+	closed bool
+	subs   map[chan event]struct{}
+}
+
+func newHub() *hub {
+	return &hub{subs: map[chan event]struct{}{}}
+}
+
+func (h *hub) subscribe() chan event {
+	ch := make(chan event, 32)
+	h.mu.Lock()
+	if h.closed {
+		close(ch) // the subscriber's receive fails immediately
+	} else {
+		h.subs[ch] = struct{}{}
+	}
+	h.mu.Unlock()
+	return ch
+}
+
+// shutdown disconnects every subscriber and refuses new ones, so SSE
+// handlers return and http.Server.Shutdown can drain. Wire it up with
+// srv.RegisterOnShutdown(ctlServer.Shutdown): Shutdown does not cancel
+// in-flight request contexts, so without this an open `curl -N /v1/events`
+// would block graceful shutdown until its timeout.
+func (h *hub) shutdown() {
+	h.mu.Lock()
+	h.closed = true
+	for ch := range h.subs {
+		close(ch)
+		delete(h.subs, ch)
+	}
+	h.mu.Unlock()
+}
+
+func (h *hub) unsubscribe(ch chan event) {
+	h.mu.Lock()
+	delete(h.subs, ch)
+	h.mu.Unlock()
+}
+
+func (h *hub) clients() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// publish marshals v and delivers it to every subscriber without blocking.
+func (h *hub) publish(name string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	h.mu.Lock()
+	h.next++
+	ev := event{id: h.next, name: name, data: data}
+	for ch := range h.subs {
+		select {
+		case ch <- ev:
+		default: // slow client: drop rather than stall the control plane
+		}
+	}
+	h.mu.Unlock()
+}
+
+// handleEvents streams hub events as text/event-stream. Every live
+// re-selection applied through POST /v1/select arrives as one "reconfigure"
+// event carrying the ReconfigReport; completed phases arrive as "run"
+// events carrying the RunSummary.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	ch := s.hub.subscribe()
+	defer s.hub.unsubscribe(ch)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, ": capi control plane, app %q\n\n", s.app)
+	fl.Flush()
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-ch:
+			if !ok {
+				return // hub shut down
+			}
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.id, ev.name, ev.data); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}

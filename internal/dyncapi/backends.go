@@ -56,6 +56,12 @@ func (b *CygBackend) InitCost(int) int64 { return b.Init }
 type ScorePBackend struct {
 	M        *scorep.Measurement
 	Resolver *scorep.Resolver
+
+	// mu orders Reset (phase boundary) against OnDeselect (a control-plane
+	// reconfigure can land at any time). The handler paths read M without
+	// it: they only execute inside a phase, and Reset happens-before the
+	// rank goroutines start.
+	mu sync.Mutex
 }
 
 // NewScorePBackend wraps a measurement and resolver pair.
@@ -65,8 +71,13 @@ func NewScorePBackend(m *scorep.Measurement, r *scorep.Resolver) *ScorePBackend 
 
 // Reset attaches a fresh measurement for the next execution phase; the
 // resolver (and its injected DSO symbols) is kept. Call it only between
-// phases, never while handlers are executing.
-func (b *ScorePBackend) Reset(m *scorep.Measurement) { b.M = m }
+// phases, never while handlers are executing (concurrent OnDeselect is
+// safe: it serializes on the backend lock).
+func (b *ScorePBackend) Reset(m *scorep.Measurement) {
+	b.mu.Lock()
+	b.M = m
+	b.mu.Unlock()
+}
 
 // Name implements Backend.
 func (b *ScorePBackend) Name() string { return "scorep" }
@@ -94,15 +105,18 @@ func (b *ScorePBackend) InjectSymbol(addr uint64, name string) { b.Resolver.Inje
 // functions recorded into the UNKNOWN region are skipped — their frames
 // cannot be attributed to one function.
 func (b *ScorePBackend) OnDeselect(fn *ResolvedFunc) int {
+	b.mu.Lock()
+	m := b.M
+	b.mu.Unlock()
 	name, ok := b.Resolver.Resolve(fn.Addr)
 	if !ok {
 		return 0
 	}
-	region, ok := b.M.LookupRegion(name)
+	region, ok := m.LookupRegion(name)
 	if !ok {
 		return 0 // never entered
 	}
-	return b.M.CloseDangling(region)
+	return m.CloseDangling(region)
 }
 
 // TALPBackend maps instrumented functions to TALP monitoring regions
@@ -128,7 +142,8 @@ func NewTALPBackend(m *talp.Monitor) *TALPBackend {
 
 // Reset attaches a fresh monitor for the next execution phase and forgets
 // the lazily registered regions (they belong to the previous monitor). Call
-// it only between phases, never while handlers are executing.
+// it only between phases, never while handlers are executing (concurrent
+// OnDeselect is safe: it serializes on the backend lock).
 func (b *TALPBackend) Reset(m *talp.Monitor) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -197,11 +212,16 @@ func (b *TALPBackend) InitCost(int) int64 { return b.Mon.InitCost() }
 // monitoring region are balanced with synthetic stops on every rank, so the
 // accumulators close and the open count stays correct.
 func (b *TALPBackend) OnDeselect(fn *ResolvedFunc) int {
-	st, ok := b.state(fn.PackedID)
+	// Snapshot monitor and region under the lock: a phase boundary's Reset
+	// may be swapping them while a control-plane reconfigure deselects.
+	b.mu.Lock()
+	mon := b.Mon
+	st, ok := b.regions[fn.PackedID]
+	b.mu.Unlock()
 	if !ok || st.failed || st.reg == nil {
 		return 0
 	}
-	return b.Mon.CloseOpen(st.reg)
+	return mon.CloseOpen(st.reg)
 }
 
 // FailedRegions returns how many functions could not be registered

@@ -501,6 +501,48 @@ func (rt *Runtime) Reconfigure(cfg *ic.Config) (ReconfigReport, error) {
 // Report returns the initialization summary.
 func (rt *Runtime) Report() Report { return rt.report }
 
+// Snapshot is a point-in-time view of the runtime's live counters, taken
+// under the reconfigure lock so the mutually dependent fields (reconfigs,
+// synthetic exits, accumulated re-patch cost) are consistent with each
+// other. It is what remote observers (the HTTP control plane) scrape while
+// ranks execute.
+type Snapshot struct {
+	// Active is the current selection size; Patched is the start-up count.
+	Active  int
+	Patched int
+	// Reconfigs counts applied live re-selections; ReconfigVirtualNs their
+	// accumulated virtual re-patch cost.
+	Reconfigs         int
+	ReconfigVirtualNs int64
+	// SyntheticExits counts dangling enters closed through the Deselector
+	// hook across all re-selections.
+	SyntheticExits int64
+	// DroppedInFlight / DroppedUnpatched are the split drop counters.
+	DroppedInFlight  int64
+	DroppedUnpatched int64
+	// InitVirtualNs is T_init.
+	InitVirtualNs int64
+}
+
+// Snapshot returns a consistent view of the live counters. Safe to call
+// concurrently with handler execution and Reconfigure.
+func (rt *Runtime) Snapshot() Snapshot {
+	rt.mu.Lock()
+	snap := Snapshot{
+		Reconfigs:         rt.reconfigs,
+		ReconfigVirtualNs: rt.reconfigNs,
+		SyntheticExits:    rt.synthExits,
+	}
+	rt.mu.Unlock()
+	m, _ := rt.active.Load().(map[int32]*ResolvedFunc)
+	snap.Active = len(m)
+	snap.Patched = rt.report.Patched
+	snap.InitVirtualNs = rt.report.InitVirtualNs
+	snap.DroppedInFlight = rt.droppedInFlight.Load()
+	snap.DroppedUnpatched = rt.droppedUnpatched.Load()
+	return snap
+}
+
 // Backend returns the attached measurement backend.
 func (rt *Runtime) Backend() Backend { return rt.backend }
 

@@ -21,14 +21,19 @@
 //
 // Concurrency contract: a shard is single-writer. Each simulated rank is
 // driven by exactly one goroutine (the same contract vtime.Clock has), so
-// Append needs no synchronization; Report and the merge must only run after
-// the writers stopped (end of run / end of phase).
+// Append never contends with another writer. Every shard carries a small
+// mutex held across one append or one snapshot, which lets Report run
+// *concurrently with the writers* — the control plane scrapes a live trace
+// mid-phase. A report taken mid-run is per-shard consistent (each shard is
+// snapshotted atomically); shards may be observed at slightly different
+// points of virtual time.
 package trace
 
 import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"capi/internal/vtime"
 )
@@ -107,6 +112,10 @@ type Options struct {
 // shard is one rank's private trace state. Single-writer: only the owning
 // rank's goroutine may Append; see the package comment.
 type shard struct {
+	// mu serializes one append against one report snapshot. Writers never
+	// contend with each other (single-writer), so the hot path pays an
+	// uncontended lock/unlock.
+	mu   sync.Mutex
 	ring []Event
 	n    int
 	segs [][]Event
@@ -171,6 +180,8 @@ func (b *Buffer) Ranks() int { return len(b.shards) }
 // Append for its shard.
 func (b *Buffer) Append(rank int, t int64, id int32, name string, k Kind) bool {
 	s := b.shards[rank]
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.held >= b.dropLimit {
 		s.dropped++
 		return false
@@ -221,6 +232,7 @@ func (s *shard) flush(opts *Options) {
 
 // retainedEvents returns the shard's surviving records in time order
 // (segments are appended in order and each rank's clock is monotonic).
+// Callers must hold s.mu.
 func (s *shard) retainedEvents() []Event {
 	out := make([]Event, 0, s.held)
 	for _, seg := range s.segs {
@@ -276,13 +288,15 @@ type Report struct {
 	Timeline []TimelineEvent
 }
 
-// Report builds the merged end-of-run report. It is read-only (partial
-// rings are included without flushing them) and must only be called after
-// the writers stopped.
+// Report builds the merged trace report. It is read-only (partial rings are
+// included without flushing them) and safe to call while the writers are
+// still appending: each shard is snapshotted under its lock, so a mid-run
+// report is per-shard consistent — the control plane's live scrape.
 func (b *Buffer) Report() *Report {
 	rep := &Report{}
 	perRank := make([][]Event, len(b.shards))
 	for i, s := range b.shards {
+		s.mu.Lock()
 		perRank[i] = s.retainedEvents()
 		rs := RankSummary{
 			Rank:     i,
@@ -295,6 +309,7 @@ func (b *Buffer) Report() *Report {
 			Wraps:    s.wraps,
 			Flushes:  s.flushes,
 		}
+		s.mu.Unlock()
 		rep.Ranks = append(rep.Ranks, rs)
 		rep.Recorded += rs.Recorded
 		rep.Retained += rs.Retained

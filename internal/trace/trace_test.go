@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -173,5 +174,53 @@ func TestNewValidatesOptions(t *testing.T) {
 	}
 	if b.Ranks() != 1 {
 		t.Fatal("ranks accessor")
+	}
+}
+
+// TestReportConcurrentWithWriters exercises the control-plane contract: a
+// report may be scraped while every rank is still appending. Run with -race.
+func TestReportConcurrentWithWriters(t *testing.T) {
+	const ranks, perRank = 4, 5000
+	b, err := New(Options{Ranks: ranks, BufEvents: 64, MaxEvents: 1024, Wrap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for i := 0; i < perRank; i++ {
+				k := Enter
+				if i%2 == 1 {
+					k = Exit
+				}
+				b.Append(rank, int64(i), int32(rank), "fn", k)
+			}
+		}(r)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	scrapes := 0
+	for {
+		rep := b.Report()
+		scrapes++
+		// Per-shard consistency: the accounting identity holds even while
+		// the shard is being written.
+		for _, rs := range rep.Ranks {
+			if rs.Recorded != rs.Retained+rs.Wrapped {
+				t.Fatalf("mid-run shard inconsistent: %+v", rs)
+			}
+		}
+		select {
+		case <-done:
+			final := b.Report()
+			if got := final.Recorded + final.Dropped; got != ranks*perRank {
+				t.Fatalf("recorded+dropped = %d, want %d", got, ranks*perRank)
+			}
+			t.Logf("%d mid-run scrapes", scrapes)
+			return
+		default:
+		}
 	}
 }
