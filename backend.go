@@ -1,0 +1,426 @@
+package capi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"capi/internal/dyncapi"
+	"capi/internal/mpi"
+	"capi/internal/obj"
+	"capi/internal/scorep"
+	"capi/internal/talp"
+	"capi/internal/trace"
+	"capi/internal/xray"
+)
+
+// The measurement-backend extension point. The paper's architecture (§V-C)
+// decouples the instrumentation layer from the measurement system behind a
+// generic enter/exit interface; this file makes that decoupling a public,
+// *open* API: backends are named entries in a registry, RunOptions selects
+// them by name (one or several — a fan-out mux feeds every event to each),
+// and every backend reports through the same self-describing envelope.
+
+// Aliases so backend implementations outside this package can name the
+// event-layer types without importing internal packages.
+type (
+	// ThreadCtx is the executing context an event carries (rank + clock).
+	ThreadCtx = xray.ThreadCtx
+	// ResolvedFunc is one instrumentable function as the runtime sees it.
+	ResolvedFunc = dyncapi.ResolvedFunc
+	// EventBackend is the hot-path event sink the DynCaPI handler
+	// dispatches into: Name, OnEnter, OnExit, InitCost. Implementations
+	// may additionally implement dyncapi.Deselector to close dangling
+	// state on live deselection.
+	EventBackend = dyncapi.Backend
+	// World is the simulated MPI world of one execution phase.
+	World = mpi.World
+	// Process is the loaded process image of a started instance.
+	Process = obj.Process
+	// BackendSwapReport summarizes one live backend-set swap.
+	BackendSwapReport = dyncapi.BackendSwapReport
+)
+
+// Report is the unified measurement-report envelope: every backend's
+// end-of-run (or mid-phase) report self-describes with a kind tag and
+// marshals itself to JSON, so consumers — Instance.Reports, the control
+// plane's GET /v1/report — can carry reports of backends they have never
+// heard of.
+type Report interface {
+	// Kind names the report type ("talp", "profile", "trace", …).
+	Kind() string
+	json.Marshaler
+}
+
+// JSONReport wraps any JSON-marshallable value as a Report. Custom backends
+// can use it instead of hand-writing an envelope type.
+type JSONReport struct {
+	ReportKind string
+	Value      any
+}
+
+// Kind implements Report.
+func (r JSONReport) Kind() string { return r.ReportKind }
+
+// MarshalJSON implements Report.
+func (r JSONReport) MarshalJSON() ([]byte, error) { return json.Marshal(r.Value) }
+
+// BackendConfig is everything a backend factory gets to build one backend
+// instance for a starting (or live) run.
+type BackendConfig struct {
+	// Ranks is the simulated MPI world size of the run.
+	Ranks int
+	// Proc is the loaded process image, for address→symbol resolution.
+	Proc *Process
+	// World is the MPI world current at build time. Every later phase
+	// delivers a fresh world through MeasurementBackend.StartPhase.
+	World *World
+	// EmulateTALPBug enables TALP's re-entry bug compat mode (§VI-B(b)).
+	EmulateTALPBug bool
+	// Trace tunes trace-style backends (ring size, retention, wrap); nil
+	// uses defaults. Ranks is already filled in.
+	Trace *TraceOptions
+}
+
+// MeasurementBackend is one measurement system attached to a live instance:
+// the lifecycle face of the extension point. The hot path goes through
+// Events() (no reflection, no map lookups per event); the phase lifecycle
+// and reporting go through the interface.
+type MeasurementBackend interface {
+	// Name returns the registry name the backend was created under.
+	Name() string
+	// Events returns the event sink the DynCaPI handler dispatches into.
+	// It must be stable for the backend's lifetime: per-phase state swaps
+	// happen inside the sink (StartPhase), never by replacing it.
+	Events() EventBackend
+	// StartPhase attaches fresh per-phase measurement state; world is the
+	// new phase's MPI world (rank clocks restarted at zero).
+	StartPhase(world *World) error
+	// Report returns the current measurement report, or nil when the
+	// backend has none (the discarding "none" backend, or nothing measured
+	// yet). It must be safe to call while a phase executes.
+	Report() Report
+}
+
+// BackendFactory builds one MeasurementBackend instance for a run.
+type BackendFactory func(cfg BackendConfig) (MeasurementBackend, error)
+
+var (
+	backendMu       sync.RWMutex
+	backendRegistry = map[string]BackendFactory{}
+)
+
+// RegisterBackend adds a measurement backend to the registry under the given
+// name, making it selectable via RunOptions.Backends (and every -backend
+// flag that resolves through the registry). It panics on an empty name, a
+// nil factory or a duplicate registration — registration happens in init
+// functions, where a panic is a build-time mistake, not a runtime condition.
+func RegisterBackend(name string, factory BackendFactory) {
+	if name == "" {
+		panic("capi: RegisterBackend with empty name")
+	}
+	if strings.ContainsAny(name, ", ") {
+		panic(fmt.Sprintf("capi: RegisterBackend name %q must not contain commas or spaces", name))
+	}
+	if factory == nil {
+		panic(fmt.Sprintf("capi: RegisterBackend %q with nil factory", name))
+	}
+	backendMu.Lock()
+	defer backendMu.Unlock()
+	if _, dup := backendRegistry[name]; dup {
+		panic(fmt.Sprintf("capi: backend %q registered twice", name))
+	}
+	backendRegistry[name] = factory
+}
+
+// RegisteredBackends returns the names of every registered measurement
+// backend, sorted.
+func RegisteredBackends() []string {
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	names := make([]string, 0, len(backendRegistry))
+	for name := range backendRegistry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func backendFactory(name string) (BackendFactory, bool) {
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	f, ok := backendRegistry[name]
+	return f, ok
+}
+
+// unknownBackendError is the shared fail-fast error for unregistered
+// backend names: it lists what *is* registered so a typo'd -backend flag is
+// a one-round-trip fix.
+func unknownBackendError(name string) error {
+	return fmt.Errorf("capi: unknown backend %q (registered: %s)",
+		name, strings.Join(RegisteredBackends(), ", "))
+}
+
+// ValidateBackends checks every name against the registry and rejects
+// duplicates (reports are keyed by name). An empty list is valid — it means
+// the RunOptions.Backend shim (or the "none" default) decides.
+func ValidateBackends(names []string) error {
+	seen := make(map[string]bool, len(names))
+	for _, name := range names {
+		if _, ok := backendFactory(name); !ok {
+			return unknownBackendError(name)
+		}
+		if seen[name] {
+			return fmt.Errorf("capi: backend %q listed twice", name)
+		}
+		seen[name] = true
+	}
+	return nil
+}
+
+// ParseBackends splits a comma-separated backend list ("talp,extrae") and
+// validates every name against the registry, failing fast with the list of
+// registered names on an unknown one. It is the shared -backend flag parser
+// of cmd/dyncapi, cmd/capi-serve and cmd/capi-bench.
+func ParseBackends(list string) ([]string, error) {
+	var names []string
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		names = append(names, part)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("capi: empty backend list (registered: %s)",
+			strings.Join(RegisteredBackends(), ", "))
+	}
+	if err := ValidateBackends(names); err != nil {
+		return nil, err
+	}
+	return names, nil
+}
+
+// buildMeasurementBackends resolves names through the registry, builds one
+// MeasurementBackend per name and wires the event path: the single
+// backend's sink directly, or a Mux fanning out to all of them (in list
+// order) when several are attached.
+func buildMeasurementBackends(names []string, cfg BackendConfig) ([]MeasurementBackend, dyncapi.Backend, error) {
+	if err := ValidateBackends(names); err != nil {
+		return nil, nil, err
+	}
+	backends := make([]MeasurementBackend, 0, len(names))
+	for _, name := range names {
+		factory, _ := backendFactory(name)
+		mb, err := factory(cfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("capi: building backend %q: %w", name, err)
+		}
+		if mb == nil || mb.Events() == nil {
+			return nil, nil, fmt.Errorf("capi: backend %q factory returned no event sink", name)
+		}
+		backends = append(backends, mb)
+	}
+	if len(backends) == 1 {
+		return backends, backends[0].Events(), nil
+	}
+	sinks := make([]dyncapi.Backend, len(backends))
+	for i, mb := range backends {
+		sinks[i] = mb.Events()
+	}
+	return backends, dyncapi.NewMux(sinks...), nil
+}
+
+// The four built-in backends self-register, exactly like a third-party
+// backend would.
+func init() {
+	RegisterBackend(string(BackendNone), newNoneBackend)
+	RegisterBackend(string(BackendTALP), newTALPBackend)
+	RegisterBackend(string(BackendScoreP), newScorePBackend)
+	RegisterBackend(string(BackendExtrae), newExtraeBackend)
+}
+
+// noneBackend is the discarding cyg-profile interface: events are dispatched
+// and dropped, no report is produced (overhead studies).
+type noneBackend struct {
+	ev *dyncapi.CygBackend
+}
+
+func newNoneBackend(BackendConfig) (MeasurementBackend, error) {
+	return &noneBackend{ev: &dyncapi.CygBackend{}}, nil
+}
+
+func (b *noneBackend) Name() string            { return string(BackendNone) }
+func (b *noneBackend) Events() EventBackend    { return b.ev }
+func (b *noneBackend) StartPhase(*World) error { return nil }
+func (b *noneBackend) Report() Report          { return nil }
+
+// talpBackend records POP parallel-efficiency metrics per region. Each
+// phase gets a fresh monitor over the phase's world.
+type talpBackend struct {
+	ev  *dyncapi.TALPBackend
+	bug bool
+
+	mu  sync.Mutex
+	mon *talp.Monitor
+}
+
+func newTALPBackend(cfg BackendConfig) (MeasurementBackend, error) {
+	mon := talp.New(cfg.World, talp.Options{EmulateReentryBug: cfg.EmulateTALPBug})
+	return &talpBackend{ev: dyncapi.NewTALPBackend(mon), bug: cfg.EmulateTALPBug, mon: mon}, nil
+}
+
+func (b *talpBackend) Name() string         { return string(BackendTALP) }
+func (b *talpBackend) Events() EventBackend { return b.ev }
+
+func (b *talpBackend) StartPhase(world *World) error {
+	mon := talp.New(world, talp.Options{EmulateReentryBug: b.bug})
+	b.mu.Lock()
+	b.mon = mon
+	b.mu.Unlock()
+	b.ev.Reset(mon)
+	return nil
+}
+
+func (b *talpBackend) Report() Report {
+	if rep := b.talpReport(); rep != nil {
+		return talpEnvelope{rep}
+	}
+	return nil
+}
+
+func (b *talpBackend) talpReport() *talp.Report {
+	b.mu.Lock()
+	mon := b.mon
+	b.mu.Unlock()
+	if mon == nil {
+		return nil
+	}
+	return mon.Report()
+}
+
+// talpEnvelope adapts talp.Report (a WriteJSON writer) to the envelope.
+type talpEnvelope struct{ r *talp.Report }
+
+func (e talpEnvelope) Kind() string { return "talp" }
+
+func (e talpEnvelope) MarshalJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := e.r.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// scorepBackend records call-path profiles. The resolver (with the DSO
+// symbols DynCaPI injected) persists across phases; the measurement is
+// fresh per phase.
+type scorepBackend struct {
+	ev    *dyncapi.ScorePBackend
+	ranks int
+
+	mu   sync.Mutex
+	meas *scorep.Measurement
+}
+
+func newScorePBackend(cfg BackendConfig) (MeasurementBackend, error) {
+	m, err := scorep.New(scorep.Options{Ranks: cfg.Ranks})
+	if err != nil {
+		return nil, err
+	}
+	return &scorepBackend{
+		ev:    dyncapi.NewScorePBackend(m, scorep.NewResolverFromExecutable(cfg.Proc)),
+		ranks: cfg.Ranks,
+		meas:  m,
+	}, nil
+}
+
+func (b *scorepBackend) Name() string         { return string(BackendScoreP) }
+func (b *scorepBackend) Events() EventBackend { return b.ev }
+
+func (b *scorepBackend) StartPhase(*World) error {
+	m, err := scorep.New(scorep.Options{Ranks: b.ranks})
+	if err != nil {
+		return err
+	}
+	b.mu.Lock()
+	b.meas = m
+	b.mu.Unlock()
+	b.ev.Reset(m)
+	return nil
+}
+
+func (b *scorepBackend) Report() Report {
+	if p := b.profile(); p != nil {
+		return JSONReport{ReportKind: "profile", Value: p}
+	}
+	return nil
+}
+
+func (b *scorepBackend) profile() *scorep.Profile {
+	b.mu.Lock()
+	m := b.meas
+	b.mu.Unlock()
+	if m == nil {
+		return nil
+	}
+	return m.Profile()
+}
+
+// extraeBackend records a per-rank sharded event trace with a merged
+// end-of-run timeline. Each phase gets a fresh buffer.
+type extraeBackend struct {
+	ev   *dyncapi.ExtraeBackend
+	opts trace.Options
+
+	mu  sync.Mutex
+	buf *trace.Buffer
+}
+
+func newExtraeBackend(cfg BackendConfig) (MeasurementBackend, error) {
+	opts := trace.Options{}
+	if cfg.Trace != nil {
+		opts = *cfg.Trace
+	}
+	opts.Ranks = cfg.Ranks
+	buf, err := trace.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &extraeBackend{ev: dyncapi.NewExtraeBackend(buf), opts: opts, buf: buf}, nil
+}
+
+func (b *extraeBackend) Name() string         { return string(BackendExtrae) }
+func (b *extraeBackend) Events() EventBackend { return b.ev }
+
+func (b *extraeBackend) StartPhase(*World) error {
+	buf, err := trace.New(b.opts)
+	if err != nil {
+		return err
+	}
+	b.mu.Lock()
+	b.buf = buf
+	b.mu.Unlock()
+	b.ev.Reset(buf)
+	return nil
+}
+
+func (b *extraeBackend) Report() Report {
+	if rep := b.traceReport(); rep != nil {
+		return JSONReport{ReportKind: "trace", Value: rep}
+	}
+	return nil
+}
+
+func (b *extraeBackend) traceReport() *trace.Report {
+	b.mu.Lock()
+	buf := b.buf
+	b.mu.Unlock()
+	if buf == nil {
+		return nil
+	}
+	return buf.Report()
+}

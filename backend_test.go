@@ -1,0 +1,167 @@
+package capi_test
+
+import (
+	"encoding/json"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	capi "capi"
+)
+
+// countingBackend is the README cookbook's custom backend: it counts the
+// events it observes and reports them through the unified envelope.
+type countingBackend struct {
+	ev countingEvents
+}
+
+type countingEvents struct {
+	enters, exits *atomic.Int64
+}
+
+func (e countingEvents) Name() string                                     { return "test-counter" }
+func (e countingEvents) OnEnter(tc capi.ThreadCtx, fn *capi.ResolvedFunc) { e.enters.Add(1) }
+func (e countingEvents) OnExit(tc capi.ThreadCtx, fn *capi.ResolvedFunc)  { e.exits.Add(1) }
+func (e countingEvents) InitCost(int) int64                               { return 0 }
+
+func (b *countingBackend) Name() string                 { return "test-counter" }
+func (b *countingBackend) Events() capi.EventBackend    { return b.ev }
+func (b *countingBackend) StartPhase(*capi.World) error { return nil }
+func (b *countingBackend) Report() capi.Report {
+	return capi.JSONReport{ReportKind: "counter", Value: map[string]int64{
+		"enters": b.ev.enters.Load(),
+		"exits":  b.ev.exits.Load(),
+	}}
+}
+
+func init() {
+	capi.RegisterBackend("test-counter", func(capi.BackendConfig) (capi.MeasurementBackend, error) {
+		return &countingBackend{ev: countingEvents{enters: new(atomic.Int64), exits: new(atomic.Int64)}}, nil
+	})
+}
+
+// TestCustomRegisteredBackendEndToEnd walks the cookbook: register →
+// select by name (alongside a built-in) → run → read the envelope.
+func TestCustomRegisteredBackendEndToEnd(t *testing.T) {
+	found := false
+	for _, name := range capi.RegisteredBackends() {
+		if name == "test-counter" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("test-counter not in registry: %v", capi.RegisteredBackends())
+	}
+
+	s := newQuickSession(t)
+	sel, err := s.Select(quickSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(sel, capi.RunOptions{Backends: []string{"talp", "test-counter"}, Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Backends) != 2 || res.Backends[1] != "test-counter" {
+		t.Fatalf("run backends = %v", res.Backends)
+	}
+	// Both the built-in and the custom backend fed from one event stream.
+	if res.TALP == nil || res.Reports["talp"] == nil {
+		t.Fatal("talp report missing from the fan-out run")
+	}
+	rep := res.Reports["test-counter"]
+	if rep == nil || rep.Kind() != "counter" {
+		t.Fatalf("custom report = %v", rep)
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counts map[string]int64
+	if err := json.Unmarshal(raw, &counts); err != nil {
+		t.Fatal(err)
+	}
+	if counts["enters"] == 0 || counts["enters"] != counts["exits"] {
+		t.Fatalf("custom backend counted %v, want balanced nonzero enters/exits", counts)
+	}
+	if res.Events == 0 {
+		t.Fatal("no events dispatched")
+	}
+}
+
+// TestBackendValidation: unknown names fail fast with the registered list,
+// duplicates are rejected, and the single-Backend shim still resolves.
+func TestBackendValidation(t *testing.T) {
+	s := newQuickSession(t)
+	sel, err := s.Select(quickSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Start(sel, capi.RunOptions{Backends: []string{"bogus"}, Ranks: 2})
+	if err == nil || !strings.Contains(err.Error(), "registered:") {
+		t.Fatalf("unknown backend error = %v", err)
+	}
+	_, err = s.Start(sel, capi.RunOptions{Backends: []string{"talp", "talp"}, Ranks: 2})
+	if err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("duplicate backend error = %v", err)
+	}
+	_, err = s.Start(sel, capi.RunOptions{Backend: "bogus", Ranks: 2})
+	if err == nil {
+		t.Fatal("unknown shim backend must fail")
+	}
+	if _, err := capi.ParseBackends("talp, extrae"); err != nil {
+		t.Fatalf("ParseBackends with spaces: %v", err)
+	}
+	if _, err := capi.ParseBackends("talp,nope"); err == nil {
+		t.Fatal("ParseBackends must reject unknown names")
+	}
+	if _, err := capi.ParseBackends(""); err == nil {
+		t.Fatal("ParseBackends must reject an empty list")
+	}
+}
+
+// TestInstanceSetBackendsLive: the in-process backend swap — TALP out,
+// extrae in — keeps the selection patched and redirects the next phase's
+// events; the deprecated typed accessors follow the attached set.
+func TestInstanceSetBackendsLive(t *testing.T) {
+	s := newQuickSession(t)
+	sel, err := s.Select(quickSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := s.Start(sel, capi.RunOptions{Backend: capi.BackendTALP, Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Run(); err != nil {
+		t.Fatal(err)
+	}
+	active := inst.ActiveFunctions()
+	swap, err := inst.SetBackends([]string{"extrae"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swap.From != "talp" || swap.To != "extrae" || swap.VirtualNs <= 0 {
+		t.Fatalf("swap report = %+v", swap)
+	}
+	if inst.ActiveFunctions() != active {
+		t.Fatalf("swap changed the selection: %d -> %d", active, inst.ActiveFunctions())
+	}
+	if inst.TALPReport() != nil {
+		t.Fatal("detached talp backend still visible")
+	}
+	res, err := inst.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil || res.Reports["extrae"] == nil {
+		t.Fatal("no trace from the swapped-in backend")
+	}
+	if res.TALP != nil {
+		t.Fatal("detached backend produced a report")
+	}
+	// The swap's virtual cost was billed to the phase that followed it.
+	if res.InitSeconds <= 0 {
+		t.Fatalf("swap cost not billed: init = %f", res.InitSeconds)
+	}
+}

@@ -341,6 +341,44 @@ func BenchmarkDispatch(b *testing.B) {
 	}
 }
 
+// BenchmarkDispatchMux1 isolates the mux fan-out's own cost: the same
+// extrae backend dispatched directly and behind a mux of one. The delta is
+// one slice iteration plus an interface call — the benchdiff vs_direct gate
+// asserts it stays within the dispatch tolerance of the direct path.
+func BenchmarkDispatchMux1(b *testing.B) {
+	for _, backend := range []string{
+		experiments.BackendExtrae,
+		"mux:" + experiments.BackendExtrae,
+	} {
+		b.Run(backend, func(b *testing.B) {
+			h, err := experiments.NewDispatchHarness(backend, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.Dispatch(i)
+			}
+		})
+	}
+}
+
+// BenchmarkDispatchMux2 measures the multi-backend fan-out hot path: one
+// enter/exit pair delivered to TALP *and* the extrae tracer from the same
+// event stream. The expected cost is roughly the sum of the two direct
+// paths — the mux adds a slice iteration, not a lock.
+func BenchmarkDispatchMux2(b *testing.B) {
+	h, err := experiments.NewDispatchHarness(
+		experiments.BackendTALP+","+experiments.BackendExtrae, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Dispatch(i)
+	}
+}
+
 // BenchmarkDispatchReconfigure measures the extrae hot path while the
 // selection keeps flipping — the worst case for the runtime's atomic
 // active-set lookup, the synthetic-exit hook and the tracer's accounting.

@@ -73,10 +73,12 @@ var (
 	Quickstart = workload.Quickstart
 )
 
-// Backend selects the measurement system a Run feeds (Fig. 3).
+// Backend names the measurement system a Run feeds (Fig. 3). The set is
+// open: RegisterBackend adds new names, RegisteredBackends lists them. The
+// constants below are the built-ins.
 type Backend string
 
-// The available measurement backends.
+// The built-in measurement backends.
 const (
 	// BackendNone patches but discards events through the generic
 	// cyg-profile interface (overhead studies).
@@ -231,7 +233,15 @@ func (s *Session) AttachStaticIDs(sel *Selection) error {
 
 // RunOptions configures one measured execution.
 type RunOptions struct {
-	// Backend selects the measurement system (default BackendNone).
+	// Backends selects the measurement systems by registry name. With
+	// several names, a fan-out mux delivers every enter/exit event to each
+	// of them — one run records TALP efficiency *and* an Extrae trace from
+	// the same event stream. Order is delivery (and report) order. Empty
+	// falls back to the single-Backend shim below.
+	Backends []string
+	// Backend selects a single measurement system (default BackendNone).
+	// It is the one-element shim over Backends and is ignored when
+	// Backends is non-empty.
 	Backend Backend
 	// Ranks is the simulated MPI world size (default 4).
 	Ranks int
@@ -250,6 +260,21 @@ type RunOptions struct {
 	// (4096-event rings, unbounded retention). Ranks is filled in from
 	// RunOptions.Ranks. Ignored for other backends.
 	Trace *TraceOptions
+}
+
+// backendNames resolves the configured backend set: Backends verbatim when
+// set, otherwise the single Backend shim (default "none"). Validation
+// against the registry happens in buildMeasurementBackends, the single
+// place every backend list goes through.
+func (o RunOptions) backendNames() []string {
+	if len(o.Backends) > 0 {
+		return o.Backends
+	}
+	name := string(o.Backend)
+	if name == "" {
+		name = string(BackendNone)
+	}
+	return []string{name}
 }
 
 // RunResult is the outcome of one measured execution.
@@ -281,11 +306,22 @@ type RunResult struct {
 	// AdaptEpochs carries the controller's per-epoch decisions when
 	// RunOptions.Adapt was set.
 	AdaptEpochs []AdaptEpoch
-	// TALP carries the region report when Backend was BackendTALP.
+	// Backends lists the attached measurement backends in delivery order;
+	// Reports carries each backend's end-of-phase report, keyed by backend
+	// name (backends that produced nothing are absent).
+	Backends []string
+	Reports  map[string]Report
+	// TALP carries the region report when the talp backend was attached.
+	//
+	// Deprecated: read Reports["talp"] (the unified envelope) instead.
 	TALP *TALPReport
-	// Profile carries the profile when Backend was BackendScoreP.
+	// Profile carries the profile when the scorep backend was attached.
+	//
+	// Deprecated: read Reports["scorep"] instead.
 	Profile *Profile
-	// Trace carries the trace summary when Backend was BackendExtrae.
+	// Trace carries the trace summary when the extrae backend was attached.
+	//
+	// Deprecated: read Reports["extrae"] instead.
 	Trace *TraceReport
 	// WallSeconds is the real time the simulation took (diagnostics).
 	WallSeconds float64
@@ -313,23 +349,21 @@ type Instance struct {
 	rt   *dyncapi.Runtime
 	ctrl *adapt.Controller
 
-	talpBackend *dyncapi.TALPBackend
-	spBackend   *dyncapi.ScorePBackend
-	exBackend   *dyncapi.ExtraeBackend
-	traceOpts   trace.Options
-
 	// runMu serializes Run calls: one phase at a time.
 	runMu sync.Mutex
 
-	// mu guards the per-phase state below. Run swaps the world and the
-	// backends' measurement substrates at phase boundaries while the control
+	// mu guards the per-phase state below. Run swaps the world and each
+	// backend's measurement substrate at phase boundaries while the control
 	// plane reads them for live reports; pendingNs is charged by Reconfigure
-	// on one goroutine and billed by Run on another.
-	mu       sync.Mutex
-	world    *mpi.World
-	mon      *talp.Monitor
-	meas     *scorep.Measurement
-	traceBuf *trace.Buffer
+	// on one goroutine and billed by Run on another; SetBackends swaps the
+	// backend set as a whole.
+	mu    sync.Mutex
+	world *mpi.World
+	// backends is the attached measurement-backend set, registry-built, in
+	// delivery order. curWorld always points at the most recent phase's
+	// world so a backend swapped in mid-phase can attach to it.
+	backends []MeasurementBackend
+	curWorld *mpi.World
 	// pendingNs is virtual set-up cost to charge to the next Run: T_init
 	// before the first phase, accumulated Reconfigure costs afterwards.
 	pendingNs int64
@@ -359,7 +393,7 @@ func (s *Session) Start(sel *Selection, opts RunOptions) (*Instance, error) {
 	if err != nil {
 		return nil, err
 	}
-	inst := &Instance{s: s, opts: opts, proc: proc, xr: xr, world: world, wallStart: time.Now()}
+	inst := &Instance{s: s, opts: opts, proc: proc, xr: xr, world: world, curWorld: world, wallStart: time.Now()}
 
 	var cfg *ic.Config
 	if sel != nil {
@@ -369,36 +403,17 @@ func (s *Session) Start(sel *Selection, opts RunOptions) (*Instance, error) {
 		return inst, nil // uninstrumented baseline
 	}
 
-	var backend dyncapi.Backend
-	switch opts.Backend {
-	case BackendTALP:
-		inst.mon = talp.New(world, talp.Options{EmulateReentryBug: opts.EmulateTALPBug})
-		inst.talpBackend = dyncapi.NewTALPBackend(inst.mon)
-		backend = inst.talpBackend
-	case BackendScoreP:
-		inst.meas, err = scorep.New(scorep.Options{Ranks: opts.Ranks})
-		if err != nil {
-			return nil, err
-		}
-		inst.spBackend = dyncapi.NewScorePBackend(inst.meas, scorep.NewResolverFromExecutable(proc))
-		backend = inst.spBackend
-	case BackendExtrae:
-		inst.traceOpts = trace.Options{}
-		if opts.Trace != nil {
-			inst.traceOpts = *opts.Trace
-		}
-		inst.traceOpts.Ranks = opts.Ranks
-		inst.traceBuf, err = trace.New(inst.traceOpts)
-		if err != nil {
-			return nil, err
-		}
-		inst.exBackend = dyncapi.NewExtraeBackend(inst.traceBuf)
-		backend = inst.exBackend
-	case BackendNone, "":
-		backend = &dyncapi.CygBackend{}
-	default:
-		return nil, fmt.Errorf("capi: unknown backend %q", opts.Backend)
+	backends, backend, err := buildMeasurementBackends(opts.backendNames(), BackendConfig{
+		Ranks:          opts.Ranks,
+		Proc:           proc,
+		World:          world,
+		EmulateTALPBug: opts.EmulateTALPBug,
+		Trace:          traceOptionsFor(opts),
+	})
+	if err != nil {
+		return nil, err
 	}
+	inst.backends = backends
 	if opts.Adapt != nil {
 		inst.ctrl = adapt.New(backend, *opts.Adapt)
 		backend = inst.ctrl
@@ -479,50 +494,142 @@ func (i *Instance) Reconfigs() int {
 	return i.rt.Reconfigs()
 }
 
-// TraceReport returns the extrae backend's current trace summary, or nil
-// when the instance does not trace. It is safe to call while a Run is
-// executing: each shard is snapshotted under its lock, so a mid-phase
-// report is per-shard consistent.
-func (i *Instance) TraceReport() *TraceReport {
-	i.mu.Lock()
-	buf := i.traceBuf
-	i.mu.Unlock()
-	if buf == nil {
-		return nil
+// traceOptionsFor copies the run's trace tuning with Ranks filled in.
+func traceOptionsFor(opts RunOptions) *TraceOptions {
+	t := trace.Options{}
+	if opts.Trace != nil {
+		t = *opts.Trace
 	}
-	return buf.Report()
+	t.Ranks = opts.Ranks
+	return &t
+}
+
+// measurementBackends snapshots the attached backend set.
+func (i *Instance) measurementBackends() []MeasurementBackend {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.backends
+}
+
+// Reports returns the unified report envelope: every attached measurement
+// backend's current report, keyed by backend name (backends that have
+// produced nothing yet are absent). Safe to call while a Run is executing —
+// each backend snapshots its own substrate under its lock, so a mid-phase
+// report is per-backend consistent.
+func (i *Instance) Reports() map[string]Report {
+	out := map[string]Report{}
+	for _, mb := range i.measurementBackends() {
+		if rep := mb.Report(); rep != nil {
+			out[mb.Name()] = rep
+		}
+	}
+	return out
+}
+
+// TraceReport returns the extrae backend's current trace summary, or nil
+// when the instance does not trace. Safe to call mid-phase.
+//
+// Deprecated: use Reports (the unified envelope keyed by backend name);
+// this accessor only sees the built-in extrae backend.
+func (i *Instance) TraceReport() *TraceReport {
+	for _, mb := range i.measurementBackends() {
+		if eb, ok := mb.(*extraeBackend); ok {
+			return eb.traceReport()
+		}
+	}
+	return nil
 }
 
 // TALPReport returns the TALP backend's current region report, or nil when
 // the instance does not run under TALP. Safe to call mid-phase.
+//
+// Deprecated: use Reports (the unified envelope keyed by backend name);
+// this accessor only sees the built-in talp backend.
 func (i *Instance) TALPReport() *TALPReport {
-	i.mu.Lock()
-	mon := i.mon
-	i.mu.Unlock()
-	if mon == nil {
-		return nil
+	for _, mb := range i.measurementBackends() {
+		if tb, ok := mb.(*talpBackend); ok {
+			return tb.talpReport()
+		}
 	}
-	return mon.Report()
+	return nil
 }
 
 // Profile returns the Score-P backend's current call-path profile, or nil
 // when the instance does not profile. Safe to call mid-phase.
+//
+// Deprecated: use Reports (the unified envelope keyed by backend name);
+// this accessor only sees the built-in scorep backend.
 func (i *Instance) Profile() *Profile {
-	i.mu.Lock()
-	meas := i.meas
-	i.mu.Unlock()
-	if meas == nil {
-		return nil
+	for _, mb := range i.measurementBackends() {
+		if sb, ok := mb.(*scorepBackend); ok {
+			return sb.profile()
+		}
 	}
-	return meas.Profile()
+	return nil
 }
 
-// Backend returns the measurement backend the instance was started with.
-func (i *Instance) Backend() Backend {
-	if i.opts.Backend == "" {
-		return BackendNone
+// Backends returns the names of the attached measurement backends, in
+// delivery order. Empty for an uninstrumented instance.
+func (i *Instance) Backends() []string {
+	mbs := i.measurementBackends()
+	names := make([]string, len(mbs))
+	for idx, mb := range mbs {
+		names[idx] = mb.Name()
 	}
-	return i.opts.Backend
+	return names
+}
+
+// Backend returns the first attached measurement backend's name — the whole
+// set for a single-backend run.
+//
+// Deprecated: use Backends; a multi-backend instance has more than one.
+func (i *Instance) Backend() Backend {
+	if names := i.Backends(); len(names) > 0 {
+		return Backend(names[0])
+	}
+	if i.opts.Backend != "" {
+		return i.opts.Backend
+	}
+	return BackendNone
+}
+
+// SetBackends swaps the attached measurement-backend set while the instance
+// is live: the patched sleds and the selection are untouched, the event
+// stream simply starts feeding the new set. Detaching backends close their
+// open state with synthetic exits (counted per backend in the returned
+// BackendSwapReport) because an enter they recorded can never be balanced
+// after the detach; the new set's virtual start-up cost is charged to the
+// next (or current) phase. Swapping is not supported on an adaptive
+// instance — the controller owns the backend chain there.
+func (i *Instance) SetBackends(names []string) (BackendSwapReport, error) {
+	if i.rt == nil {
+		return BackendSwapReport{}, fmt.Errorf("capi: instance is not instrumented")
+	}
+	if i.ctrl != nil {
+		return BackendSwapReport{}, fmt.Errorf("capi: cannot swap backends on an adaptive instance")
+	}
+	if len(names) == 0 {
+		return BackendSwapReport{}, fmt.Errorf("capi: empty backend list")
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	backends, sink, err := buildMeasurementBackends(names, BackendConfig{
+		Ranks:          i.opts.Ranks,
+		Proc:           i.proc,
+		World:          i.curWorld,
+		EmulateTALPBug: i.opts.EmulateTALPBug,
+		Trace:          traceOptionsFor(i.opts),
+	})
+	if err != nil {
+		return BackendSwapReport{}, err
+	}
+	rep, err := i.rt.SwapBackend(sink)
+	if err != nil {
+		return rep, err
+	}
+	i.backends = backends
+	i.pendingNs += rep.VirtualNs
+	return rep, nil
 }
 
 // Ranks returns the simulated MPI world size.
@@ -584,11 +691,14 @@ func (i *Instance) UnknownFunctionNames(names []string) []string {
 // InstanceStatus is a point-in-time snapshot of a live instance — what the
 // control plane serves on GET /v1/status and exports as Prometheus gauges.
 type InstanceStatus struct {
-	// Backend and Ranks echo the start configuration; Adaptive tells
-	// whether the overhead-budget controller is attached.
-	Backend  Backend `json:"backend"`
-	Ranks    int     `json:"ranks"`
-	Adaptive bool    `json:"adaptive"`
+	// Backend is the first attached backend's name (legacy shim); Backends
+	// is the full attached set in delivery order. Ranks echoes the start
+	// configuration; Adaptive tells whether the overhead-budget controller
+	// is attached.
+	Backend  Backend  `json:"backend"`
+	Backends []string `json:"backends"`
+	Ranks    int      `json:"ranks"`
+	Adaptive bool     `json:"adaptive"`
 	// Instrumented is false for the "xray inactive" baseline.
 	Instrumented bool `json:"instrumented"`
 	// Runs counts completed phases; Running tells whether one is executing.
@@ -609,10 +719,12 @@ type InstanceStatus struct {
 	ReconfigSeconds float64 `json:"reconfigSeconds"`
 	PendingSeconds  float64 `json:"pendingSeconds"`
 	// DroppedInFlight / DroppedUnpatched are the split drop counters;
-	// SyntheticExits counts backend-closed dangling enters.
-	DroppedInFlight  int64 `json:"droppedInFlight"`
-	DroppedUnpatched int64 `json:"droppedUnpatched"`
-	SyntheticExits   int64 `json:"syntheticExits"`
+	// SyntheticExits counts backend-closed dangling enters, with the
+	// per-backend-name breakdown alongside.
+	DroppedInFlight         int64            `json:"droppedInFlight"`
+	DroppedUnpatched        int64            `json:"droppedUnpatched"`
+	SyntheticExits          int64            `json:"syntheticExits"`
+	SyntheticExitsByBackend map[string]int64 `json:"syntheticExitsByBackend,omitempty"`
 }
 
 // Status returns a consistent snapshot of the instance's live counters.
@@ -620,6 +732,7 @@ type InstanceStatus struct {
 func (i *Instance) Status() InstanceStatus {
 	st := InstanceStatus{
 		Backend:  i.Backend(),
+		Backends: i.Backends(),
 		Ranks:    i.opts.Ranks,
 		Adaptive: i.ctrl != nil,
 	}
@@ -642,7 +755,18 @@ func (i *Instance) Status() InstanceStatus {
 	st.DroppedInFlight = snap.DroppedInFlight
 	st.DroppedUnpatched = snap.DroppedUnpatched
 	st.SyntheticExits = snap.SyntheticExits
+	st.SyntheticExitsByBackend = snap.SyntheticExitsByBackend
 	return st
+}
+
+// SyntheticExitsByBackend returns the per-backend-name breakdown of the
+// synthetic exits closed across all live re-selections and backend swaps.
+// Empty when nothing was ever closed.
+func (i *Instance) SyntheticExitsByBackend() map[string]int64 {
+	if i.rt == nil {
+		return nil
+	}
+	return i.rt.Snapshot().SyntheticExitsByBackend
 }
 
 // DroppedEvents returns the split drop accounting of the live runtime:
@@ -687,38 +811,26 @@ func (i *Instance) Run() (*RunResult, error) {
 	}
 	if world == nil {
 		// A later phase: fresh world (rank clocks restart at zero), fresh
-		// per-phase measurement state, re-armed adaptation controller. The
-		// instrumentation runtime and its patched sleds stay up.
+		// per-phase measurement state in every attached backend, re-armed
+		// adaptation controller. The instrumentation runtime and its patched
+		// sleds stay up.
 		var err error
 		world, err = mpi.NewWorld(i.opts.Ranks, mpi.DefaultCostModel())
 		if err != nil {
 			i.mu.Unlock()
 			return nil, err
 		}
-		if i.talpBackend != nil {
-			i.mon = talp.New(world, talp.Options{EmulateReentryBug: i.opts.EmulateTALPBug})
-			i.talpBackend.Reset(i.mon)
-		}
-		if i.spBackend != nil {
-			i.meas, err = scorep.New(scorep.Options{Ranks: i.opts.Ranks})
-			if err != nil {
+		for _, mb := range i.backends {
+			if err := mb.StartPhase(world); err != nil {
 				i.mu.Unlock()
-				return nil, err
+				return nil, fmt.Errorf("capi: backend %q: %w", mb.Name(), err)
 			}
-			i.spBackend.Reset(i.meas)
-		}
-		if i.exBackend != nil {
-			i.traceBuf, err = trace.New(i.traceOpts)
-			if err != nil {
-				i.mu.Unlock()
-				return nil, err
-			}
-			i.exBackend.Reset(i.traceBuf)
 		}
 		if i.ctrl != nil {
 			i.ctrl.NewPhase()
 		}
 	}
+	i.curWorld = world
 	i.running = true
 	i.mu.Unlock()
 	defer func() {
@@ -764,21 +876,42 @@ func (i *Instance) Run() (*RunResult, error) {
 		out.DroppedFuncs = i.ctrl.Dropped()
 		out.AdaptEpochs = i.ctrl.Epochs()
 	}
-	mon, meas, traceBuf := i.mon, i.meas, i.traceBuf
+	backends := i.backends
 	out.WallSeconds = time.Since(i.wallStart).Seconds()
 	i.pendingNs = 0
 	i.runs++
 	i.events += out.Events
 	i.mu.Unlock()
 	// The backends' own reports lock internally; build them outside i.mu.
-	if mon != nil {
-		out.TALP = mon.Report()
-	}
-	if meas != nil {
-		out.Profile = meas.Profile()
-	}
-	if traceBuf != nil {
-		out.Trace = traceBuf.Report()
+	// Each built-in report is computed once and serves both the envelope
+	// entry and the deprecated typed field (Score-P's call-path aggregation
+	// in particular is too expensive to run twice per phase).
+	out.Reports = map[string]Report{}
+	for _, mb := range backends {
+		out.Backends = append(out.Backends, mb.Name())
+		var rep Report
+		switch b := mb.(type) {
+		case *talpBackend:
+			if r := b.talpReport(); r != nil {
+				out.TALP = r
+				rep = talpEnvelope{r}
+			}
+		case *scorepBackend:
+			if p := b.profile(); p != nil {
+				out.Profile = p
+				rep = JSONReport{ReportKind: "profile", Value: p}
+			}
+		case *extraeBackend:
+			if tr := b.traceReport(); tr != nil {
+				out.Trace = tr
+				rep = JSONReport{ReportKind: "trace", Value: tr}
+			}
+		default:
+			rep = mb.Report()
+		}
+		if rep != nil {
+			out.Reports[mb.Name()] = rep
+		}
 	}
 	return out, nil
 }

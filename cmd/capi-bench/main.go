@@ -9,11 +9,16 @@
 //	capi-bench -facts                   # §VI-B facts (OpenFOAM)
 //	capi-bench -all -scale 0.1          # everything, at call-graph scale 0.1
 //	capi-bench -json                    # machine-readable micro-benchmarks
+//	capi-bench -json -backend talp,extrae  # one multi-backend fan-out entry
 //
 // -json emits a BENCH_*.json-style document: wall-clock dispatch ns/op per
-// measurement backend (none/talp/scorep/extrae) and the coalesced batch-
-// patching statistics, so performance trajectories can accumulate across
-// commits.
+// measurement backend — the four built-ins plus the mux fan-out variants
+// (mux-of-one, talp+extrae) — and the coalesced batch-patching statistics,
+// so performance trajectories can accumulate across commits. -backend
+// narrows the dispatch suite to one registry-resolved backend set (comma-
+// separated = fanned out behind the mux), always alongside the "none"
+// baseline the relative gates need; unknown names fail fast with the
+// registered list.
 //
 // Scale 1.0 reproduces the paper's 410,666-node OpenFOAM call graph; smaller
 // scales keep turnaround short. Absolute virtual seconds are not comparable
@@ -26,8 +31,10 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"testing"
 
+	capi "capi"
 	"capi/internal/benchcmp"
 	"capi/internal/dyncapi"
 	"capi/internal/experiments"
@@ -39,14 +46,15 @@ import (
 
 func main() {
 	var (
-		table  = flag.Int("table", 0, "regenerate Table `N` (1 or 2)")
-		facts  = flag.Bool("facts", false, "gather the §VI-B / §VII-A facts")
-		all    = flag.Bool("all", false, "regenerate every artifact")
-		scale  = flag.Float64("scale", 0.1, "OpenFOAM call-graph scale (1.0 = paper size)")
-		ranks  = flag.Int("ranks", 4, "simulated MPI ranks")
-		csv    = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		asJSON = flag.Bool("json", false, "emit machine-readable micro-benchmark JSON (dispatch ns/op per backend, batch patch stats)")
-		probe  = flag.Bool("probe", false, "print calibration counters (maintainer tool)")
+		table   = flag.Int("table", 0, "regenerate Table `N` (1 or 2)")
+		facts   = flag.Bool("facts", false, "gather the §VI-B / §VII-A facts")
+		all     = flag.Bool("all", false, "regenerate every artifact")
+		scale   = flag.Float64("scale", 0.1, "OpenFOAM call-graph scale (1.0 = paper size)")
+		ranks   = flag.Int("ranks", 4, "simulated MPI ranks")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		asJSON  = flag.Bool("json", false, "emit machine-readable micro-benchmark JSON (dispatch ns/op per backend, batch patch stats)")
+		backend = flag.String("backend", "", "restrict -json dispatch benches to this comma-separated backend set (registry-resolved; several = mux fan-out)")
+		probe   = flag.Bool("probe", false, "print calibration counters (maintainer tool)")
 	)
 	flag.Parse()
 	if !*all && *table == 0 && !*facts && !*probe && !*asJSON {
@@ -56,7 +64,28 @@ func main() {
 	opts := experiments.Options{Scale: *scale, Ranks: *ranks}
 
 	if *asJSON {
-		if err := runBenchJSON(opts); err != nil {
+		suite := []string{
+			experiments.BackendNone,
+			experiments.BackendTALP,
+			experiments.BackendScoreP,
+			experiments.BackendExtrae,
+			// The fan-out variants the benchdiff gates watch: mux-of-one
+			// against the direct extrae path, and the talp+extrae combo.
+			"mux:" + experiments.BackendExtrae,
+			experiments.BackendTALP + "," + experiments.BackendExtrae,
+		}
+		if *backend != "" {
+			names, err := capi.ParseBackends(*backend)
+			if err != nil {
+				fatal(err)
+			}
+			spec := strings.Join(names, ",")
+			suite = []string{experiments.BackendNone}
+			if spec != experiments.BackendNone {
+				suite = append(suite, spec)
+			}
+		}
+		if err := runBenchJSON(opts, suite); err != nil {
 			fatal(err)
 		}
 		return
@@ -94,14 +123,9 @@ func main() {
 // batch-patching path, and emits one JSON document on stdout. The document
 // types live in internal/benchcmp — the regression gate (cmd/benchdiff)
 // decodes the same structs, so producer and comparator cannot drift.
-func runBenchJSON(opts experiments.Options) error {
+func runBenchJSON(opts experiments.Options, suite []string) error {
 	out := benchcmp.Doc{Schema: benchcmp.Schema, App: "openfoam", Scale: opts.Scale}
-	for _, backend := range []string{
-		experiments.BackendNone,
-		experiments.BackendTALP,
-		experiments.BackendScoreP,
-		experiments.BackendExtrae,
-	} {
+	for _, backend := range suite {
 		h, err := experiments.NewDispatchHarness(backend, nil)
 		if err != nil {
 			return err

@@ -9,7 +9,12 @@
 //	capi-serve -app lulesh -builtin mpi -backend talp
 //	capi-serve -app openfoam -scale 0.1 -builtin "mpi coarse" -backend scorep
 //	capi-serve -app quickstart -backend extrae -addr 127.0.0.1:7070
+//	capi-serve -app lulesh -builtin mpi -backend talp,extrae   # fan-out
 //	capi-serve -app lulesh -full -adapt -budget 0.01
+//
+// -backend takes a comma-separated list of registry names (fail-fast on
+// unknown ones); with several, one run feeds every backend and GET
+// /v1/report returns the envelope keyed by backend name.
 //
 // Then, from anywhere:
 //
@@ -47,13 +52,19 @@ func main() {
 		builtin = flag.String("builtin", "mpi", `initial built-in spec name (e.g. "mpi", "kernels coarse")`)
 		spec    = flag.String("spec", "", "initial specification file (overrides -builtin)")
 		full    = flag.Bool("full", false, "patch every sled initially (xray full)")
-		backend = flag.String("backend", "talp", "measurement backend: talp, scorep, extrae or none")
+		backend = flag.String("backend", "talp", "comma-separated measurement backends (see capi.RegisteredBackends; e.g. talp,extrae)")
 		ranks   = flag.Int("ranks", 4, "simulated MPI ranks")
 		adapt   = flag.Bool("adapt", false, "enable the live overhead-budget controller")
 		budget  = flag.Float64("budget", 0, "overhead budget per epoch as a fraction (implies -adapt)")
 		epoch   = flag.Float64("epoch", 0, "adaptation epoch length in virtual seconds (implies -adapt)")
 	)
 	flag.Parse()
+
+	// Fail fast on a typo'd backend name, before any session is built.
+	backends, err := capi.ParseBackends(*backend)
+	if err != nil {
+		fatal(err)
+	}
 
 	session, err := capi.NewAppSession(*app, *scale)
 	if err != nil {
@@ -75,7 +86,7 @@ func main() {
 	}
 
 	runOpts := capi.RunOptions{
-		Backend:  capi.Backend(*backend),
+		Backends: backends,
 		Ranks:    *ranks,
 		PatchAll: *full,
 	}

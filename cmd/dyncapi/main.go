@@ -11,7 +11,13 @@
 //	dyncapi -app openfoam -full -backend talp       # patch everything
 //	dyncapi -app quickstart -ic my.ic.json -backend scorep
 //	dyncapi -app lulesh -builtin mpi -backend extrae -trace-buf 8192
+//	dyncapi -app lulesh -builtin mpi -backend talp,extrae  # multi-backend fan-out
 //	dyncapi -app openfoam -full -adapt -budget 0.01 # live narrowing
+//
+// -backend takes a comma-separated list of registry names; with several,
+// every enter/exit event fans out to each backend and every report is
+// printed (or emitted as one JSON envelope with -json). Unknown names fail
+// fast with the registered list.
 //
 // With -adapt (or an explicit -budget), the overhead-budget controller
 // watches per-function event counts during the run and narrows the
@@ -20,6 +26,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -38,7 +45,7 @@ func main() {
 		spec     = flag.String("spec", "", "specification file to select with")
 		builtin  = flag.String("builtin", "", `built-in spec name (e.g. "mpi", "kernels coarse")`)
 		full     = flag.Bool("full", false, "patch every sled (xray full)")
-		backend  = flag.String("backend", "talp", "measurement backend: talp, scorep, extrae or none")
+		backend  = flag.String("backend", "talp", "comma-separated measurement backends (see capi.RegisteredBackends; e.g. talp,extrae)")
 		ranks    = flag.Int("ranks", 4, "simulated MPI ranks")
 		traceBuf = flag.Int("trace-buf", 0, "extrae: ring capacity per rank in events (0 = default 4096)")
 		traceMax = flag.Int("trace-max", 0, "extrae: retained events per rank (0 = unbounded)")
@@ -50,6 +57,12 @@ func main() {
 		epoch    = flag.Float64("epoch", 0, "adaptation epoch length in virtual seconds (implies -adapt)")
 	)
 	flag.Parse()
+
+	// Fail fast on a typo'd backend name, before any session is built.
+	backends, err := capi.ParseBackends(*backend)
+	if err != nil {
+		fatal(err)
+	}
 
 	session, err := capi.NewAppSession(*app, *scale)
 	if err != nil {
@@ -87,7 +100,7 @@ func main() {
 	}
 
 	runOpts := capi.RunOptions{
-		Backend:        capi.Backend(*backend),
+		Backends:       backends,
 		Ranks:          *ranks,
 		PatchAll:       *full,
 		EmulateTALPBug: *talpBug,
@@ -98,7 +111,7 @@ func main() {
 			Epoch:  vtime.Seconds(*epoch),
 		}
 	}
-	if runOpts.Backend == capi.BackendExtrae {
+	if *traceBuf > 0 || *traceMax > 0 || *traceWrp {
 		runOpts.Trace = &capi.TraceOptions{
 			BufEvents: *traceBuf,
 			MaxEvents: *traceMax,
@@ -126,18 +139,46 @@ func main() {
 				ep.Report.Batch.BatchWindows)
 		}
 	}
-	switch {
-	case res.TALP != nil && *asJSON:
-		err = res.TALP.WriteJSON(os.Stdout)
-	case res.TALP != nil:
-		err = res.TALP.WriteText(os.Stdout)
-	case res.Profile != nil:
-		err = res.Profile.WriteText(os.Stdout)
-	case res.Trace != nil:
-		err = res.Trace.WriteText(os.Stdout)
+	if *asJSON {
+		// One envelope for every attached backend: name → {kind, report}.
+		env := make(map[string]any, len(res.Reports))
+		for name, rep := range res.Reports {
+			env[name] = map[string]any{"kind": rep.Kind(), "report": rep}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(env); err != nil {
+			fatal(err)
+		}
+		return
 	}
-	if err != nil {
-		fatal(err)
+	// Text mode: every backend's report, in delivery order. Custom backends
+	// without a text renderer fall back to their JSON envelope.
+	for _, name := range res.Backends {
+		rep, ok := res.Reports[name]
+		if !ok {
+			continue
+		}
+		if len(res.Reports) > 1 {
+			fmt.Printf("== %s (%s) ==\n", name, rep.Kind())
+		}
+		var err error
+		switch name {
+		case string(capi.BackendTALP):
+			err = res.TALP.WriteText(os.Stdout)
+		case string(capi.BackendScoreP):
+			err = res.Profile.WriteText(os.Stdout)
+		case string(capi.BackendExtrae):
+			err = res.Trace.WriteText(os.Stdout)
+		default:
+			var raw []byte
+			if raw, err = rep.MarshalJSON(); err == nil {
+				_, err = fmt.Printf("%s\n", raw)
+			}
+		}
+		if err != nil {
+			fatal(err)
+		}
 	}
 }
 

@@ -25,7 +25,13 @@
 //	obj/mem   object images, dynamic loader, page protection
 //	xray      sled patching runtime with packed DSO/function IDs (Fig. 4)
 //	dyncapi   the DynCaPI runtime: ID resolution, patching, event bridge,
-//	          live re-selection (Reconfigure: delta re-patch in place)
+//	          live re-selection (Reconfigure: delta re-patch in place),
+//	          multi-backend fan-out (Mux: every event to N backends, with
+//	          per-backend synthetic-exit delivery) and live backend swaps
+//	capi      backend registry (RegisterBackend / RunOptions.Backends):
+//	          measurement systems are named factories behind the public
+//	          MeasurementBackend interface, reporting through one
+//	          self-describing envelope (Instance.Reports)
 //	adapt     overhead-budget controller: narrows the selection at epoch
 //	          boundaries while the program runs (hottest low-duration first)
 //	mpi       simulated MPI with PMPI interception
@@ -74,9 +80,32 @@
 // A rank caught inside a deselected function can never fire its exit
 // event; Reconfigure delivers synthetic exits through the backend's
 // Deselector hook so Score-P closes the dangling region and TALP balances
-// the start (ReconfigReport.SyntheticExits counts them), and the runtime's
-// split drop counters (in-flight vs. spurious) let trace completeness be
-// asserted exactly.
+// the start (ReconfigReport.SyntheticExits counts them, broken down per
+// backend in SyntheticExitsByBackend), and the runtime's split drop
+// counters (in-flight vs. spurious) let trace completeness be asserted
+// exactly.
+//
+// # Measurement backends: an open registry
+//
+// Backends are named entries in a package-level registry. The four
+// built-ins (none, talp, scorep, extrae) self-register; a custom backend
+// implements MeasurementBackend (an EventBackend hot path plus phase
+// lifecycle and a self-describing Report) and registers a factory:
+//
+//	capi.RegisterBackend("mytool", func(cfg capi.BackendConfig) (capi.MeasurementBackend, error) { … })
+//
+// RunOptions.Backends selects any set by name; with several, a mux fans
+// every enter/exit event out to all of them, so one run records TALP
+// efficiency and an Extrae trace from the same event stream:
+//
+//	res, _ := s.Run(sel, capi.RunOptions{Backends: []string{"talp", "extrae"}})
+//	res.Reports["talp"]   // kind "talp"  — POP efficiency regions
+//	res.Reports["extrae"] // kind "trace" — merged timeline
+//
+// Instance.SetBackends swaps the attached set mid-run (detaching backends
+// close their open state with synthetic exits); the control plane exposes
+// the same swap on POST /v1/select via a "backends" list, and GET
+// /v1/report serves the envelope keyed by backend name.
 //
 // # Remote control plane
 //

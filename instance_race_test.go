@@ -3,6 +3,7 @@ package capi_test
 import (
 	"sync"
 	"testing"
+	"time"
 
 	capi "capi"
 )
@@ -20,9 +21,19 @@ coarse(subtract(%mpi_comm, %excluded))
 // forth with Reconfigure, one scraping Status and the live reports — while
 // phases execute. Run with -race.
 func TestInstanceConcurrentControlPlane(t *testing.T) {
-	backends := []capi.Backend{capi.BackendTALP, capi.BackendScoreP, capi.BackendExtrae}
-	for _, backend := range backends {
-		t.Run(string(backend), func(t *testing.T) {
+	cases := []struct {
+		name     string
+		backends []string
+	}{
+		{"talp", []string{"talp"}},
+		{"scorep", []string{"scorep"}},
+		{"extrae", []string{"extrae"}},
+		// The multi-backend fan-out under the same hammering: every event
+		// reaches all three, reports scrape mid-phase per backend.
+		{"talp,scorep,extrae", []string{"talp", "scorep", "extrae"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
 			s := newQuickSession(t)
 			wide, err := s.Select(quickSpec)
 			if err != nil {
@@ -32,7 +43,7 @@ func TestInstanceConcurrentControlPlane(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			inst, err := s.Start(wide, capi.RunOptions{Backend: backend, Ranks: 2})
+			inst, err := s.Start(wide, capi.RunOptions{Backends: c.backends, Ranks: 2})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -71,12 +82,18 @@ func TestInstanceConcurrentControlPlane(t *testing.T) {
 						t.Errorf("status = %+v", st)
 						return
 					}
+					if len(st.Backends) != len(c.backends) {
+						t.Errorf("status backends = %v, want %v", st.Backends, c.backends)
+						return
+					}
 					inst.TraceReport()
 					inst.TALPReport()
 					inst.Profile()
+					inst.Reports()
 					inst.ActiveFunctionNames()
 					inst.DroppedEvents()
 					inst.SyntheticExits()
+					inst.SyntheticExitsByBackend()
 				}
 			}()
 
@@ -101,7 +118,138 @@ func TestInstanceConcurrentControlPlane(t *testing.T) {
 			if st.DroppedUnpatched != 0 {
 				t.Fatalf("spurious sled hits: %d", st.DroppedUnpatched)
 			}
+			// The per-backend synthetic-exit breakdown always sums to the
+			// total, whichever backends closed state.
+			var sum int64
+			for _, n := range st.SyntheticExitsByBackend {
+				sum += n
+			}
+			if sum != st.SyntheticExits {
+				t.Fatalf("per-backend exits %v sum to %d, total says %d",
+					st.SyntheticExitsByBackend, sum, st.SyntheticExits)
+			}
 		})
+	}
+}
+
+// TestInstanceMultiBackendSyntheticExitsUnderRace is the fan-out side of the
+// dangling-enter regression: phases execute on a talp+scorep+extrae mux
+// while another goroutine keeps shrinking and widening the selection.
+// Every mid-phase shrink catches ranks inside deselected functions, and the
+// synthetic exits that close them must be delivered to — and counted for —
+// *every* Deselector backend in the mux (extrae keeps no open state and
+// must stay absent). Run with -race.
+func TestInstanceMultiBackendSyntheticExitsUnderRace(t *testing.T) {
+	// A long-enough LULESH phase that mid-phase shrinks reliably catch
+	// ranks inside deselected communication functions (the quickstart
+	// phases are over before a reconfigure can land without -race).
+	s, err := capi.NewSession(capi.Lulesh(capi.LuleshOptions{Timesteps: 6000}),
+		capi.SessionOptions{OptLevel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := s.Select(quickSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow, err := s.Select(quickCoarseSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := s.Start(wide, capi.RunOptions{Backends: []string{"talp", "scorep", "extrae"}, Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reconfigure := func(sel *capi.Selection) capi.ReconfigReport {
+		t.Helper()
+		rep, err := inst.Reconfigure(sel)
+		if err != nil {
+			t.Fatalf("reconfigure: %v", err)
+		}
+		// Per-reconfiguration invariant: the breakdown sums to the total.
+		sum := 0
+		for _, n := range rep.SyntheticExitsByBackend {
+			sum += n
+		}
+		if sum != rep.SyntheticExits {
+			t.Fatalf("reconfig %d: per-backend %v sums to %d, total %d",
+				rep.Seq, rep.SyntheticExitsByBackend, sum, rep.SyntheticExits)
+		}
+		return rep
+	}
+
+	satisfied := func() bool {
+		by := inst.SyntheticExitsByBackend()
+		return by["talp"] > 0 && by["scorep"] > 0
+	}
+
+	// Run phases; while one executes, keep shrinking and widening the
+	// selection until both stateful backends have closed dangling enters.
+	const maxPhases = 5
+	for phase := 0; phase < maxPhases && !satisfied(); phase++ {
+		phaseDone := make(chan error, 1)
+		go func() {
+			_, err := inst.Run()
+			phaseDone <- err
+		}()
+		deadline := time.After(60 * time.Second)
+		for running := false; !running; {
+			select {
+			case err := <-phaseDone:
+				if err != nil {
+					t.Fatal(err)
+				}
+				phaseDone = nil // phase outran us; try the next one
+				running = true
+			case <-deadline:
+				t.Fatal("phase never started")
+			default:
+				running = inst.Status().Running
+			}
+		}
+		for phaseDone != nil {
+			select {
+			case err := <-phaseDone:
+				if err != nil {
+					t.Fatal(err)
+				}
+				phaseDone = nil
+			default:
+				reconfigure(narrow)
+				reconfigure(wide)
+				if satisfied() {
+					// Both backends provably closed state; drain the phase.
+					if err := <-phaseDone; err != nil {
+						t.Fatal(err)
+					}
+					phaseDone = nil
+				}
+			}
+		}
+	}
+
+	by := inst.SyntheticExitsByBackend()
+	if by["talp"] == 0 || by["scorep"] == 0 {
+		t.Fatalf("synthetic exits not delivered to every mux backend: %v (total %d)",
+			by, inst.SyntheticExits())
+	}
+	if _, ok := by["extrae"]; ok {
+		t.Fatalf("extrae (no open state) appears in the breakdown: %v", by)
+	}
+	var sum int64
+	for _, n := range by {
+		sum += n
+	}
+	if sum != inst.SyntheticExits() {
+		t.Fatalf("breakdown %v sums to %d, total says %d", by, sum, inst.SyntheticExits())
+	}
+	// All three backends measured the same phases from one event stream.
+	reports := inst.Reports()
+	for _, name := range []string{"talp", "scorep", "extrae"} {
+		if reports[name] == nil {
+			t.Fatalf("backend %q produced no report (have %d)", name, len(reports))
+		}
 	}
 }
 

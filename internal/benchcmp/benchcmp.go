@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 )
 
 // Schema is the accepted document schema tag (written by capi-bench -json).
@@ -158,6 +159,22 @@ func Compare(base, cur *Doc, tol float64) []Result {
 			out = append(out, compare("dispatch/"+b.Backend+" vs_none",
 				b.NsPerEvent/baseNone, c.NsPerEvent/curNone, tol))
 		}
+	}
+	// Mux-of-one gates: a "mux:X" dispatch entry is the X backend behind a
+	// fan-out of one, so its cost must stay within tolerance of the direct
+	// X path *of the same run* — a pure algorithm gate, machine speed
+	// cancels out entirely. Baseline holds the direct path, Current the
+	// muxed one.
+	for _, c := range cur.Dispatch {
+		name, ok := strings.CutPrefix(c.Backend, "mux:")
+		if !ok {
+			continue
+		}
+		direct := dispatchNsPerEvent(cur, name)
+		if direct <= 0 {
+			continue
+		}
+		out = append(out, compare("dispatch/"+c.Backend+" vs_direct", direct, c.NsPerEvent, tol))
 	}
 	out = append(out,
 		compare("batch_patch ns_per_func", base.BatchPatch.NsPerFunc, cur.BatchPatch.NsPerFunc, tol),

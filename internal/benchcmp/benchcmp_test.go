@@ -114,6 +114,45 @@ func TestVsNoneRatiosCancelMachineSpeed(t *testing.T) {
 	}
 }
 
+// TestMuxVsDirectGate: a "mux:X" entry is gated against the direct X path
+// of the *same* (current) run — mux-of-one must stay within tolerance of
+// direct dispatch regardless of machine speed or baseline age.
+func TestMuxVsDirectGate(t *testing.T) {
+	base, cur := doc(), doc()
+	base.Dispatch = append(base.Dispatch, Dispatch{Backend: "mux:extrae", NsPerPair: 170, NsPerEvent: 85, Iters: 1000})
+	cur.Dispatch = append(cur.Dispatch, Dispatch{Backend: "mux:extrae", NsPerPair: 170, NsPerEvent: 85, Iters: 1000})
+	results := Compare(base, cur, 1.5)
+	var gate *Result
+	for i := range results {
+		if results[i].Metric == "dispatch/mux:extrae vs_direct" {
+			gate = &results[i]
+		}
+	}
+	if gate == nil {
+		t.Fatalf("vs_direct gate missing from %v", results)
+	}
+	// 85 muxed vs 80 direct = 1.06x: fine.
+	if gate.Regressed || gate.Ratio > 1.1 {
+		t.Fatalf("mux-of-one gate = %+v", gate)
+	}
+	// Blow the mux cost past tolerance of the direct path: even with an
+	// equally slow baseline (so the absolute gate passes), vs_direct fails.
+	slow := doc()
+	slow.Dispatch = append(slow.Dispatch, Dispatch{Backend: "mux:extrae", NsPerPair: 260, NsPerEvent: 130, Iters: 1000})
+	baseSlow := doc()
+	baseSlow.Dispatch = append(baseSlow.Dispatch, Dispatch{Backend: "mux:extrae", NsPerPair: 260, NsPerEvent: 130, Iters: 1000})
+	regs := Regressions(Compare(baseSlow, slow, 1.5))
+	found := false
+	for _, r := range regs {
+		if r.Metric == "dispatch/mux:extrae vs_direct" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("130ns mux over 80ns direct (1.62x) not flagged: %v", regs)
+	}
+}
+
 func TestMissingBackendIsARegression(t *testing.T) {
 	cur := doc()
 	cur.Dispatch = cur.Dispatch[:3] // extrae vanished from the current run

@@ -14,8 +14,13 @@
 //	POST /v1/select     spec-DSL source, builtin name or include list →
 //	                    compiled via Session.Select, applied live via
 //	                    Instance.Reconfigure; returns the ReconfigReport
+//	                    (with per-backend synthetic-exit counts). A
+//	                    "backends" list swaps the measurement-backend set
+//	                    of the live run (registry-resolved), with or
+//	                    without an accompanying re-selection.
 //	POST /v1/run        execute the next phase ({"wait":false} → async)
-//	GET  /v1/report     measurement report (TALP / Score-P / trace) as JSON
+//	GET  /v1/report     unified report envelope: every attached backend's
+//	                    report, keyed by backend name (kind + JSON body)
 //	POST /v1/adapt      retune the overhead-budget controller live
 //	GET  /v1/events     SSE stream: one "reconfigure" event per re-selection
 //	GET  /metrics       Prometheus text exposition
@@ -31,6 +36,7 @@ import (
 	"io"
 	"mime"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -153,9 +159,11 @@ func (s *Server) handleSelection(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, SelectionResponse{Count: len(names), Functions: names})
 }
 
-// SelectRequest is the POST /v1/select body. Exactly one selection source
-// must be set; a non-JSON body is treated as raw spec-DSL source. Include /
-// IncludeIDs may be combined (one IC), mirroring ic.Config.
+// SelectRequest is the POST /v1/select body. At most one selection source
+// may be set; a non-JSON body is treated as raw spec-DSL source. Include /
+// IncludeIDs may be combined (one IC), mirroring ic.Config. Backends may
+// accompany any selection source — or stand alone — to swap the
+// measurement-backend set of the live instance before the re-selection.
 type SelectRequest struct {
 	// Spec is CaPI spec-DSL source, compiled via Session.Select.
 	Spec string `json:"spec,omitempty"`
@@ -166,6 +174,11 @@ type SelectRequest struct {
 	// evaluation); IncludeIDs adds packed XRay IDs.
 	Include    []string `json:"include,omitempty"`
 	IncludeIDs []int32  `json:"includeIDs,omitempty"`
+	// Backends swaps the measurement-backend set by registry name
+	// ("talp", "extrae", …): detaching backends close their open state
+	// with synthetic exits, the sleds and the selection stay untouched.
+	// Unknown names are rejected with the registered list.
+	Backends []string `json:"backends,omitempty"`
 }
 
 // SelectionSummary carries the Table I statistics of a compiled selection.
@@ -177,11 +190,15 @@ type SelectionSummary struct {
 }
 
 // SelectResponse is the POST /v1/select result: the live re-selection's
-// delta report plus, when a spec was compiled, the selection statistics.
+// delta report (with per-backend synthetic-exit counts) plus, when a spec
+// was compiled, the selection statistics, and — when the request swapped
+// the backend set — the swap report.
 type SelectResponse struct {
-	Report    capi.ReconfigReport `json:"report"`
-	Active    int                 `json:"active"`
-	Selection *SelectionSummary   `json:"selection,omitempty"`
+	Report      capi.ReconfigReport     `json:"report"`
+	Active      int                     `json:"active"`
+	Selection   *SelectionSummary       `json:"selection,omitempty"`
+	BackendSwap *capi.BackendSwapReport `json:"backendSwap,omitempty"`
+	Backends    []string                `json:"backends,omitempty"`
 }
 
 func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
@@ -201,47 +218,77 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		// Raw body = spec-DSL source (curl --data-binary @my.capi).
 		req.Spec = string(body)
 	}
-	if strings.TrimSpace(req.Spec) == "" && req.Builtin == "" && len(req.Include) == 0 && len(req.IncludeIDs) == 0 {
-		writeErr(w, http.StatusBadRequest, "empty selection: provide spec source, a builtin name or an include list")
+	hasSelection := strings.TrimSpace(req.Spec) != "" || req.Builtin != "" ||
+		len(req.Include) > 0 || len(req.IncludeIDs) > 0
+	if !hasSelection && len(req.Backends) == 0 {
+		writeErr(w, http.StatusBadRequest, "empty selection: provide spec source, a builtin name, an include list or a backends swap")
 		return
 	}
-
-	var sel *capi.Selection
-	var summary *SelectionSummary
-	switch {
-	case strings.TrimSpace(req.Spec) != "" || req.Builtin != "":
-		src := req.Spec
-		if strings.TrimSpace(src) == "" {
-			src, err = experiments.SpecSource(req.Builtin)
-			if err != nil {
-				writeErr(w, http.StatusBadRequest, "builtin %q: %v", req.Builtin, err)
-				return
-			}
-		}
-		sel, err = s.session.Select(src)
-		if err != nil {
-			// The compile error (lexer/parser/selector) goes back verbatim
-			// so the remote user can fix the spec.
-			writeErr(w, http.StatusBadRequest, "compiling spec: %v", err)
-			return
-		}
-		summary = &SelectionSummary{Pre: sel.Pre, Selected: sel.Selected, Added: sel.Added, Seconds: sel.Seconds}
-	default:
-		// A typo'd name would resolve to nothing and the reconfigure would
-		// silently unpatch it — reject unknown names instead, like the spec
-		// path rejects a spec that does not compile.
-		if unknown := s.inst.UnknownFunctionNames(req.Include); len(unknown) > 0 {
-			writeErr(w, http.StatusBadRequest, "unknown function name(s): %s", strings.Join(unknown, ", "))
-			return
-		}
-		cfg := ic.New(s.app, "http", req.Include).WithIncludeIDs(req.IncludeIDs)
-		sel = &capi.Selection{IC: cfg, Selected: cfg.Len()}
-	}
-
 	if !s.inst.Status().Instrumented {
 		writeErr(w, http.StatusConflict, "instance is not instrumented")
 		return
 	}
+
+	// Compile and validate the selection *before* touching the instance: a
+	// 400 (bad spec, typo'd include, unknown backend) must imply nothing
+	// was applied — a backend swap that preceded a failed compile would
+	// leave the instance mutated behind an error response.
+	var sel *capi.Selection
+	var summary *SelectionSummary
+	if hasSelection {
+		switch {
+		case strings.TrimSpace(req.Spec) != "" || req.Builtin != "":
+			src := req.Spec
+			if strings.TrimSpace(src) == "" {
+				src, err = experiments.SpecSource(req.Builtin)
+				if err != nil {
+					writeErr(w, http.StatusBadRequest, "builtin %q: %v", req.Builtin, err)
+					return
+				}
+			}
+			sel, err = s.session.Select(src)
+			if err != nil {
+				// The compile error (lexer/parser/selector) goes back verbatim
+				// so the remote user can fix the spec.
+				writeErr(w, http.StatusBadRequest, "compiling spec: %v", err)
+				return
+			}
+			summary = &SelectionSummary{Pre: sel.Pre, Selected: sel.Selected, Added: sel.Added, Seconds: sel.Seconds}
+		default:
+			// A typo'd name would resolve to nothing and the reconfigure would
+			// silently unpatch it — reject unknown names instead, like the spec
+			// path rejects a spec that does not compile.
+			if unknown := s.inst.UnknownFunctionNames(req.Include); len(unknown) > 0 {
+				writeErr(w, http.StatusBadRequest, "unknown function name(s): %s", strings.Join(unknown, ", "))
+				return
+			}
+			cfg := ic.New(s.app, "http", req.Include).WithIncludeIDs(req.IncludeIDs)
+			sel = &capi.Selection{IC: cfg, Selected: cfg.Len()}
+		}
+	}
+
+	// The backend swap rides along with (or without) the re-selection: the
+	// set is exchanged before the reconfigure so the new backends observe
+	// the new selection's events from the start.
+	var swap *capi.BackendSwapReport
+	if len(req.Backends) > 0 {
+		rep, err := s.inst.SetBackends(req.Backends)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "swapping backends: %v", err)
+			return
+		}
+		swap = &rep
+		s.hub.publish("backends", rep)
+	}
+	if !hasSelection {
+		writeJSON(w, http.StatusOK, SelectResponse{
+			Active:      s.inst.ActiveFunctions(),
+			BackendSwap: swap,
+			Backends:    s.inst.Backends(),
+		})
+		return
+	}
+
 	rep, err := s.inst.Reconfigure(sel)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, "reconfigure: %v", err)
@@ -249,7 +296,13 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	}
 	s.httpSelects.Add(1)
 	s.hub.publish("reconfigure", rep)
-	writeJSON(w, http.StatusOK, SelectResponse{Report: rep, Active: rep.Active, Selection: summary})
+	writeJSON(w, http.StatusOK, SelectResponse{
+		Report:      rep,
+		Active:      rep.Active,
+		Selection:   summary,
+		BackendSwap: swap,
+		Backends:    s.inst.Backends(),
+	})
 }
 
 // RunRequest is the POST /v1/run body (optional). Wait=false returns 202
@@ -336,54 +389,41 @@ func (s *Server) runPhase() (*RunSummary, error) {
 	return s.lastRun, nil
 }
 
-// ReportResponse is the GET /v1/report envelope.
+// ReportEntry is one backend's report inside the GET /v1/report envelope:
+// the self-describing kind tag plus the report document itself.
+type ReportEntry struct {
+	Kind   string          `json:"kind"`
+	Report json.RawMessage `json:"report"`
+}
+
+// ReportResponse is the GET /v1/report envelope: one entry per attached
+// measurement backend that has produced a report, keyed by backend name.
+// Backend echoes the first attached backend for pre-envelope clients.
 type ReportResponse struct {
-	Backend capi.Backend    `json:"backend"`
-	Report  json.RawMessage `json:"report"`
+	Backend  capi.Backend           `json:"backend"`
+	Backends []string               `json:"backends"`
+	Reports  map[string]ReportEntry `json:"reports"`
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
-	backend := s.inst.Backend()
-	var (
-		raw []byte
-		err error
-	)
-	switch backend {
-	case capi.BackendTALP:
-		rep := s.inst.TALPReport()
-		if rep == nil {
-			writeErr(w, http.StatusNotFound, "no TALP report yet")
+	resp := ReportResponse{
+		Backend:  s.inst.Backend(),
+		Backends: s.inst.Backends(),
+		Reports:  map[string]ReportEntry{},
+	}
+	for name, rep := range s.inst.Reports() {
+		raw, err := rep.MarshalJSON()
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "rendering %s report: %v", name, err)
 			return
 		}
-		var buf strings.Builder
-		if err := rep.WriteJSON(&buf); err != nil {
-			writeErr(w, http.StatusInternalServerError, "rendering report: %v", err)
-			return
-		}
-		raw = []byte(buf.String())
-	case capi.BackendScoreP:
-		rep := s.inst.Profile()
-		if rep == nil {
-			writeErr(w, http.StatusNotFound, "no profile yet")
-			return
-		}
-		raw, err = json.Marshal(rep)
-	case capi.BackendExtrae:
-		rep := s.inst.TraceReport()
-		if rep == nil {
-			writeErr(w, http.StatusNotFound, "no trace yet")
-			return
-		}
-		raw, err = json.Marshal(rep)
-	default:
-		writeErr(w, http.StatusNotFound, "backend %q produces no report", backend)
+		resp.Reports[name] = ReportEntry{Kind: rep.Kind(), Report: raw}
+	}
+	if len(resp.Reports) == 0 {
+		writeErr(w, http.StatusNotFound, "no report yet (backends: %s)", strings.Join(resp.Backends, ", "))
 		return
 	}
-	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "rendering report: %v", err)
-		return
-	}
-	writeJSON(w, http.StatusOK, ReportResponse{Backend: backend, Report: raw})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // AdaptRequest is the POST /v1/adapt body; zero fields keep their current
@@ -467,7 +507,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "# HELP capi_dropped_events_total Events dropped outside the active selection.\n# TYPE capi_dropped_events_total counter\n")
 	fmt.Fprintf(&b, "capi_dropped_events_total{class=\"in_flight\"} %d\n", st.DroppedInFlight)
 	fmt.Fprintf(&b, "capi_dropped_events_total{class=\"unpatched\"} %d\n", st.DroppedUnpatched)
-	counter("capi_synthetic_exits_total", "Dangling enters closed by the backend on deselection.", st.SyntheticExits)
+	counter("capi_synthetic_exits_total", "Dangling enters closed by the backends on deselection.", st.SyntheticExits)
+	if len(st.SyntheticExitsByBackend) > 0 {
+		names := make([]string, 0, len(st.SyntheticExitsByBackend))
+		for name := range st.SyntheticExitsByBackend {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&b, "# HELP capi_backend_synthetic_exits_total Dangling enters closed, per measurement backend.\n# TYPE capi_backend_synthetic_exits_total counter\n")
+		for _, name := range names {
+			fmt.Fprintf(&b, "capi_backend_synthetic_exits_total{backend=%q} %d\n", name, st.SyntheticExitsByBackend[name])
+		}
+	}
+	gauge("capi_attached_backends", "Measurement backends attached to the instance.", len(st.Backends))
 	gauge("capi_init_virtual_seconds", "DynCaPI start-up time (T_init), virtual.", st.InitSeconds)
 	counter("capi_reconfig_virtual_seconds_total", "Accumulated virtual re-patch cost of live re-selections.", st.ReconfigSeconds)
 	gauge("capi_sse_clients", "Connected /v1/events subscribers.", s.hub.clients())

@@ -212,8 +212,12 @@ func TestRunPhaseAndReport(t *testing.T) {
 	}
 	var rep ctl.ReportResponse
 	getJSON(t, ts.URL+"/v1/report", &rep)
-	if rep.Backend != capi.BackendTALP || !bytes.Contains(rep.Report, []byte("regions")) {
+	if rep.Backend != capi.BackendTALP || len(rep.Backends) != 1 || rep.Backends[0] != "talp" {
 		t.Fatalf("report = %+v", rep)
+	}
+	entry, ok := rep.Reports["talp"]
+	if !ok || entry.Kind != "talp" || !bytes.Contains(entry.Report, []byte("regions")) {
+		t.Fatalf("talp entry = %+v (reports %v)", entry, rep.Reports)
 	}
 	var st ctl.StatusResponse
 	getJSON(t, ts.URL+"/v1/status", &st)
@@ -333,6 +337,183 @@ func TestRemoteReselectionMidPhase(t *testing.T) {
 	}
 	if !overlapped {
 		t.Log("note: phase finished before the select landed; delta path still verified")
+	}
+}
+
+// TestMultiBackendReportEnvelope: one run with talp+extrae attached must
+// produce the unified envelope with both keys, each entry self-describing
+// its kind.
+func TestMultiBackendReportEnvelope(t *testing.T) {
+	ts, _, inst := newServer(t, capi.Quickstart(), "quickstart",
+		capi.RunOptions{Backends: []string{"talp", "extrae"}, Ranks: 2})
+	resp, body := postJSON(t, ts.URL+"/v1/run", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: %d %s", resp.StatusCode, body)
+	}
+	var rep ctl.ReportResponse
+	getJSON(t, ts.URL+"/v1/report", &rep)
+	if len(rep.Backends) != 2 || rep.Backends[0] != "talp" || rep.Backends[1] != "extrae" {
+		t.Fatalf("report backends = %v", rep.Backends)
+	}
+	talpEntry, ok := rep.Reports["talp"]
+	if !ok || talpEntry.Kind != "talp" || !bytes.Contains(talpEntry.Report, []byte("regions")) {
+		t.Fatalf("talp entry = %+v", talpEntry)
+	}
+	traceEntry, ok := rep.Reports["extrae"]
+	if !ok || traceEntry.Kind != "trace" || !bytes.Contains(traceEntry.Report, []byte("Timeline")) {
+		t.Fatalf("extrae entry = %+v", traceEntry)
+	}
+	// Both backends saw the same event stream.
+	var st ctl.StatusResponse
+	getJSON(t, ts.URL+"/v1/status", &st)
+	if len(st.Backends) != 2 || st.Events == 0 {
+		t.Fatalf("status = %+v", st)
+	}
+	if inst.TALPReport() == nil || inst.TraceReport() == nil {
+		t.Fatal("deprecated typed accessors must still see the built-ins")
+	}
+}
+
+// TestBackendSwapOverHTTP: POST /v1/select with a "backends" list swaps the
+// measurement set of the live instance — with no selection source at all —
+// and unknown names come back as a 400 listing the registry.
+func TestBackendSwapOverHTTP(t *testing.T) {
+	ts, _, inst := newServer(t, capi.Quickstart(), "quickstart",
+		capi.RunOptions{Backend: capi.BackendTALP, Ranks: 2})
+	resp, body := postJSON(t, ts.URL+"/v1/select", ctl.SelectRequest{Backends: []string{"scorep", "extrae"}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("swap: %d %s", resp.StatusCode, body)
+	}
+	var sr ctl.SelectResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.BackendSwap == nil || sr.BackendSwap.From != "talp" || sr.BackendSwap.To != "mux(scorep,extrae)" {
+		t.Fatalf("swap report = %+v", sr.BackendSwap)
+	}
+	if len(sr.Backends) != 2 || sr.Backends[0] != "scorep" {
+		t.Fatalf("backends after swap = %v", sr.Backends)
+	}
+	if got := inst.Backends(); len(got) != 2 || got[0] != "scorep" || got[1] != "extrae" {
+		t.Fatalf("instance backends = %v", got)
+	}
+	// The next phase measures under the new set.
+	resp, body = postJSON(t, ts.URL+"/v1/run", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run after swap: %d %s", resp.StatusCode, body)
+	}
+	var rep ctl.ReportResponse
+	getJSON(t, ts.URL+"/v1/report", &rep)
+	if _, ok := rep.Reports["scorep"]; !ok {
+		t.Fatalf("no scorep report after swap: %v", rep.Backends)
+	}
+	if _, ok := rep.Reports["talp"]; ok {
+		t.Fatal("detached talp backend still reporting")
+	}
+	// Unknown names fail fast, listing the registered backends.
+	resp, body = postJSON(t, ts.URL+"/v1/select", ctl.SelectRequest{Backends: []string{"no-such-backend"}})
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "registered:") {
+		t.Fatalf("unknown backend swap: %d %s", resp.StatusCode, body)
+	}
+	// An adaptive instance refuses the swap: the controller owns the chain.
+	ts2, _, _ := newServer(t, capi.Quickstart(), "quickstart",
+		capi.RunOptions{Backend: capi.BackendTALP, Ranks: 2, Adapt: &capi.AdaptOptions{Budget: 0.5}})
+	resp, body = postJSON(t, ts2.URL+"/v1/select", ctl.SelectRequest{Backends: []string{"extrae"}})
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "adaptive") {
+		t.Fatalf("adaptive swap: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestRemoteReselectionMidPhaseMultiBackend: the e2e acceptance path for
+// the fan-out — a long phase executes under talp+scorep+extrae while a
+// narrower selection lands over HTTP. The ReconfigReport must carry the
+// per-backend synthetic-exit breakdown, summing to the total, and when
+// ranks were caught inside deselected functions both stateful backends
+// must have closed their share.
+func TestRemoteReselectionMidPhaseMultiBackend(t *testing.T) {
+	// Fewer timesteps than the single-backend variant: the three-way fan-out
+	// dispatches every event thrice, so the phase is long enough for the
+	// select to land mid-phase well before 12000 steps.
+	ts, _, inst := newServer(t, capi.Lulesh(capi.LuleshOptions{Timesteps: 4000}), "lulesh",
+		capi.RunOptions{Backends: []string{"talp", "scorep", "extrae"}, Ranks: 2})
+
+	wait := false
+	resp, body := postJSON(t, ts.URL+"/v1/run", ctl.RunRequest{Wait: &wait})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async run: %d %s", resp.StatusCode, body)
+	}
+	for i := 0; i < 200; i++ {
+		var st ctl.StatusResponse
+		getJSON(t, ts.URL+"/v1/status", &st)
+		if st.Running || st.Runs > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/select", ctl.SelectRequest{Spec: narrowSpec})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("select: %d %s", resp.StatusCode, body)
+	}
+	var sr ctl.SelectResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Report.Unpatched == 0 {
+		t.Fatalf("nothing deselected: %+v", sr.Report)
+	}
+	sum := 0
+	for _, n := range sr.Report.SyntheticExitsByBackend {
+		sum += n
+	}
+	if sum != sr.Report.SyntheticExits {
+		t.Fatalf("per-backend exits %v sum to %d, total %d",
+			sr.Report.SyntheticExitsByBackend, sum, sr.Report.SyntheticExits)
+	}
+	if sr.Report.SyntheticExits > 0 {
+		by := sr.Report.SyntheticExitsByBackend
+		if by["talp"] == 0 || by["scorep"] == 0 {
+			t.Fatalf("synthetic exits missing on a mux backend: %v", by)
+		}
+		if _, ok := by["extrae"]; ok {
+			t.Fatalf("extrae keeps no open state but appears in %v", by)
+		}
+	} else {
+		t.Log("note: no rank was inside a deselected function; breakdown invariant still verified")
+	}
+
+	// Drain the phase; the run must complete cleanly under the mux.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var st ctl.StatusResponse
+		getJSON(t, ts.URL+"/v1/status", &st)
+		if st.LastError != "" {
+			t.Fatalf("phase failed: %s", st.LastError)
+		}
+		if !st.Running && st.LastRun != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("phase never completed: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// All three backends report on the same (re-selected) stream.
+	var rep ctl.ReportResponse
+	getJSON(t, ts.URL+"/v1/report", &rep)
+	for _, name := range []string{"talp", "scorep", "extrae"} {
+		if _, ok := rep.Reports[name]; !ok {
+			t.Fatalf("backend %q missing from envelope (%v)", name, rep.Backends)
+		}
+	}
+	if got := inst.SyntheticExitsByBackend(); len(got) > 0 {
+		var total int64
+		for _, n := range got {
+			total += n
+		}
+		if total != inst.SyntheticExits() {
+			t.Fatalf("cumulative breakdown %v != total %d", got, inst.SyntheticExits())
+		}
 	}
 }
 

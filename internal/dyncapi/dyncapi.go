@@ -123,18 +123,28 @@ type Report struct {
 // selected* subset through an atomically swapped map, and all mutating
 // operations (Reconfigure) serialize on an internal mutex.
 type Runtime struct {
-	proc    *obj.Process
-	xr      *xray.Runtime
-	backend Backend
-	opts    Options
+	proc *obj.Process
+	xr   *xray.Runtime
+	opts Options
+
+	// backend holds the attached measurement backend (possibly a Mux
+	// fan-out, possibly wrapped by the adapt controller). The handler loads
+	// it atomically on every event so SwapBackend can exchange the whole
+	// backend set while ranks execute.
+	backend atomic.Value // of backendBox
 
 	// byID is the full function-ID → resolution table. It is built once in
 	// New and never mutated afterwards, so handlers may read it lock-free.
 	byID   map[int32]*ResolvedFunc
 	report Report
 
-	// mu serializes configuration changes (Reconfigure) and guards cfg and
-	// the reconfiguration counters.
+	// dsoSyms records the DSO function symbols scanned at initialization so
+	// a backend swapped in later (SwapBackend) can have them injected the
+	// same way the start-up backend did.
+	dsoSyms []dsoSym
+
+	// mu serializes configuration changes (Reconfigure, SwapBackend) and
+	// guards cfg and the reconfiguration counters.
 	mu         sync.Mutex
 	cfg        *ic.Config
 	reconfigs  int
@@ -164,8 +174,20 @@ type Runtime struct {
 	droppedUnpatched atomic.Int64
 
 	// synthExits accumulates the synthetic exits delivered through the
-	// Deselector hook across all reconfigurations (guarded by mu).
-	synthExits int64
+	// Deselector hook across all reconfigurations; synthByBackend breaks
+	// them down per backend name (both guarded by mu).
+	synthExits     int64
+	synthByBackend map[string]int64
+}
+
+// backendBox wraps the backend interface value for atomic.Value, which
+// requires a consistent concrete type across stores.
+type backendBox struct{ b Backend }
+
+// dsoSym is one scanned DSO function symbol, kept for late injection.
+type dsoSym struct {
+	addr uint64
+	name string
 }
 
 // New initializes DynCaPI: it resolves function IDs, patches according to
@@ -183,13 +205,14 @@ func New(proc *obj.Process, xr *xray.Runtime, cfg *ic.Config, backend Backend, o
 		opts.Costs = DefaultCostModel()
 	}
 	rt := &Runtime{
-		proc:    proc,
-		xr:      xr,
-		cfg:     cfg,
-		backend: backend,
-		opts:    opts,
-		byID:    map[int32]*ResolvedFunc{},
+		proc:           proc,
+		xr:             xr,
+		cfg:            cfg,
+		opts:           opts,
+		byID:           map[int32]*ResolvedFunc{},
+		synthByBackend: map[string]int64{},
 	}
+	rt.backend.Store(backendBox{backend})
 	if err := rt.resolve(); err != nil {
 		return nil, err
 	}
@@ -202,34 +225,74 @@ func New(proc *obj.Process, xr *xray.Runtime, cfg *ic.Config, backend Backend, o
 	return rt, nil
 }
 
+// loadBackend returns the currently attached backend.
+func (rt *Runtime) loadBackend() Backend {
+	return rt.backend.Load().(backendBox).b
+}
+
 // backendUnwrapper is implemented by bridge backends (the adaptive
 // controller) that wrap the real measurement backend.
 type backendUnwrapper interface {
 	Inner() Backend
 }
 
-// symbolInjector finds the SymbolInjector in the backend chain, looking
-// through bridge backends so wrapping (e.g. the adapt controller around
-// Score-P) does not silently disable DSO symbol injection.
-func symbolInjector(b Backend) SymbolInjector {
-	for b != nil {
+// symbolInjectors finds every SymbolInjector in the backend graph, looking
+// through bridge backends (the adapt controller) and fan-outs (Mux) so
+// wrapping or multiplexing (e.g. the controller around a talp+scorep mux)
+// does not silently disable DSO symbol injection for any consumer.
+func symbolInjectors(b Backend) []SymbolInjector {
+	var out []SymbolInjector
+	walkBackends(b, func(b Backend) {
 		if inj, ok := b.(SymbolInjector); ok {
-			return inj
+			out = append(out, inj)
+		}
+	})
+	return out
+}
+
+// walkBackends visits every backend in the graph rooted at b: b itself,
+// the inner backend of every bridge (backendUnwrapper) and the children of
+// every fan-out (Mux), depth-first in delivery order.
+func walkBackends(b Backend, visit func(Backend)) {
+	for b != nil {
+		visit(b)
+		if f, ok := b.(fanout); ok {
+			for _, c := range f.Children() {
+				walkBackends(c, visit)
+			}
+			return
 		}
 		w, ok := b.(backendUnwrapper)
 		if !ok {
-			return nil
+			return
 		}
 		b = w.Inner()
 	}
-	return nil
+}
+
+// namedDeselector pairs a Deselector with the backend name it belongs to,
+// for the per-backend synthetic-exit accounting.
+type namedDeselector struct {
+	name string
+	ds   Deselector
+}
+
+// deselectors collects every Deselector in the backend graph, named.
+func deselectors(b Backend) []namedDeselector {
+	var out []namedDeselector
+	walkBackends(b, func(b Backend) {
+		if ds, ok := b.(Deselector); ok {
+			out = append(out, namedDeselector{b.Name(), ds})
+		}
+	})
+	return out
 }
 
 // resolve builds the function-ID → name mapping per object. The executable
 // is resolved from its full symbol table; DSOs only expose their dynamic
 // symbols, so hidden functions stay unresolved (§VI-B(a)).
 func (rt *Runtime) resolve() error {
-	injector := symbolInjector(rt.backend)
+	injectors := symbolInjectors(rt.loadBackend())
 	for objID, lo := range rt.xr.Objects() {
 		rt.report.Objects++
 		var syms []obj.Symbol
@@ -245,9 +308,14 @@ func (rt *Runtime) resolve() error {
 			}
 			byOffset[s.Value] = s.Name
 			rt.report.SymbolsScanned++
-			if injector != nil && !lo.Image.Exe {
-				injector.InjectSymbol(lo.Base+s.Value, s.Name)
-				rt.report.SymbolsInjected++
+			if !lo.Image.Exe {
+				// Recorded even when no injector is attached yet: a backend
+				// swapped in later gets the same injection replayed.
+				rt.dsoSyms = append(rt.dsoSyms, dsoSym{addr: lo.Base + s.Value, name: s.Name})
+				for _, injector := range injectors {
+					injector.InjectSymbol(lo.Base+s.Value, s.Name)
+					rt.report.SymbolsInjected++
+				}
 			}
 		}
 		// Ground truth (full symbol table) — used only to *verify* that no
@@ -353,10 +421,11 @@ func (rt *Runtime) installHandler() {
 			}
 			return
 		}
+		backend := rt.loadBackend()
 		if kind == xray.Entry {
-			rt.backend.OnEnter(tc, rf)
+			backend.OnEnter(tc, rf)
 		} else {
-			rt.backend.OnExit(tc, rf)
+			backend.OnExit(tc, rf)
 		}
 	})
 }
@@ -379,10 +448,14 @@ type ReconfigReport struct {
 	// Batch is the XRay patching work this reconfiguration performed (only
 	// delta sleds, under coalesced mprotect windows).
 	Batch xray.Stats
-	// SyntheticExits counts the dangling enters the measurement backend
+	// SyntheticExits counts the dangling enters the measurement backends
 	// closed for deselected functions through the Deselector hook — ranks
 	// that were inside a function when its exit sled was restored.
 	SyntheticExits int
+	// SyntheticExitsByBackend breaks SyntheticExits down per backend name:
+	// one entry per Deselector in the attached backend graph (a Mux fan-out
+	// delivers — and counts — per child). Empty when nothing was closed.
+	SyntheticExitsByBackend map[string]int `json:"SyntheticExitsByBackend,omitempty"`
 	// VirtualNs is the virtual-time cost of the re-patch per the CostModel.
 	VirtualNs int64
 }
@@ -468,26 +541,26 @@ func (rt *Runtime) Reconfigure(cfg *ic.Config) (ReconfigReport, error) {
 
 	// Deliver synthetic exits for ranks caught inside a deselected
 	// function: the sleds are restored, so no real exit can arrive anymore.
-	// Every Deselector in the backend chain (the adapt controller may wrap
-	// the measurement backend) gets to close its dangling state.
+	// Every Deselector in the backend graph (the adapt controller may wrap
+	// the measurement backend; a Mux fans out to several) gets to close its
+	// dangling state, and the closures are counted per backend.
 	if len(toUnpatch) > 0 {
-		var dss []Deselector
-		for b := rt.backend; b != nil; {
-			if ds, ok := b.(Deselector); ok {
-				dss = append(dss, ds)
-			}
-			w, ok := b.(backendUnwrapper)
-			if !ok {
-				break
-			}
-			b = w.Inner()
-		}
+		dss := deselectors(rt.loadBackend())
 		for _, id := range toUnpatch {
-			for _, ds := range dss {
-				rep.SyntheticExits += ds.OnDeselect(rt.byID[id])
+			for _, nd := range dss {
+				if n := nd.ds.OnDeselect(rt.byID[id]); n > 0 {
+					rep.SyntheticExits += n
+					if rep.SyntheticExitsByBackend == nil {
+						rep.SyntheticExitsByBackend = map[string]int{}
+					}
+					rep.SyntheticExitsByBackend[nd.name] += n
+				}
 			}
 		}
 		rt.synthExits += int64(rep.SyntheticExits)
+		for name, n := range rep.SyntheticExitsByBackend {
+			rt.synthByBackend[name] += int64(n)
+		}
 	}
 
 	rt.cfg = cfg
@@ -515,8 +588,10 @@ type Snapshot struct {
 	Reconfigs         int
 	ReconfigVirtualNs int64
 	// SyntheticExits counts dangling enters closed through the Deselector
-	// hook across all re-selections.
-	SyntheticExits int64
+	// hook across all re-selections and backend swaps; SyntheticExitsByBackend
+	// is the per-backend-name breakdown.
+	SyntheticExits          int64
+	SyntheticExitsByBackend map[string]int64
 	// DroppedInFlight / DroppedUnpatched are the split drop counters.
 	DroppedInFlight  int64
 	DroppedUnpatched int64
@@ -533,6 +608,12 @@ func (rt *Runtime) Snapshot() Snapshot {
 		ReconfigVirtualNs: rt.reconfigNs,
 		SyntheticExits:    rt.synthExits,
 	}
+	if len(rt.synthByBackend) > 0 {
+		snap.SyntheticExitsByBackend = make(map[string]int64, len(rt.synthByBackend))
+		for name, n := range rt.synthByBackend {
+			snap.SyntheticExitsByBackend[name] = n
+		}
+	}
 	rt.mu.Unlock()
 	m, _ := rt.active.Load().(map[int32]*ResolvedFunc)
 	snap.Active = len(m)
@@ -543,8 +624,74 @@ func (rt *Runtime) Snapshot() Snapshot {
 	return snap
 }
 
-// Backend returns the attached measurement backend.
-func (rt *Runtime) Backend() Backend { return rt.backend }
+// Backend returns the currently attached measurement backend (a *Mux when
+// several are attached, the adapt controller when adaptation wraps them).
+func (rt *Runtime) Backend() Backend { return rt.loadBackend() }
+
+// BackendSwapReport summarizes one live backend-set swap (SwapBackend).
+type BackendSwapReport struct {
+	// From and To name the detached and the newly attached backend.
+	From string `json:"from"`
+	To   string `json:"to"`
+	// SyntheticExits counts the dangling enters the *detached* backends
+	// closed when they let go of the event stream (ranks currently inside
+	// an active function would never balance their enter on the old
+	// backend); SyntheticExitsByBackend is the per-backend breakdown.
+	SyntheticExits          int            `json:"syntheticExits"`
+	SyntheticExitsByBackend map[string]int `json:"syntheticExitsByBackend,omitempty"`
+	// VirtualNs is the virtual start-up cost of the new backend set.
+	VirtualNs int64 `json:"virtualNs"`
+}
+
+// SwapBackend exchanges the attached measurement backend set while the
+// runtime is live: the patched sleds are untouched, the handler simply
+// starts delivering events to the new backend (atomically — events in
+// flight finish on the old one). Before the swap, every Deselector among
+// the detached backends closes its open state for every currently active
+// function, exactly like a deselection would — an enter recorded by a
+// backend that is being detached can never be balanced by it later. The new
+// backend set gets the scanned DSO symbols injected (SymbolInjector) and
+// its virtual start-up cost is reported for the caller to charge.
+func (rt *Runtime) SwapBackend(b Backend) (BackendSwapReport, error) {
+	if b == nil {
+		return BackendSwapReport{}, fmt.Errorf("dyncapi: nil backend")
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+
+	old := rt.loadBackend()
+	rep := BackendSwapReport{From: old.Name(), To: b.Name()}
+	// Publish the new backend *before* closing the old set's state: from
+	// here on new events go to the new backend, so the close loop below
+	// races only against truly in-flight handler calls (the same window the
+	// re-selection path tolerates), not against every event dispatched
+	// while N OnDeselect calls run.
+	rt.backend.Store(backendBox{b})
+	active, _ := rt.active.Load().(map[int32]*ResolvedFunc)
+	for _, nd := range deselectors(old) {
+		for _, rf := range active {
+			if n := nd.ds.OnDeselect(rf); n > 0 {
+				rep.SyntheticExits += n
+				if rep.SyntheticExitsByBackend == nil {
+					rep.SyntheticExitsByBackend = map[string]int{}
+				}
+				rep.SyntheticExitsByBackend[nd.name] += n
+			}
+		}
+	}
+	rt.synthExits += int64(rep.SyntheticExits)
+	for name, n := range rep.SyntheticExitsByBackend {
+		rt.synthByBackend[name] += int64(n)
+	}
+
+	for _, injector := range symbolInjectors(b) {
+		for _, s := range rt.dsoSyms {
+			injector.InjectSymbol(s.addr, s.name)
+		}
+	}
+	rep.VirtualNs = b.InitCost(rt.report.SymbolsScanned)
+	return rep, nil
+}
 
 // Resolved returns the resolved function record for a packed ID.
 func (rt *Runtime) Resolved(id int32) *ResolvedFunc { return rt.byID[id] }

@@ -1,0 +1,73 @@
+package dyncapi
+
+import (
+	"strings"
+
+	"capi/internal/xray"
+)
+
+// Mux fans every instrumentation event out to N measurement backends, so one
+// run can feed several consumers from the same event stream — TALP
+// efficiency metrics *and* an Extrae-style trace, say — the way
+// Diagnose-style probes attach multiple instruments to one event source.
+//
+// The child list is fixed at construction: the hot path ranges over a plain
+// slice with no locking, so a mux of one costs a single bounds-checked
+// iteration over the direct backend (the BenchmarkDispatchMux* family and
+// the benchdiff vs_direct gate keep it that way). Swapping the backend set
+// of a live runtime swaps the whole Mux (Runtime.SwapBackend), never the
+// slice in place.
+//
+// Mux deliberately does not implement Deselector itself: the runtime walks
+// Children so synthetic exits are delivered — and *counted* — per child
+// backend (ReconfigReport.SyntheticExitsByBackend).
+type Mux struct {
+	backends []Backend
+	name     string
+}
+
+// NewMux builds a fan-out over the given backends, in delivery order.
+func NewMux(backends ...Backend) *Mux {
+	names := make([]string, len(backends))
+	for i, b := range backends {
+		names[i] = b.Name()
+	}
+	return &Mux{backends: backends, name: "mux(" + strings.Join(names, ",") + ")"}
+}
+
+// Name implements Backend.
+func (m *Mux) Name() string { return m.name }
+
+// Children returns the fan-out targets, in delivery order.
+func (m *Mux) Children() []Backend { return m.backends }
+
+// OnEnter implements Backend: every child sees the event, in order.
+func (m *Mux) OnEnter(tc xray.ThreadCtx, fn *ResolvedFunc) {
+	for _, b := range m.backends {
+		b.OnEnter(tc, fn)
+	}
+}
+
+// OnExit implements Backend.
+func (m *Mux) OnExit(tc xray.ThreadCtx, fn *ResolvedFunc) {
+	for _, b := range m.backends {
+		b.OnExit(tc, fn)
+	}
+}
+
+// InitCost implements Backend: each attached measurement system pays its own
+// start-up, so the mux sums them.
+func (m *Mux) InitCost(symbols int) int64 {
+	var total int64
+	for _, b := range m.backends {
+		total += b.InitCost(symbols)
+	}
+	return total
+}
+
+// fanout is implemented by backends that multiplex to child backends (Mux).
+// The runtime's backend-chain walks (symbol injection, synthetic-exit
+// delivery) descend into the children.
+type fanout interface {
+	Children() []Backend
+}

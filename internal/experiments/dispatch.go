@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"capi/internal/compiler"
 	"capi/internal/dyncapi"
@@ -44,6 +45,12 @@ func (c *dispatchCtx) MPIRank() *mpi.Rank  { return c.rank }
 // kernels under the named backend and initializes MPI on the driving rank.
 // traceOpts tunes the extrae buffer (nil = bounded wrap-mode defaults so
 // long benchmark runs stay in constant memory).
+//
+// backend may be a comma-separated list ("talp,extrae"): the leaf backends
+// are then fanned out behind a dyncapi.Mux, exactly as a multi-backend run
+// wires them. The prefix "mux:" forces the mux wrapper even for a single
+// backend ("mux:extrae"), isolating the fan-out's own dispatch cost — the
+// mux-of-one vs. direct comparison the benchdiff vs_direct gate watches.
 func NewDispatchHarness(backend string, traceOpts *trace.Options) (*DispatchHarness, error) {
 	p := prog.New("dispatchbench", "main")
 	p.MustAddUnit("app.exe", prog.Executable)
@@ -74,31 +81,43 @@ func NewDispatchHarness(backend string, traceOpts *trace.Options) (*DispatchHarn
 	}
 
 	h := &DispatchHarness{Backend: backend, XR: xr}
-	var back dyncapi.Backend
-	switch backend {
-	case BackendNone:
-		back = &dyncapi.CygBackend{}
-	case BackendTALP:
-		back = dyncapi.NewTALPBackend(talp.New(world, talp.Options{}))
-	case BackendScoreP:
-		m, err := scorep.New(scorep.Options{Ranks: 1})
-		if err != nil {
-			return nil, err
+	spec := backend
+	forceMux := strings.HasPrefix(spec, "mux:")
+	spec = strings.TrimPrefix(spec, "mux:")
+	var leaves []dyncapi.Backend
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		var leaf dyncapi.Backend
+		switch name {
+		case BackendNone:
+			leaf = &dyncapi.CygBackend{}
+		case BackendTALP:
+			leaf = dyncapi.NewTALPBackend(talp.New(world, talp.Options{}))
+		case BackendScoreP:
+			m, err := scorep.New(scorep.Options{Ranks: 1})
+			if err != nil {
+				return nil, err
+			}
+			leaf = dyncapi.NewScorePBackend(m, scorep.NewResolverFromExecutable(proc))
+		case BackendExtrae:
+			topts := trace.Options{Ranks: 1, BufEvents: 8192, MaxEvents: 1 << 16, Wrap: true}
+			if traceOpts != nil {
+				topts = *traceOpts
+				topts.Ranks = 1
+			}
+			h.Buf, err = trace.New(topts)
+			if err != nil {
+				return nil, err
+			}
+			leaf = dyncapi.NewExtraeBackend(h.Buf)
+		default:
+			return nil, fmt.Errorf("experiments: unknown dispatch backend %q", name)
 		}
-		back = dyncapi.NewScorePBackend(m, scorep.NewResolverFromExecutable(proc))
-	case BackendExtrae:
-		topts := trace.Options{Ranks: 1, BufEvents: 8192, MaxEvents: 1 << 16, Wrap: true}
-		if traceOpts != nil {
-			topts = *traceOpts
-			topts.Ranks = 1
-		}
-		h.Buf, err = trace.New(topts)
-		if err != nil {
-			return nil, err
-		}
-		back = dyncapi.NewExtraeBackend(h.Buf)
-	default:
-		return nil, fmt.Errorf("experiments: unknown dispatch backend %q", backend)
+		leaves = append(leaves, leaf)
+	}
+	back := leaves[0]
+	if len(leaves) > 1 || forceMux {
+		back = dyncapi.NewMux(leaves...)
 	}
 	rt, err := dyncapi.New(proc, xr, ic.New("dispatchbench", "bench", kernels), back, dyncapi.Options{})
 	if err != nil {
