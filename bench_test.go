@@ -426,3 +426,47 @@ func BenchmarkMPICollectives(b *testing.B) {
 		b.Fatal(err)
 	}
 }
+
+// BenchmarkDispatchSampled measures the sampling/suppression stage in the
+// dispatch hot path: the same backend dispatched at full rate and behind a
+// 1-in-N stride policy. At 1-in-64 the sampled path must land between the
+// discarding "none" baseline and the full backend cost — the benchdiff
+// vs_none_cap gate enforces ≤ benchcmp.SampledVsNoneLimit (1.3x of none).
+func BenchmarkDispatchSampled(b *testing.B) {
+	for _, backend := range []string{
+		"sampled:" + experiments.BackendNone + "@64",
+		"sampled:" + experiments.BackendExtrae + "@64",
+		"sampled:" + experiments.BackendExtrae + "@8",
+	} {
+		b.Run(backend, func(b *testing.B) {
+			h, err := experiments.NewDispatchHarness(backend, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.Dispatch(i)
+			}
+		})
+	}
+}
+
+// BenchmarkDispatchSuppressed measures the timed sampler path: a
+// min-duration policy that suppresses (nearly) every pair still has to
+// read the virtual clock and maintain the timestamp stack per event.
+func BenchmarkDispatchSuppressed(b *testing.B) {
+	h, err := experiments.NewDispatchHarness(experiments.BackendExtrae, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	err = h.RT.SetSampling(dyncapi.SamplingConfig{
+		Default: &dyncapi.SamplePolicy{MinDurationNs: 10 * 1000 * 1000},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Dispatch(i)
+	}
+}

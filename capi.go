@@ -60,6 +60,18 @@ type (
 	// TraceOptions tunes the extrae backend's sharded trace buffer (ring
 	// size, retained budget, drop vs. wrap policy).
 	TraceOptions = trace.Options
+	// SamplingPolicy is one function's sampling/suppression policy
+	// (1-in-N stride, min-duration suppression, redundancy collapse).
+	SamplingPolicy = dyncapi.SamplePolicy
+	// SamplingOptions is a whole sampling table: a default policy plus
+	// per-function overrides, applied atomically to the live hot path.
+	SamplingOptions = dyncapi.SamplingConfig
+	// SamplingSnapshot is the point-in-time sampling view (policies +
+	// conservation counters) served on /v1/status and in reports.
+	SamplingSnapshot = dyncapi.SamplingSnapshot
+	// SamplingCounters is the sampler's conservation accounting:
+	// enters == delivered + sampledEvents + suppressedPairs + collapsedCalls.
+	SamplingCounters = dyncapi.SamplingCounters
 )
 
 // Workload generators (stand-ins for the paper's two test cases plus a
@@ -260,6 +272,11 @@ type RunOptions struct {
 	// (4096-event rings, unbounded retention). Ranks is filled in from
 	// RunOptions.Ranks. Ignored for other backends.
 	Trace *TraceOptions
+	// Sampling installs an initial sampling/suppression table: per-function
+	// 1-in-N stride sampling, min-duration suppression and redundancy
+	// collapse between the XRay handler and the backend chain. nil starts
+	// unsampled; Instance.SetSampling changes the table on a live run.
+	Sampling *SamplingOptions
 }
 
 // backendNames resolves the configured backend set: Backends verbatim when
@@ -303,9 +320,16 @@ type RunResult struct {
 	// DroppedFuncs lists the functions the adaptive controller has
 	// deselected, in drop order.
 	DroppedFuncs []string
+	// DemotedFuncs lists the functions the controller currently keeps
+	// demoted to 1-in-N sampling (the gentler knob it tries before
+	// deselection).
+	DemotedFuncs []string
 	// AdaptEpochs carries the controller's per-epoch decisions when
 	// RunOptions.Adapt was set.
 	AdaptEpochs []AdaptEpoch
+	// Sampling carries the sampler's exact end-of-phase counters and
+	// installed policies; nil when no sampling policy was ever installed.
+	Sampling *SamplingSnapshot
 	// Backends lists the attached measurement backends in delivery order;
 	// Reports carries each backend's end-of-phase report, keyed by backend
 	// name (backends that produced nothing are absent).
@@ -418,12 +442,17 @@ func (s *Session) Start(sel *Selection, opts RunOptions) (*Instance, error) {
 		inst.ctrl = adapt.New(backend, *opts.Adapt)
 		backend = inst.ctrl
 	}
-	rt, err := dyncapi.New(proc, xr, cfg, backend, dyncapi.Options{PatchAll: opts.PatchAll})
+	rt, err := dyncapi.New(proc, xr, cfg, backend, dyncapi.Options{PatchAll: opts.PatchAll, Ranks: opts.Ranks})
 	if err != nil {
 		return nil, err
 	}
 	if inst.ctrl != nil {
 		inst.ctrl.Attach(rt)
+	}
+	if opts.Sampling != nil {
+		if err := rt.SetSampling(*opts.Sampling); err != nil {
+			return nil, err
+		}
 	}
 	inst.rt = rt
 	inst.pendingNs = rt.Report().InitVirtualNs
@@ -463,6 +492,44 @@ func (i *Instance) Retune(opts AdaptOptions) (AdaptOptions, error) {
 		return AdaptOptions{}, fmt.Errorf("capi: instance is not adaptive (start with RunOptions.Adapt)")
 	}
 	return i.ctrl.Retune(opts), nil
+}
+
+// SetSampling replaces the live instance's sampling/suppression table:
+// per-function 1-in-N stride sampling, min-duration suppression and
+// redundancy collapse in the dispatch hot path, published atomically so
+// rates change mid-phase without locking the handlers. The config is
+// validated — including function-name resolution — before anything is
+// applied, so an error implies the previous table is untouched. An empty
+// config clears all policies. On an adaptive instance the table replaces
+// the controller's demotions too (the controller re-demotes at the next
+// epoch if pressure persists).
+func (i *Instance) SetSampling(cfg SamplingOptions) error {
+	if i.rt == nil {
+		return fmt.Errorf("capi: instance is not instrumented")
+	}
+	if err := i.rt.SetSampling(cfg); err != nil {
+		return err
+	}
+	if i.ctrl != nil {
+		// The table replacement wiped the controller's demotion policies;
+		// drop the ladder bookkeeping with them so the controller demotes
+		// again (rather than escalating straight to deselection, or
+		// promoting stale entries over the new table).
+		i.ctrl.ResetLadder()
+	}
+	return nil
+}
+
+// Sampling returns the live sampling view: installed policies plus the
+// conservation counters (enters == delivered + sampledEvents +
+// suppressedPairs + collapsedCalls). Mid-phase the counters may lag the
+// hot path by up to one publication window; after a completed phase they
+// are exact. Zero value for an uninstrumented instance.
+func (i *Instance) Sampling() SamplingSnapshot {
+	if i.rt == nil {
+		return SamplingSnapshot{}
+	}
+	return i.rt.SamplingSnapshot()
 }
 
 // Adaptive reports whether the instance runs under the overhead-budget
@@ -725,6 +792,9 @@ type InstanceStatus struct {
 	DroppedUnpatched        int64            `json:"droppedUnpatched"`
 	SyntheticExits          int64            `json:"syntheticExits"`
 	SyntheticExitsByBackend map[string]int64 `json:"syntheticExitsByBackend,omitempty"`
+	// Sampling is the sampler's live view (policies + conservation
+	// counters); nil when no sampling policy was ever installed.
+	Sampling *SamplingSnapshot `json:"sampling,omitempty"`
 }
 
 // Status returns a consistent snapshot of the instance's live counters.
@@ -756,6 +826,10 @@ func (i *Instance) Status() InstanceStatus {
 	st.DroppedUnpatched = snap.DroppedUnpatched
 	st.SyntheticExits = snap.SyntheticExits
 	st.SyntheticExitsByBackend = snap.SyntheticExitsByBackend
+	if snap.Sampling.Configured || snap.Sampling.Counters.Enters > 0 {
+		sampling := snap.Sampling
+		st.Sampling = &sampling
+	}
 	return st
 }
 
@@ -854,6 +928,11 @@ func (i *Instance) Run() (*RunResult, error) {
 	if err := eng.Run(); err != nil {
 		return nil, err
 	}
+	if i.rt != nil {
+		// The engine has joined its rank goroutines: publish the exact
+		// sampling counters so end-of-phase reports reconcile exactly.
+		i.rt.FlushSampling()
+	}
 
 	out := &RunResult{InitSeconds: -1}
 	i.mu.Lock()
@@ -874,7 +953,13 @@ func (i *Instance) Run() (*RunResult, error) {
 	out.Events = eng.TotalEvents()
 	if i.ctrl != nil {
 		out.DroppedFuncs = i.ctrl.Dropped()
+		out.DemotedFuncs = i.ctrl.Demoted()
 		out.AdaptEpochs = i.ctrl.Epochs()
+	}
+	if i.rt != nil {
+		if snap := i.rt.SamplingSnapshot(); snap.Configured || snap.Counters.Enters > 0 {
+			out.Sampling = &snap
+		}
 	}
 	backends := i.backends
 	out.WallSeconds = time.Since(i.wallStart).Seconds()

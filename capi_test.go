@@ -323,13 +323,15 @@ coarse(subtract(%mpi_comm, %excluded))
 }
 
 // TestRunWithAdaptController exercises the public Adapt wiring: a tight
-// budget must trigger live narrowing during a plain Session.Run.
+// budget must trigger live narrowing during a plain Session.Run. The
+// demote ladder is disabled here to pin the direct deselect path;
+// TestAdaptDemoteLadderEndToEnd covers the default ladder.
 func TestRunWithAdaptController(t *testing.T) {
 	s := newQuickSession(t)
 	res, err := s.Run(nil, capi.RunOptions{
 		Ranks:    2,
 		PatchAll: true,
-		Adapt:    &capi.AdaptOptions{Budget: 0.0001},
+		Adapt:    &capi.AdaptOptions{Budget: 0.0001, DemoteStride: -1},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -499,5 +501,127 @@ func TestExtraeTraceBoundedBuffer(t *testing.T) {
 	}
 	if inFlight, unpatched := inst.DroppedEvents(); inFlight != 0 || unpatched != 0 {
 		t.Fatalf("drops without any reconfigure: %d/%d", inFlight, unpatched)
+	}
+}
+
+// TestAdaptDemoteLadderEndToEnd exercises the default adapt behaviour
+// through the public API: under a tight budget the controller first
+// demotes hot low-duration functions to 1-in-N sampling (sleds stay
+// patched, the stream thins), and functions that are already demoted and
+// still blow the budget are deselected at later boundaries.
+func TestAdaptDemoteLadderEndToEnd(t *testing.T) {
+	s := newQuickSession(t)
+	// A budget so tight that even the 1-in-64 thinned stream stays over
+	// it: the ladder must demote first, then escalate to deselection.
+	inst, err := s.Start(nil, capi.RunOptions{
+		Ranks:    2,
+		PatchAll: true,
+		Adapt:    &capi.AdaptOptions{Budget: 0.000001},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var demotedSeen, droppedSeen bool
+	var last *capi.RunResult
+	for phase := 0; phase < 6 && !(demotedSeen && droppedSeen); phase++ {
+		res, err := inst.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = res
+		for _, ep := range res.AdaptEpochs {
+			if len(ep.Demoted) > 0 {
+				demotedSeen = true
+			}
+			if len(ep.Dropped) > 0 {
+				droppedSeen = true
+			}
+		}
+	}
+	if !demotedSeen {
+		t.Fatal("controller never demoted under a tight budget")
+	}
+	if !droppedSeen {
+		t.Fatal("ladder never escalated a demoted function to deselection")
+	}
+	// The demotions really thinned the stream, with exact conservation.
+	if last.Sampling == nil {
+		t.Fatal("run result carries no sampling snapshot")
+	}
+	c := last.Sampling.Counters
+	if c.SampledEvents == 0 {
+		t.Fatalf("no events sampled out: %+v", c)
+	}
+	if c.Delivered+c.SampledEvents+c.SuppressedPairs+c.CollapsedCalls != c.Enters {
+		t.Fatalf("sampling counters do not reconcile: %+v", c)
+	}
+	if st := inst.Status(); st.Sampling == nil {
+		t.Fatal("status carries no sampling view")
+	}
+}
+
+// TestRunWithSamplingOptions covers the public sampling wiring: an initial
+// table via RunOptions.Sampling, a live change via Instance.SetSampling,
+// and exact end-of-phase accounting in the run result.
+func TestRunWithSamplingOptions(t *testing.T) {
+	s := newQuickSession(t)
+	sel, err := s.Select(quickSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := s.Start(sel, capi.RunOptions{
+		Backend:  capi.BackendTALP,
+		Ranks:    2,
+		Sampling: &capi.SamplingOptions{Default: &capi.SamplingPolicy{Stride: 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := inst.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Sampling == nil || res1.Sampling.Default == nil || res1.Sampling.Default.Stride != 4 {
+		t.Fatalf("sampling snapshot = %+v", res1.Sampling)
+	}
+	c := res1.Sampling.Counters
+	if c.SampledEvents == 0 || c.Delivered+c.SampledEvents+c.SuppressedPairs+c.CollapsedCalls != c.Enters {
+		t.Fatalf("phase 1 counters = %+v", c)
+	}
+	// Delivered is not just the derived identity: at 1-in-4 it must sit in
+	// the exact per-(function,rank) ceiling band — each stride counter
+	// delivers ceil(enters/4) of its own stream.
+	slots := int64(res1.ActiveFuncs * 2) // ranks = 2
+	if c.Delivered < c.Enters/4 || c.Delivered > c.Enters/4+slots {
+		t.Fatalf("delivered %d outside the 1-in-4 band [%d, %d] for %d enters",
+			c.Delivered, c.Enters/4, c.Enters/4+slots, c.Enters)
+	}
+	// Delivered events reach the backend; sampled-out ones do not: the
+	// engine dispatched more events than the phase total says? No — the
+	// engine count is dispatch-level, so it must exceed what TALP saw.
+	if res1.TALP == nil {
+		t.Fatal("no TALP report under sampling")
+	}
+	// Live change: clear the table; the next phase delivers everything.
+	if err := inst.SetSampling(capi.SamplingOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := inst.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Sampling == nil {
+		t.Fatal("accounting lost after clearing the table")
+	}
+	c2 := res2.Sampling.Counters
+	if c2.SampledEvents != c.SampledEvents {
+		t.Fatalf("cleared table kept sampling: %+v then %+v", c, c2)
+	}
+	// Invalid configs mutate nothing.
+	if err := inst.SetSampling(capi.SamplingOptions{Default: &capi.SamplingPolicy{Stride: -1}}); err == nil {
+		t.Fatal("negative stride accepted")
+	}
+	if err := inst.SetSampling(capi.SamplingOptions{Funcs: map[string]capi.SamplingPolicy{"nope": {Stride: 2}}}); err == nil {
+		t.Fatal("unknown function accepted")
 	}
 }

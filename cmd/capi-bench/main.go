@@ -12,13 +12,16 @@
 //	capi-bench -json -backend talp,extrae  # one multi-backend fan-out entry
 //
 // -json emits a BENCH_*.json-style document: wall-clock dispatch ns/op per
-// measurement backend — the four built-ins plus the mux fan-out variants
-// (mux-of-one, talp+extrae) — and the coalesced batch-patching statistics,
-// so performance trajectories can accumulate across commits. -backend
-// narrows the dispatch suite to one registry-resolved backend set (comma-
-// separated = fanned out behind the mux), always alongside the "none"
-// baseline the relative gates need; unknown names fail fast with the
-// registered list.
+// measurement backend — the four built-ins, the mux fan-out variants
+// (mux-of-one, talp+extrae) and the sampled-dispatch entry
+// (sampled:extrae@64, gated at ≤1.3x of the none baseline) — and the
+// coalesced batch-patching statistics, so performance trajectories can
+// accumulate across commits. -backend narrows the dispatch suite to one
+// registry-resolved backend set (comma-separated = fanned out behind the
+// mux), always alongside the "none" baseline the relative gates need;
+// unknown names fail fast with the registered list. -sample N adds a
+// 1-in-N stride-sampled entry for the chosen set, -suppress-ns M a
+// min-duration-suppressed one.
 //
 // Scale 1.0 reproduces the paper's 410,666-node OpenFOAM call graph; smaller
 // scales keep turnaround short. Absolute virtual seconds are not comparable
@@ -46,15 +49,17 @@ import (
 
 func main() {
 	var (
-		table   = flag.Int("table", 0, "regenerate Table `N` (1 or 2)")
-		facts   = flag.Bool("facts", false, "gather the §VI-B / §VII-A facts")
-		all     = flag.Bool("all", false, "regenerate every artifact")
-		scale   = flag.Float64("scale", 0.1, "OpenFOAM call-graph scale (1.0 = paper size)")
-		ranks   = flag.Int("ranks", 4, "simulated MPI ranks")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		asJSON  = flag.Bool("json", false, "emit machine-readable micro-benchmark JSON (dispatch ns/op per backend, batch patch stats)")
-		backend = flag.String("backend", "", "restrict -json dispatch benches to this comma-separated backend set (registry-resolved; several = mux fan-out)")
-		probe   = flag.Bool("probe", false, "print calibration counters (maintainer tool)")
+		table    = flag.Int("table", 0, "regenerate Table `N` (1 or 2)")
+		facts    = flag.Bool("facts", false, "gather the §VI-B / §VII-A facts")
+		all      = flag.Bool("all", false, "regenerate every artifact")
+		scale    = flag.Float64("scale", 0.1, "OpenFOAM call-graph scale (1.0 = paper size)")
+		ranks    = flag.Int("ranks", 4, "simulated MPI ranks")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		asJSON   = flag.Bool("json", false, "emit machine-readable micro-benchmark JSON (dispatch ns/op per backend, batch patch stats)")
+		backend  = flag.String("backend", "", "restrict -json dispatch benches to this comma-separated backend set (registry-resolved; several = mux fan-out)")
+		sample   = flag.Int("sample", 0, "add a 1-in-N stride-sampled dispatch entry for the -backend set (default extrae) to the -json suite")
+		suppress = flag.Int64("suppress-ns", 0, "add a min-duration-suppressed dispatch entry (threshold in virtual ns) to the -json suite")
+		probe    = flag.Bool("probe", false, "print calibration counters (maintainer tool)")
 	)
 	flag.Parse()
 	if !*all && *table == 0 && !*facts && !*probe && !*asJSON {
@@ -66,6 +71,11 @@ func main() {
 	if *asJSON {
 		suite := []string{
 			experiments.BackendNone,
+			// The sampling stage at the gated rate, measured immediately
+			// after its same-run anchor so machine-state drift between the
+			// two stays minimal: the vs_none_cap gate asserts 1-in-64
+			// dispatch stays ≤1.3x of the none baseline.
+			"sampled:" + experiments.BackendExtrae + "@64",
 			experiments.BackendTALP,
 			experiments.BackendScoreP,
 			experiments.BackendExtrae,
@@ -74,6 +84,7 @@ func main() {
 			"mux:" + experiments.BackendExtrae,
 			experiments.BackendTALP + "," + experiments.BackendExtrae,
 		}
+		sampleTarget := experiments.BackendExtrae
 		if *backend != "" {
 			names, err := capi.ParseBackends(*backend)
 			if err != nil {
@@ -83,7 +94,14 @@ func main() {
 			suite = []string{experiments.BackendNone}
 			if spec != experiments.BackendNone {
 				suite = append(suite, spec)
+				sampleTarget = spec
 			}
+		}
+		if *sample > 0 {
+			suite = append(suite, fmt.Sprintf("sampled:%s@%d", sampleTarget, *sample))
+		}
+		if *suppress > 0 {
+			suite = append(suite, fmt.Sprintf("suppressed:%s@%d", sampleTarget, *suppress))
 		}
 		if err := runBenchJSON(opts, suite); err != nil {
 			fatal(err)

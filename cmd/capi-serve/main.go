@@ -46,17 +46,19 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:7070", "listen address")
-		app     = flag.String("app", "quickstart", "workload: quickstart, lulesh or openfoam")
-		scale   = flag.Float64("scale", 0.1, "openfoam call-graph scale")
-		builtin = flag.String("builtin", "mpi", `initial built-in spec name (e.g. "mpi", "kernels coarse")`)
-		spec    = flag.String("spec", "", "initial specification file (overrides -builtin)")
-		full    = flag.Bool("full", false, "patch every sled initially (xray full)")
-		backend = flag.String("backend", "talp", "comma-separated measurement backends (see capi.RegisteredBackends; e.g. talp,extrae)")
-		ranks   = flag.Int("ranks", 4, "simulated MPI ranks")
-		adapt   = flag.Bool("adapt", false, "enable the live overhead-budget controller")
-		budget  = flag.Float64("budget", 0, "overhead budget per epoch as a fraction (implies -adapt)")
-		epoch   = flag.Float64("epoch", 0, "adaptation epoch length in virtual seconds (implies -adapt)")
+		addr     = flag.String("addr", "127.0.0.1:7070", "listen address")
+		app      = flag.String("app", "quickstart", "workload: quickstart, lulesh or openfoam")
+		scale    = flag.Float64("scale", 0.1, "openfoam call-graph scale")
+		builtin  = flag.String("builtin", "mpi", `initial built-in spec name (e.g. "mpi", "kernels coarse")`)
+		spec     = flag.String("spec", "", "initial specification file (overrides -builtin)")
+		full     = flag.Bool("full", false, "patch every sled initially (xray full)")
+		backend  = flag.String("backend", "talp", "comma-separated measurement backends (see capi.RegisteredBackends; e.g. talp,extrae)")
+		ranks    = flag.Int("ranks", 4, "simulated MPI ranks")
+		adapt    = flag.Bool("adapt", false, "enable the live overhead-budget controller")
+		budget   = flag.Float64("budget", 0, "overhead budget per epoch as a fraction (implies -adapt)")
+		epoch    = flag.Float64("epoch", 0, "adaptation epoch length in virtual seconds (implies -adapt)")
+		sample   = flag.Int("sample", 0, "initial 1-in-N stride sampling (0 = unsampled; change live via POST /v1/sampling)")
+		suppress = flag.Int64("suppress-ns", 0, "initial min-duration suppression threshold in virtual ns")
 	)
 	flag.Parse()
 
@@ -93,6 +95,12 @@ func main() {
 	if *adapt || *budget > 0 || *epoch > 0 {
 		runOpts.Adapt = &capi.AdaptOptions{Budget: *budget, Epoch: vtime.Seconds(*epoch)}
 	}
+	if *sample > 0 || *suppress > 0 {
+		runOpts.Sampling = &capi.SamplingOptions{Default: &capi.SamplingPolicy{
+			Stride:        *sample,
+			MinDurationNs: *suppress,
+		}}
+	}
 	inst, err := session.Start(sel, runOpts)
 	if err != nil {
 		fatal(err)
@@ -112,7 +120,7 @@ func main() {
 	defer stop()
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "capi-serve: control plane on http://%s (GET /v1/status, POST /v1/select, POST /v1/run, GET /v1/report, GET /metrics, GET /v1/events)\n", *addr)
+	fmt.Fprintf(os.Stderr, "capi-serve: control plane on http://%s (GET /v1/status, POST /v1/select, POST /v1/run, GET /v1/report, POST /v1/sampling, GET /metrics, GET /v1/events)\n", *addr)
 
 	select {
 	case err := <-done:

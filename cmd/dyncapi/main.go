@@ -13,6 +13,7 @@
 //	dyncapi -app lulesh -builtin mpi -backend extrae -trace-buf 8192
 //	dyncapi -app lulesh -builtin mpi -backend talp,extrae  # multi-backend fan-out
 //	dyncapi -app openfoam -full -adapt -budget 0.01 # live narrowing
+//	dyncapi -app lulesh -builtin mpi -sample 64 -suppress-ns 2000  # sampled hot path
 //
 // -backend takes a comma-separated list of registry names; with several,
 // every enter/exit event fans out to each backend and every report is
@@ -55,6 +56,9 @@ func main() {
 		adapt    = flag.Bool("adapt", false, "enable live overhead-budget adaptation")
 		budget   = flag.Float64("budget", 0, "overhead budget per epoch as a fraction (implies -adapt)")
 		epoch    = flag.Float64("epoch", 0, "adaptation epoch length in virtual seconds (implies -adapt)")
+		sample   = flag.Int("sample", 0, "1-in-N stride sampling: deliver 1 of every N enters per function and rank (0 = unsampled)")
+		suppress = flag.Int64("suppress-ns", 0, "suppress enter/exit pairs predicted shorter than this many virtual ns (exact drop accounting)")
+		collapse = flag.Bool("collapse-redundant", false, "collapse repeated identical short calls into a count+aggregate")
 	)
 	flag.Parse()
 
@@ -118,6 +122,13 @@ func main() {
 			Wrap:      *traceWrp,
 		}
 	}
+	if *sample > 0 || *suppress > 0 || *collapse {
+		runOpts.Sampling = &capi.SamplingOptions{Default: &capi.SamplingPolicy{
+			Stride:            *sample,
+			MinDurationNs:     *suppress,
+			CollapseRedundant: *collapse,
+		}}
+	}
 	res, err := session.Run(sel, runOpts)
 	if err != nil {
 		fatal(err)
@@ -125,10 +136,21 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "dyncapi: T_init %.2fs, T_total %.2fs (virtual), %d functions patched, %d events\n",
 		res.InitSeconds, res.TotalSeconds, res.Patched, res.Events)
+	if res.Sampling != nil {
+		c := res.Sampling.Counters
+		fmt.Fprintf(os.Stderr, "dyncapi: sampling: %d enters -> %d delivered (%d sampled out, %d suppressed [%.1fµs], %d collapsed [%.1fµs])\n",
+			c.Enters, c.Delivered, c.SampledEvents,
+			c.SuppressedPairs, float64(c.SuppressedNs)/1e3,
+			c.CollapsedCalls, float64(c.CollapsedNs)/1e3)
+	}
 	if runOpts.Adapt != nil {
-		fmt.Fprintf(os.Stderr, "dyncapi: adapt: %d live re-selections, %d functions active (of %d initially), %d dropped\n",
-			res.Reconfigs, res.ActiveFuncs, res.Patched, len(res.DroppedFuncs))
+		fmt.Fprintf(os.Stderr, "dyncapi: adapt: %d live re-selections, %d functions active (of %d initially), %d dropped, %d demoted to sampling\n",
+			res.Reconfigs, res.ActiveFuncs, res.Patched, len(res.DroppedFuncs), len(res.DemotedFuncs))
 		for _, ep := range res.AdaptEpochs {
+			if len(ep.Demoted) > 0 || len(ep.Promoted) > 0 {
+				fmt.Fprintf(os.Stderr, "dyncapi: adapt: epoch %d @%s on rank %d: demoted %d to 1-in-N, promoted %d back\n",
+					ep.Seq, vtime.FormatSeconds(ep.AtNs), ep.Rank, len(ep.Demoted), len(ep.Promoted))
+			}
 			if !ep.Reconfigured {
 				continue
 			}

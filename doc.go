@@ -27,13 +27,22 @@
 //	dyncapi   the DynCaPI runtime: ID resolution, patching, event bridge,
 //	          live re-selection (Reconfigure: delta re-patch in place),
 //	          multi-backend fan-out (Mux: every event to N backends, with
-//	          per-backend synthetic-exit delivery) and live backend swaps
+//	          per-backend synthetic-exit delivery), live backend swaps,
+//	          and the sampling/suppression stage (sampler.go): per-function
+//	          1-in-N stride sampling, predictive min-duration suppression
+//	          with exact drop accounting, and redundancy collapse of
+//	          repeated identical short calls — policies published
+//	          atomically, rates changeable mid-run without locking the
+//	          hot path (SetSampling / SetFuncSampling)
 //	capi      backend registry (RegisterBackend / RunOptions.Backends):
 //	          measurement systems are named factories behind the public
 //	          MeasurementBackend interface, reporting through one
 //	          self-describing envelope (Instance.Reports)
-//	adapt     overhead-budget controller: narrows the selection at epoch
-//	          boundaries while the program runs (hottest low-duration first)
+//	adapt     overhead-budget controller: adapts the selection at epoch
+//	          boundaries while the program runs — hottest low-duration
+//	          functions first demoted to 1-in-N sampling (the gentler
+//	          knob; no re-patch), then deselected if still over budget,
+//	          re-promoted with hysteresis when pressure subsides
 //	mpi       simulated MPI with PMPI interception
 //	scorep    Score-P measurement substrate
 //	talp/pop  TALP regions + POP efficiency metrics
@@ -106,6 +115,27 @@
 // close their open state with synthetic exits); the control plane exposes
 // the same swap on POST /v1/select via a "backends" list, and GET
 // /v1/report serves the envelope keyed by backend name.
+//
+// # Sampling and redundancy suppression
+//
+// Between full instrumentation and deselection sits a middle tier: the
+// hook stays patched but the sampler thins the stream before it reaches
+// the backend chain. RunOptions.Sampling installs the initial table,
+// Instance.SetSampling replaces it on a live run (policies publish
+// atomically; open pairs finish under their recorded decisions, so
+// delivery stays balanced across rate changes):
+//
+//	inst, _ := s.Start(sel, capi.RunOptions{
+//		Backend:  capi.BackendTALP,
+//		Sampling: &capi.SamplingOptions{Default: &capi.SamplingPolicy{Stride: 64}},
+//	})
+//
+// The conservation counters reconcile exactly at phase end —
+// enters == delivered + sampledEvents + suppressedPairs + collapsedCalls —
+// and surface in RunResult.Sampling, Instance.Status, ReconfigReport, the
+// /v1/report envelope and as Prometheus counters; POST /v1/sampling
+// changes the table remotely. The adapt controller uses the same
+// mechanism as its demote ladder.
 //
 // # Remote control plane
 //

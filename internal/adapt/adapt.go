@@ -61,7 +61,27 @@ type Options struct {
 	MinMeanNs int64
 	// MaxReconfigs bounds the number of live re-selections (0 = unlimited).
 	MaxReconfigs int
+	// DemoteStride enables the demote ladder: before deselecting a hot
+	// low-duration function, the controller first *demotes* it to 1-in-N
+	// stride sampling (dyncapi.SetFuncSampling) — the hook stays patched,
+	// the function keeps being measured at reduced rate, and no re-patch
+	// is paid. Only a function that is already demoted and still pushes
+	// the overhead over budget is deselected. 0 uses the default (64);
+	// negative disables the ladder (deselect directly, the pre-sampling
+	// behaviour).
+	DemoteStride int
+	// PromoteBelow is the re-promotion hysteresis band: when an epoch's
+	// overhead lands at or below PromoteBelow × budget, the most recently
+	// demoted function is promoted back to full rate (one per epoch, so
+	// promotion cannot oscillate against demotion, which only triggers
+	// above the full budget). 0 uses the default (0.25); negative disables
+	// re-promotion.
+	PromoteBelow float64
 }
+
+// DefaultDemoteStride is the 1-in-N sampling rate the demote ladder
+// applies when Options.DemoteStride is 0.
+const DefaultDemoteStride = 64
 
 func (o *Options) fill() {
 	if o.Epoch <= 0 {
@@ -75,6 +95,12 @@ func (o *Options) fill() {
 	}
 	if o.MinMeanNs <= 0 {
 		o.MinMeanNs = 10 * vtime.Microsecond
+	}
+	if o.DemoteStride == 0 {
+		o.DemoteStride = DefaultDemoteStride
+	}
+	if o.PromoteBelow == 0 {
+		o.PromoteBelow = 0.25
 	}
 }
 
@@ -99,9 +125,14 @@ type Epoch struct {
 	Events     int64
 	OverheadNs int64
 	BudgetNs   int64
-	// Dropped lists the functions deselected at this boundary (empty when
-	// the budget held). Reconfigured tells whether a live re-selection was
-	// applied; Report is its delta summary.
+	// Demoted lists the functions demoted to 1-in-N sampling at this
+	// boundary, Promoted the ones restored to full rate (hysteresis), and
+	// Dropped the ones deselected (empty when the budget held or demotion
+	// absorbed the excess). Reconfigured tells whether a live re-selection
+	// was applied; Report is its delta summary.
+	Demoted      []string
+	DemotedIDs   []int32
+	Promoted     []string
 	Dropped      []string
 	DroppedIDs   []int32
 	Reconfigured bool
@@ -163,12 +194,22 @@ type Controller struct {
 	epochs    []Epoch
 	reconfigs int
 	dropped   []string
+	// demoted is the LIFO of currently demoted functions (most recent
+	// last) and demotedSet its membership index; both guarded by mu.
+	demoted    []demotion
+	demotedSet map[int32]bool
+}
+
+// demotion records one demote-ladder entry.
+type demotion struct {
+	id   int32
+	name string
 }
 
 // New wraps a measurement backend with the adaptive controller.
 func New(inner dyncapi.Backend, opts Options) *Controller {
 	opts.fill()
-	c := &Controller{inner: inner}
+	c := &Controller{inner: inner, demotedSet: map[int32]bool{}}
 	c.opts.Store(&opts)
 	return c
 }
@@ -216,6 +257,12 @@ func (c *Controller) Retune(o Options) Options {
 		cur.MaxReconfigs = o.MaxReconfigs
 	} else if o.MaxReconfigs < 0 {
 		cur.MaxReconfigs = 0
+	}
+	if o.DemoteStride != 0 {
+		cur.DemoteStride = o.DemoteStride
+	}
+	if o.PromoteBelow != 0 {
+		cur.PromoteBelow = o.PromoteBelow
 	}
 	c.opts.Store(&cur)
 	if o.Epoch > 0 {
@@ -358,8 +405,17 @@ func (c *Controller) runEpoch(rt *dyncapi.Runtime, tc xray.ThreadCtx, now int64)
 	limited := opts.MaxReconfigs > 0 && c.reconfigs >= opts.MaxReconfigs
 	c.mu.Unlock()
 
-	if overhead > budget && !limited {
-		c.narrow(rt, tc, &ep, overhead-budget)
+	if overhead > budget {
+		// MaxReconfigs bounds *re-selections*; the demote ladder changes
+		// only sampling rates (no re-patch), so it keeps working when the
+		// reconfiguration budget is exhausted.
+		c.narrow(rt, tc, &ep, overhead-budget, !limited)
+	} else if opts.PromoteBelow > 0 && overhead <= int64(opts.PromoteBelow*float64(budget)) {
+		// Hysteresis re-promotion: well under budget, restore the most
+		// recently demoted function to full rate — one per epoch, and only
+		// inside the PromoteBelow band, so promotion cannot oscillate
+		// against demotion (which triggers above the full budget).
+		c.promote(rt, &ep)
 	}
 
 	// Reset the per-epoch counters for the next window.
@@ -374,9 +430,72 @@ func (c *Controller) runEpoch(rt *dyncapi.Runtime, tc xray.ThreadCtx, now int64)
 	c.mu.Unlock()
 }
 
-// narrow drops the hottest low-duration functions until the projected
-// overhead fits the budget, then applies the narrowed IC in place.
-func (c *Controller) narrow(rt *dyncapi.Runtime, tc xray.ThreadCtx, ep *Epoch, excess int64) {
+// isDemoted reports whether the function sits on the demote ladder.
+func (c *Controller) isDemoted(id int32) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.demotedSet[id]
+}
+
+// promote restores the most recently demoted function to full rate.
+func (c *Controller) promote(rt *dyncapi.Runtime, ep *Epoch) {
+	c.mu.Lock()
+	n := len(c.demoted)
+	if n == 0 {
+		c.mu.Unlock()
+		return
+	}
+	d := c.demoted[n-1]
+	c.demoted = c.demoted[:n-1]
+	delete(c.demotedSet, d.id)
+	c.mu.Unlock()
+	if err := rt.SetFuncSampling(d.id, nil); err != nil {
+		return
+	}
+	ep.Promoted = append(ep.Promoted, displayName(d.name, d.id))
+}
+
+// ResetLadder forgets the controller's demotion bookkeeping. Called when
+// the sampling table is replaced wholesale (Instance.SetSampling): the
+// replacement wiped the demotion policies from the runtime, so keeping the
+// demoted set would make the next over-budget epoch skip the gentler
+// demote rung and deselect outright — and a later promotion would clobber
+// whatever policy the new table gave the function.
+func (c *Controller) ResetLadder() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.demoted = nil
+	c.demotedSet = map[int32]bool{}
+}
+
+// Demoted returns the functions currently demoted to 1-in-N sampling, in
+// demotion order.
+func (c *Controller) Demoted() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.demoted))
+	for _, d := range c.demoted {
+		out = append(out, displayName(d.name, d.id))
+	}
+	return out
+}
+
+func displayName(name string, id int32) string {
+	if name != "" {
+		return name
+	}
+	return fmt.Sprintf("id:%d", id)
+}
+
+// narrow reduces the projected overhead until it fits the budget, walking
+// the hottest low-duration functions first. Each candidate climbs the
+// ladder: first *demoted* to 1-in-DemoteStride sampling (the hook stays
+// patched, no re-patch cost, the function keeps being measured at reduced
+// rate); a candidate that is already demoted and still over budget is
+// *deselected* — the narrowed IC is applied in place, delta sleds only.
+// allowDrop false (reconfiguration budget exhausted) restricts the walk to
+// demotions.
+func (c *Controller) narrow(rt *dyncapi.Runtime, tc xray.ThreadCtx, ep *Epoch, excess int64, allowDrop bool) {
 	type cand struct {
 		id          int32
 		name        string
@@ -413,18 +532,33 @@ func (c *Controller) narrow(rt *dyncapi.Runtime, tc xray.ThreadCtx, ep *Epoch, e
 		}
 		return cands[i].id < cands[j].id
 	})
+	ladder := opts.DemoteStride > 0
 	drop := map[int32]bool{}
 	for _, cd := range cands {
 		if excess <= 0 {
 			break
 		}
+		if ladder && !c.isDemoted(cd.id) {
+			// Demote to 1-in-N: the gentler knob. Projected saving is the
+			// sampled-out share of the candidate's epoch events.
+			if err := rt.SetFuncSampling(cd.id, &dyncapi.SamplePolicy{Stride: opts.DemoteStride}); err != nil {
+				continue
+			}
+			c.mu.Lock()
+			c.demoted = append(c.demoted, demotion{id: cd.id, name: cd.name})
+			c.demotedSet[cd.id] = true
+			c.mu.Unlock()
+			ep.Demoted = append(ep.Demoted, displayName(cd.name, cd.id))
+			ep.DemotedIDs = append(ep.DemotedIDs, cd.id)
+			excess -= cd.epochEvents * opts.PerEventNs * int64(opts.DemoteStride-1) / int64(opts.DemoteStride)
+			continue
+		}
+		if !allowDrop {
+			continue
+		}
 		drop[cd.id] = true
 		excess -= cd.epochEvents * opts.PerEventNs
-		if cd.name != "" {
-			ep.Dropped = append(ep.Dropped, cd.name)
-		} else {
-			ep.Dropped = append(ep.Dropped, fmt.Sprintf("id:%d", cd.id))
-		}
+		ep.Dropped = append(ep.Dropped, displayName(cd.name, cd.id))
 		ep.DroppedIDs = append(ep.DroppedIDs, cd.id)
 	}
 	if len(drop) == 0 {
@@ -461,7 +595,26 @@ func (c *Controller) narrow(rt *dyncapi.Runtime, tc xray.ThreadCtx, ep *Epoch, e
 	c.mu.Lock()
 	c.reconfigs++
 	c.dropped = append(c.dropped, ep.Dropped...)
+	// Dropped functions leave the ladder: keep the demotion bookkeeping in
+	// sync and clear their sampler policies, so a later manual
+	// re-selection measures them at full rate again.
+	var clear []int32
+	if len(drop) > 0 && len(c.demoted) > 0 {
+		kept := c.demoted[:0]
+		for _, d := range c.demoted {
+			if drop[d.id] {
+				delete(c.demotedSet, d.id)
+				clear = append(clear, d.id)
+			} else {
+				kept = append(kept, d)
+			}
+		}
+		c.demoted = kept
+	}
 	c.mu.Unlock()
+	for _, id := range clear {
+		rt.SetFuncSampling(id, nil) //nolint:errcheck // best-effort cleanup
+	}
 }
 
 // Epochs returns the recorded control decisions.

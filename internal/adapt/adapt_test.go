@@ -106,7 +106,7 @@ func TestControllerUnderBudgetKeepsSelection(t *testing.T) {
 }
 
 func TestControllerDropsHottestLowDurationFirst(t *testing.T) {
-	b, proc, xr, rt, ctrl := twoFuncSetup(t, Options{Epoch: vtime.Millisecond, Budget: 0.01}, &dyncapi.CygBackend{})
+	b, proc, xr, rt, ctrl := twoFuncSetup(t, Options{Epoch: vtime.Millisecond, Budget: 0.01, DemoteStride: -1}, &dyncapi.CygBackend{})
 	hot := packedOf(t, b, xr, proc, "hot")
 	slow := packedOf(t, b, xr, proc, "slow")
 	tc := &fakeCtx{}
@@ -156,7 +156,7 @@ func TestControllerDropsHottestLowDurationFirst(t *testing.T) {
 
 func TestControllerRespectsMaxReconfigs(t *testing.T) {
 	b, proc, xr, rt, ctrl := twoFuncSetup(t, Options{
-		Epoch: vtime.Millisecond, Budget: 0.0001, MaxReconfigs: 1,
+		Epoch: vtime.Millisecond, Budget: 0.0001, MaxReconfigs: 1, DemoteStride: -1,
 	}, &dyncapi.CygBackend{})
 	hot := packedOf(t, b, xr, proc, "hot")
 	slow := packedOf(t, b, xr, proc, "slow")
@@ -215,7 +215,7 @@ func TestAdaptiveNarrowingMidRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctrl := New(&dyncapi.CygBackend{}, Options{Epoch: 100 * vtime.Microsecond, Budget: 0.01})
+	ctrl := New(&dyncapi.CygBackend{}, Options{Epoch: 100 * vtime.Microsecond, Budget: 0.01, DemoteStride: -1})
 	rt, err := dyncapi.New(proc, xr, ic.New("adaptapp", "test", []string{"hot", "medium"}), ctrl, dyncapi.Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -358,7 +358,7 @@ func TestControllerForwardsSymbolInjection(t *testing.T) {
 // the mean-duration denominator: nested (recursive) entries must not
 // dilute a long function's mean into the "low-duration" class.
 func TestRecursiveLongFunctionNotDroppedAsLowDuration(t *testing.T) {
-	b, proc, xr, rt, ctrl := twoFuncSetup(t, Options{Epoch: vtime.Millisecond, Budget: 0.01}, &dyncapi.CygBackend{})
+	b, proc, xr, rt, ctrl := twoFuncSetup(t, Options{Epoch: vtime.Millisecond, Budget: 0.01, DemoteStride: -1}, &dyncapi.CygBackend{})
 	hot := packedOf(t, b, xr, proc, "hot")
 	slow := packedOf(t, b, xr, proc, "slow")
 	tc := &fakeCtx{}
@@ -410,7 +410,7 @@ func TestControllerCountsAgreeWithTraceTotals(t *testing.T) {
 		t.Fatal(err)
 	}
 	b, proc, xr, rt, ctrl := twoFuncSetup(t,
-		Options{Epoch: vtime.Millisecond, Budget: 0.000001, MinMeanNs: vtime.Second},
+		Options{Epoch: vtime.Millisecond, Budget: 0.000001, MinMeanNs: vtime.Second, DemoteStride: -1},
 		dyncapi.NewExtraeBackend(buf))
 	hot := packedOf(t, b, xr, proc, "hot")
 	slow := packedOf(t, b, xr, proc, "slow")
@@ -477,5 +477,163 @@ func TestRetuneAdjustsOptionsLive(t *testing.T) {
 	}
 	if c.Options().Budget != 0.2 {
 		t.Fatalf("Options() = %+v", c.Options())
+	}
+}
+
+// TestControllerDemotesBeforeDropping pins the demote ladder: an
+// over-budget epoch first *demotes* the hottest low-duration function to
+// 1-in-N sampling — the sled stays patched, no re-selection is applied —
+// and only a function that is already demoted and still pushes the
+// overhead over budget is deselected at a later boundary.
+func TestControllerDemotesBeforeDropping(t *testing.T) {
+	b, proc, xr, rt, ctrl := twoFuncSetup(t,
+		Options{Epoch: vtime.Millisecond, Budget: 0.0001, DemoteStride: 4}, &dyncapi.CygBackend{})
+	hot := packedOf(t, b, xr, proc, "hot")
+	slow := packedOf(t, b, xr, proc, "slow")
+	tc := &fakeCtx{}
+	overBudgetEpoch := func() {
+		for i := 0; i < 210; i++ {
+			xr.Dispatch(tc, hot, xray.Entry)
+			tc.clk.Advance(100)
+			xr.Dispatch(tc, hot, xray.Exit)
+		}
+		xr.Dispatch(tc, slow, xray.Entry)
+		tc.clk.Advance(vtime.Millisecond)
+		xr.Dispatch(tc, slow, xray.Exit)
+	}
+
+	// Epoch 1: way over budget — the ladder demotes, it must not drop.
+	overBudgetEpoch()
+	eps := ctrl.Epochs()
+	if len(eps) != 1 {
+		t.Fatalf("epochs = %d, want 1", len(eps))
+	}
+	if len(eps[0].Demoted) == 0 || eps[0].Demoted[0] != "hot" {
+		t.Fatalf("demoted = %v, want hot first (hottest low-duration)", eps[0].Demoted)
+	}
+	if eps[0].Reconfigured || len(eps[0].Dropped) != 0 || ctrl.Reconfigs() != 0 {
+		t.Fatalf("first over-budget epoch deselected instead of demoting: %+v", eps[0])
+	}
+	if !rt.Active(hot) || !xr.Patched(hot) {
+		t.Fatal("demoted function must stay selected and patched")
+	}
+	if got := ctrl.Demoted(); len(got) == 0 || got[0] != "hot" {
+		t.Fatalf("ladder bookkeeping = %v", got)
+	}
+	if snap := rt.SamplingSnapshot(); snap.FuncPolicies == 0 {
+		t.Fatalf("no sampling policy installed by the demotion: %+v", snap)
+	}
+
+	// Epoch 2: still over budget with hot already demoted — now it drops.
+	overBudgetEpoch()
+	if ctrl.Reconfigs() != 1 {
+		t.Fatalf("reconfigs = %d, want 1 (drop after demote)", ctrl.Reconfigs())
+	}
+	dropped := ctrl.Dropped()
+	if len(dropped) == 0 || dropped[0] != "hot" {
+		t.Fatalf("dropped = %v, want hot", dropped)
+	}
+	if rt.Active(hot) || xr.Patched(hot) {
+		t.Fatal("hot still active/patched after the ladder dropped it")
+	}
+	if !rt.Active(slow) {
+		t.Fatal("slow deselected")
+	}
+	for _, name := range ctrl.Demoted() {
+		if name == "hot" {
+			t.Fatal("dropped function still on the ladder")
+		}
+	}
+	// The demotion really thinned the stream: sampled-out enters recorded.
+	rt.FlushSampling()
+	if c := rt.SamplingCounters(); c.SampledEvents == 0 ||
+		c.Delivered+c.SampledEvents+c.SuppressedPairs+c.CollapsedCalls != c.Enters {
+		t.Fatalf("sampling counters = %+v", c)
+	}
+}
+
+// TestControllerPromotesWithHysteresis: once the overhead falls into the
+// PromoteBelow band (well under budget), the most recently demoted
+// function is restored to full rate — the hysteresis that re-promotes when
+// pressure subsides.
+func TestControllerPromotesWithHysteresis(t *testing.T) {
+	b, proc, xr, rt, ctrl := twoFuncSetup(t,
+		Options{Epoch: vtime.Millisecond, Budget: 0.01, DemoteStride: 4, PromoteBelow: 0.5},
+		&dyncapi.CygBackend{})
+	hot := packedOf(t, b, xr, proc, "hot")
+	slow := packedOf(t, b, xr, proc, "slow")
+	tc := &fakeCtx{}
+	// Epoch 1: over budget — hot is demoted.
+	for i := 0; i < 210; i++ {
+		xr.Dispatch(tc, hot, xray.Entry)
+		tc.clk.Advance(100)
+		xr.Dispatch(tc, hot, xray.Exit)
+	}
+	xr.Dispatch(tc, slow, xray.Entry)
+	tc.clk.Advance(vtime.Millisecond)
+	xr.Dispatch(tc, slow, xray.Exit)
+	if got := ctrl.Demoted(); len(got) != 1 || got[0] != "hot" {
+		t.Fatalf("demoted = %v, want [hot]", got)
+	}
+	// Epoch 2: almost idle — overhead lands in the promotion band.
+	xr.Dispatch(tc, slow, xray.Entry)
+	tc.clk.Advance(vtime.Millisecond + vtime.Millisecond/2)
+	xr.Dispatch(tc, slow, xray.Exit)
+	eps := ctrl.Epochs()
+	last := eps[len(eps)-1]
+	if len(last.Promoted) != 1 || last.Promoted[0] != "hot" {
+		t.Fatalf("promoted = %v (epoch %+v)", last.Promoted, last)
+	}
+	if got := ctrl.Demoted(); len(got) != 0 {
+		t.Fatalf("ladder not emptied by promotion: %v", got)
+	}
+	if snap := rt.SamplingSnapshot(); snap.FuncPolicies != 0 {
+		t.Fatalf("sampler policy survived the promotion: %+v", snap)
+	}
+	_ = b
+	_ = proc
+}
+
+// TestResetLadderForgetsDemotions: when the sampling table is replaced
+// wholesale (Instance.SetSampling), the controller's demotion bookkeeping
+// is reset — the next over-budget epoch must demote again rather than
+// treat the (no longer demoted) function as ladder-exhausted and deselect
+// it outright.
+func TestResetLadderForgetsDemotions(t *testing.T) {
+	b, proc, xr, rt, ctrl := twoFuncSetup(t,
+		Options{Epoch: vtime.Millisecond, Budget: 0.0001, DemoteStride: 4}, &dyncapi.CygBackend{})
+	hot := packedOf(t, b, xr, proc, "hot")
+	slow := packedOf(t, b, xr, proc, "slow")
+	tc := &fakeCtx{}
+	overBudgetEpoch := func() {
+		for i := 0; i < 210; i++ {
+			xr.Dispatch(tc, hot, xray.Entry)
+			tc.clk.Advance(100)
+			xr.Dispatch(tc, hot, xray.Exit)
+		}
+		xr.Dispatch(tc, slow, xray.Entry)
+		tc.clk.Advance(vtime.Millisecond)
+		xr.Dispatch(tc, slow, xray.Exit)
+	}
+	overBudgetEpoch()
+	if got := ctrl.Demoted(); len(got) == 0 {
+		t.Fatalf("precondition: nothing demoted (%v)", got)
+	}
+	ctrl.ResetLadder()
+	if got := ctrl.Demoted(); len(got) != 0 {
+		t.Fatalf("ladder not reset: %v", got)
+	}
+	// The next over-budget boundary demotes afresh instead of deselecting.
+	overBudgetEpoch()
+	if ctrl.Reconfigs() != 0 {
+		t.Fatalf("reset ladder escalated straight to deselection (%d reconfigs)", ctrl.Reconfigs())
+	}
+	eps := ctrl.Epochs()
+	last := eps[len(eps)-1]
+	if len(last.Demoted) == 0 || len(last.Dropped) != 0 {
+		t.Fatalf("post-reset epoch = demoted %v dropped %v, want fresh demotion", last.Demoted, last.Dropped)
+	}
+	if !rt.Active(hot) {
+		t.Fatal("hot deselected after ladder reset")
 	}
 }

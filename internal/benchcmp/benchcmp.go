@@ -11,11 +11,25 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 )
 
 // Schema is the accepted document schema tag (written by capi-bench -json).
 const Schema = "capi-bench/v1"
+
+// SampledVsNoneLimit is the hard cap on sampled dispatch: a "sampled:X@N"
+// entry with N >= SampledCapMinStride must keep its ns/event within this
+// factor of the *same run's* "none" baseline (machine speed cancels out).
+// It is independent of the -tol flag: at 1-in-64 and thinner, sampling
+// exists to make the hot path nearly free, so the cap does not loosen on
+// noisy runners. Denser rates (a user's `capi-bench -sample 8`) legimately
+// pay a per-delivery share of the backend cost and are gated only by the
+// regular tolerance gates.
+const (
+	SampledVsNoneLimit  = 1.3
+	SampledCapMinStride = 64
+)
 
 // Dispatch is one backend's dispatch micro-benchmark result.
 type Dispatch struct {
@@ -105,6 +119,17 @@ func (r Result) String() string {
 func compare(metric string, base, cur, tol float64) Result {
 	r := Result{Metric: metric, Baseline: base, Current: cur, Limit: tol}
 	if base > 0 {
+		if cur <= 0 {
+			// The baseline measured this statistic but the current run has
+			// no value for it: every watched statistic is a wall-clock cost
+			// or a work counter, so a literal zero means the measurement
+			// vanished (renamed benchmark, dropped suite entry), not that
+			// the cost fell to nothing. Silently passing here is how
+			// renamed benchmarks used to slip through the gate.
+			r.Ratio = 0
+			r.Regressed, r.Missing = true, true
+			return r
+		}
 		r.Ratio = cur / base
 		r.Regressed = r.Ratio > tol
 	} else {
@@ -164,17 +189,44 @@ func Compare(base, cur *Doc, tol float64) []Result {
 	// fan-out of one, so its cost must stay within tolerance of the direct
 	// X path *of the same run* — a pure algorithm gate, machine speed
 	// cancels out entirely. Baseline holds the direct path, Current the
-	// muxed one.
+	// muxed one. A mux entry whose direct counterpart is absent from the
+	// run cannot be gated — that is a coverage hole, reported as missing
+	// rather than silently skipped.
 	for _, c := range cur.Dispatch {
 		name, ok := strings.CutPrefix(c.Backend, "mux:")
 		if !ok {
 			continue
 		}
+		metric := "dispatch/" + c.Backend + " vs_direct"
 		direct := dispatchNsPerEvent(cur, name)
 		if direct <= 0 {
+			out = append(out, Result{Metric: metric, Current: c.NsPerEvent, Limit: tol, Regressed: true, Missing: true})
 			continue
 		}
-		out = append(out, compare("dispatch/"+c.Backend+" vs_direct", direct, c.NsPerEvent, tol))
+		out = append(out, compare(metric, direct, c.NsPerEvent, tol))
+	}
+	// Sampled-dispatch caps: a "sampled:X@N" entry at the gated rate
+	// (N >= SampledCapMinStride) must stay within SampledVsNoneLimit of
+	// the same run's discarding "none" baseline — the acceptance bar for
+	// the sampling stage's hot-path cost. Same-run ratio, so machine speed
+	// cancels out; the cap never loosens with -tol. Denser strides are not
+	// capped: their per-delivery backend share dominates by design.
+	for _, c := range cur.Dispatch {
+		rest, ok := strings.CutPrefix(c.Backend, "sampled:")
+		if !ok {
+			continue
+		}
+		if at := strings.LastIndex(rest, "@"); at >= 0 {
+			if stride, err := strconv.Atoi(rest[at+1:]); err == nil && stride < SampledCapMinStride {
+				continue
+			}
+		}
+		metric := "dispatch/" + c.Backend + " vs_none_cap"
+		if curNone <= 0 {
+			out = append(out, Result{Metric: metric, Current: c.NsPerEvent, Limit: SampledVsNoneLimit, Regressed: true, Missing: true})
+			continue
+		}
+		out = append(out, compare(metric, curNone, c.NsPerEvent, SampledVsNoneLimit))
 	}
 	out = append(out,
 		compare("batch_patch ns_per_func", base.BatchPatch.NsPerFunc, cur.BatchPatch.NsPerFunc, tol),

@@ -196,3 +196,131 @@ func TestReadValidatesSchema(t *testing.T) {
 		t.Fatalf("doc = %+v", d)
 	}
 }
+
+// TestZeroedCurrentStatisticIsMissing is the regression for renamed
+// benchmarks slipping through the gate: a statistic the baseline measured
+// that decodes to zero in the fresh document (key renamed or dropped —
+// encoding/json leaves the field zero) must fail as missing, not silently
+// pass with ratio 0.
+func TestZeroedCurrentStatisticIsMissing(t *testing.T) {
+	cur := doc()
+	cur.BatchPatch = BatchPatch{} // "batch_patch" key renamed/dropped upstream
+	regs := Regressions(Compare(doc(), cur, 1.5))
+	found := false
+	for _, r := range regs {
+		if r.Metric == "batch_patch ns_per_func" {
+			if !r.Missing || !r.Regressed {
+				t.Fatalf("zeroed ns_per_func not flagged missing: %+v", r)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("zeroed batch_patch passed the gate: %v", regs)
+	}
+	// The deterministic counters vanish with it and must fail too.
+	names := map[string]bool{}
+	for _, r := range regs {
+		names[r.Metric] = true
+	}
+	if !names["batch_patch mprotect_calls"] || !names["batch_patch mprotect_windows"] {
+		t.Fatalf("zeroed mprotect counters passed: %v", regs)
+	}
+	// A zeroed dispatch ns_per_event is the same class of failure.
+	cur2 := doc()
+	cur2.Dispatch[1].NsPerEvent = 0 // talp renamed → decoded as zero
+	regs2 := Regressions(Compare(doc(), cur2, 1.5))
+	found = false
+	for _, r := range regs2 {
+		if r.Metric == "dispatch/talp ns_per_event" && r.Missing {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("zeroed talp dispatch passed: %v", regs2)
+	}
+}
+
+// TestMuxWithoutDirectCounterpartIsMissing: a mux:X entry whose direct X
+// path is absent from the run has no vs_direct anchor — that is a coverage
+// hole, not a pass.
+func TestMuxWithoutDirectCounterpartIsMissing(t *testing.T) {
+	base, cur := doc(), doc()
+	// Neither document carries a direct extrae entry, so the absolute
+	// missing check cannot catch it; only the vs_direct gate can.
+	base.Dispatch = base.Dispatch[:3]
+	cur.Dispatch = append(cur.Dispatch[:3],
+		Dispatch{Backend: "mux:extrae", NsPerPair: 170, NsPerEvent: 85, Iters: 1000})
+	regs := Regressions(Compare(base, cur, 1.5))
+	found := false
+	for _, r := range regs {
+		if r.Metric == "dispatch/mux:extrae vs_direct" && r.Missing {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("mux without direct counterpart passed: %v", regs)
+	}
+}
+
+// TestSampledVsNoneCap: a sampled:X@N entry is capped at
+// SampledVsNoneLimit of the same run's none baseline, independent of the
+// wall-clock tolerance — even a 10x -tol does not excuse a slow sampler.
+func TestSampledVsNoneCap(t *testing.T) {
+	base, cur := doc(), doc()
+	entry := Dispatch{Backend: "sampled:extrae@64", NsPerPair: 120, NsPerEvent: 60, Iters: 1000}
+	base.Dispatch = append(base.Dispatch, entry)
+	cur.Dispatch = append(cur.Dispatch, entry)
+	// 60 vs none 50 = 1.2x: under the 1.3 cap.
+	if regs := Regressions(Compare(base, cur, 1.5)); len(regs) != 0 {
+		t.Fatalf("1.2x sampled dispatch flagged: %v", regs)
+	}
+	// 75 vs none 50 = 1.5x: over the cap, even with a huge tolerance and
+	// an equally slow baseline entry (absolute gate passes).
+	base.Dispatch[len(base.Dispatch)-1].NsPerEvent = 75
+	cur.Dispatch[len(cur.Dispatch)-1].NsPerEvent = 75
+	regs := Regressions(Compare(base, cur, 10))
+	found := false
+	for _, r := range regs {
+		if r.Metric == "dispatch/sampled:extrae@64 vs_none_cap" {
+			if r.Limit != SampledVsNoneLimit {
+				t.Fatalf("cap uses limit %v, want %v", r.Limit, SampledVsNoneLimit)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("1.5x sampled dispatch passed a 10x tolerance: %v", regs)
+	}
+	// Denser strides are exempt from the cap: at 1-in-8 the delivered
+	// backend share legitimately dominates, so a user's `-sample 8` entry
+	// must not hard-fail the gate.
+	dense := doc()
+	dense.Dispatch = append(dense.Dispatch,
+		Dispatch{Backend: "sampled:extrae@8", NsPerPair: 240, NsPerEvent: 120, Iters: 1000})
+	baseDense := doc()
+	baseDense.Dispatch = append(baseDense.Dispatch,
+		Dispatch{Backend: "sampled:extrae@8", NsPerPair: 240, NsPerEvent: 120, Iters: 1000})
+	for _, r := range Regressions(Compare(baseDense, dense, 1.5)) {
+		if strings.Contains(r.Metric, "sampled:extrae@8 vs_none_cap") {
+			t.Fatalf("dense-stride entry capped: %+v", r)
+		}
+	}
+	// Without a none entry in the current run the cap has no anchor:
+	// missing, not a silent skip.
+	cur2 := doc()
+	cur2.Dispatch = append(cur2.Dispatch[1:], entry) // drop "none"
+	base2 := doc()
+	base2.Dispatch = base2.Dispatch[1:] // baseline never had none either
+	base2.Dispatch = append(base2.Dispatch, entry)
+	regs = Regressions(Compare(base2, cur2, 1.5))
+	found = false
+	for _, r := range regs {
+		if r.Metric == "dispatch/sampled:extrae@64 vs_none_cap" && r.Missing {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("sampled entry without none anchor passed: %v", regs)
+	}
+}

@@ -20,8 +20,12 @@
 //	                    without an accompanying re-selection.
 //	POST /v1/run        execute the next phase ({"wait":false} → async)
 //	GET  /v1/report     unified report envelope: every attached backend's
-//	                    report, keyed by backend name (kind + JSON body)
+//	                    report, keyed by backend name (kind + JSON body),
+//	                    plus the sampler's counters when sampling is on
 //	POST /v1/adapt      retune the overhead-budget controller live
+//	POST /v1/sampling   install/replace the sampling & suppression table
+//	                    (1-in-N stride, min-duration, redundancy collapse)
+//	                    on the live hot path; 400 leaves state untouched
 //	GET  /v1/events     SSE stream: one "reconfigure" event per re-selection
 //	GET  /metrics       Prometheus text exposition
 //
@@ -92,6 +96,7 @@ func New(session *capi.Session, inst *capi.Instance, app string) *Server {
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("GET /v1/report", s.handleReport)
 	s.mux.HandleFunc("POST /v1/adapt", s.handleAdapt)
+	s.mux.HandleFunc("POST /v1/sampling", s.handleSampling)
 	s.mux.HandleFunc("GET /v1/events", s.handleEvents)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /{$}", s.handleIndex)
@@ -399,10 +404,14 @@ type ReportEntry struct {
 // ReportResponse is the GET /v1/report envelope: one entry per attached
 // measurement backend that has produced a report, keyed by backend name.
 // Backend echoes the first attached backend for pre-envelope clients.
+// Sampling carries the sampler's policies and conservation counters when a
+// sampling table is (or was) installed — every attached backend sees the
+// same sampled stream, so the counters apply to each entry alike.
 type ReportResponse struct {
 	Backend  capi.Backend           `json:"backend"`
 	Backends []string               `json:"backends"`
 	Reports  map[string]ReportEntry `json:"reports"`
+	Sampling *capi.SamplingSnapshot `json:"sampling,omitempty"`
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
@@ -410,6 +419,9 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		Backend:  s.inst.Backend(),
 		Backends: s.inst.Backends(),
 		Reports:  map[string]ReportEntry{},
+	}
+	if snap := s.inst.Sampling(); snap.Configured || snap.Counters.Enters > 0 {
+		resp.Sampling = &snap
 	}
 	for name, rep := range s.inst.Reports() {
 		raw, err := rep.MarshalJSON()
@@ -471,13 +483,62 @@ func (s *Server) handleAdapt(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// SamplingRequest is the POST /v1/sampling body: the default-policy fields
+// inline plus optional per-function overrides. The whole table is replaced
+// atomically; an all-zero request clears every policy. Invalid values and
+// unknown function names are rejected with 400 *before* anything is
+// applied — a 400 implies the previous table is untouched.
+type SamplingRequest struct {
+	// Stride delivers 1 of every N enters per rank (<=1 = all).
+	Stride int `json:"stride,omitempty"`
+	// MinDurationNs suppresses pairs predicted shorter than this.
+	MinDurationNs int64 `json:"minDurationNs,omitempty"`
+	// CollapseRedundant collapses repeated identical short calls;
+	// RedundantGapNs is the repeat window (0 = default).
+	CollapseRedundant bool  `json:"collapseRedundant,omitempty"`
+	RedundantGapNs    int64 `json:"redundantGapNs,omitempty"`
+	// Functions overrides the default policy per function name.
+	Functions map[string]capi.SamplingPolicy `json:"functions,omitempty"`
+}
+
+func (s *Server) handleSampling(w http.ResponseWriter, r *http.Request) {
+	var req SamplingRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if !s.inst.Status().Instrumented {
+		writeErr(w, http.StatusConflict, "instance is not instrumented")
+		return
+	}
+	cfg := capi.SamplingOptions{Funcs: req.Functions}
+	def := capi.SamplingPolicy{
+		Stride:            req.Stride,
+		MinDurationNs:     req.MinDurationNs,
+		CollapseRedundant: req.CollapseRedundant,
+		RedundantGapNs:    req.RedundantGapNs,
+	}
+	if def != (capi.SamplingPolicy{}) {
+		cfg.Default = &def
+	}
+	// SetSampling validates the whole config — policy values and function
+	// names — before touching the table, so a 400 here means no mutation.
+	if err := s.inst.SetSampling(cfg); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	snap := s.inst.Sampling()
+	s.hub.publish("sampling", snap)
+	writeJSON(w, http.StatusOK, snap)
+}
+
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"app": s.app,
 		"endpoints": []string{
 			"GET /v1/status", "GET /v1/selection", "POST /v1/select",
 			"POST /v1/run", "GET /v1/report", "POST /v1/adapt",
-			"GET /v1/events", "GET /metrics",
+			"POST /v1/sampling", "GET /v1/events", "GET /metrics",
 		},
 	})
 }
@@ -518,6 +579,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		for _, name := range names {
 			fmt.Fprintf(&b, "capi_backend_synthetic_exits_total{backend=%q} %d\n", name, st.SyntheticExitsByBackend[name])
 		}
+	}
+	// Sampling: the default-stride gauge moves the moment a table is
+	// POSTed (before any event flows), the counters as sampled phases run.
+	defaultStride := 0
+	if st.Sampling != nil && st.Sampling.Default != nil {
+		defaultStride = st.Sampling.Default.Stride
+	}
+	gauge("capi_sampling_default_stride", "Default 1-in-N sampling stride (0 = unsampled).", defaultStride)
+	if st.Sampling != nil {
+		gauge("capi_sampling_func_policies", "Per-function sampling policy overrides installed.", st.Sampling.FuncPolicies)
+		c := st.Sampling.Counters
+		counter("capi_sampled_events_total", "Enters dropped by 1-in-N stride sampling.", c.SampledEvents)
+		counter("capi_suppressed_pairs_total", "Enter/exit pairs dropped by min-duration suppression.", c.SuppressedPairs)
+		counter("capi_suppressed_virtual_ns_total", "Virtual ns of min-duration-suppressed pairs (exact accounting).", c.SuppressedNs)
+		counter("capi_collapsed_calls_total", "Repeated identical short calls collapsed by redundancy suppression.", c.CollapsedCalls)
+		counter("capi_sampler_delivered_total", "Enters delivered through the sampler to the backend chain.", c.Delivered)
 	}
 	gauge("capi_attached_backends", "Measurement backends attached to the instance.", len(st.Backends))
 	gauge("capi_init_virtual_seconds", "DynCaPI start-up time (T_init), virtual.", st.InitSeconds)

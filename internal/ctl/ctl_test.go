@@ -679,3 +679,173 @@ func TestIndexListsEndpoints(t *testing.T) {
 		t.Fatalf("unknown path: %d", resp.StatusCode)
 	}
 }
+
+// TestSamplingEndpoint drives POST /v1/sampling end-to-end: install a
+// table, see it on /v1/status and /metrics, run a sampled phase, and read
+// the conservation counters back through the report envelope.
+func TestSamplingEndpoint(t *testing.T) {
+	ts, _, inst := newServer(t, capi.Quickstart(), "quickstart",
+		capi.RunOptions{Backend: capi.BackendTALP, Ranks: 2})
+
+	// The gauge starts at 0 (unsampled).
+	if got := scrapeMetric(t, ts.URL, "capi_sampling_default_stride"); got != 0 {
+		t.Fatalf("fresh instance stride gauge = %d", got)
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/sampling", ctl.SamplingRequest{Stride: 16, MinDurationNs: 100})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sampling: %d %s", resp.StatusCode, body)
+	}
+	var snap capi.SamplingSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Configured || snap.Default == nil || snap.Default.Stride != 16 || snap.Default.MinDurationNs != 100 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	// The gauge moved the moment the table was installed.
+	if got := scrapeMetric(t, ts.URL, "capi_sampling_default_stride"); got != 16 {
+		t.Fatalf("stride gauge = %d, want 16", got)
+	}
+	var st ctl.StatusResponse
+	getJSON(t, ts.URL+"/v1/status", &st)
+	if st.Sampling == nil || st.Sampling.Default == nil || st.Sampling.Default.Stride != 16 {
+		t.Fatalf("status sampling = %+v", st.Sampling)
+	}
+
+	// A sampled phase: counters conserve and surface everywhere.
+	resp, body = postJSON(t, ts.URL+"/v1/run", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: %d %s", resp.StatusCode, body)
+	}
+	getJSON(t, ts.URL+"/v1/status", &st)
+	c := st.Sampling.Counters
+	if c.SampledEvents == 0 || c.Delivered+c.SampledEvents+c.SuppressedPairs+c.CollapsedCalls != c.Enters {
+		t.Fatalf("counters do not reconcile: %+v", c)
+	}
+	// Not just the derived identity: delivery must sit in the
+	// per-(function,rank) 1-in-16 ceiling band (min-duration suppression
+	// only lowers it further).
+	slots := int64(st.ActiveFunctions * st.Ranks)
+	if c.Delivered > c.Enters/16+slots {
+		t.Fatalf("delivered %d above the 1-in-16 ceiling %d for %d enters",
+			c.Delivered, c.Enters/16+slots, c.Enters)
+	}
+	if got := scrapeMetric(t, ts.URL, "capi_sampled_events_total"); int64(got) != c.SampledEvents {
+		t.Fatalf("metrics sampled = %d, status says %d", got, c.SampledEvents)
+	}
+	var rep ctl.ReportResponse
+	getJSON(t, ts.URL+"/v1/report", &rep)
+	if rep.Sampling == nil || rep.Sampling.Counters.Enters == 0 {
+		t.Fatalf("report envelope missing sampling: %+v", rep.Sampling)
+	}
+	_ = inst
+}
+
+// TestSamplingInvalidSpecLeavesStateUntouched is the no-mutation
+// regression for POST /v1/sampling: every 400 — bad JSON, invalid policy
+// values, unknown function names — must leave the installed table exactly
+// as it was.
+func TestSamplingInvalidSpecLeavesStateUntouched(t *testing.T) {
+	ts, _, inst := newServer(t, capi.Quickstart(), "quickstart",
+		capi.RunOptions{Backend: capi.BackendTALP, Ranks: 2})
+	resp, body := postJSON(t, ts.URL+"/v1/sampling", ctl.SamplingRequest{Stride: 8})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("install: %d %s", resp.StatusCode, body)
+	}
+	assertUntouched := func(when string) {
+		t.Helper()
+		snap := inst.Sampling()
+		if !snap.Configured || snap.Default == nil || snap.Default.Stride != 8 || snap.FuncPolicies != 0 {
+			t.Fatalf("%s mutated the table: %+v", when, snap)
+		}
+	}
+	for _, bad := range []ctl.SamplingRequest{
+		{Stride: -2},
+		{MinDurationNs: -5},
+		{Stride: 4, Functions: map[string]capi.SamplingPolicy{"no_such_function": {Stride: 2}}},
+		{RedundantGapNs: 100}, // gap without collapse
+	} {
+		resp, body := postJSON(t, ts.URL+"/v1/sampling", bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad request %+v: %d %s", bad, resp.StatusCode, body)
+		}
+		assertUntouched("invalid sampling request")
+	}
+	resp2, err := http.Post(ts.URL+"/v1/sampling", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage body: %d", resp2.StatusCode)
+	}
+	assertUntouched("garbage body")
+}
+
+// TestSelect400LeavesInstanceUntouched pins the /v1/select no-mutation
+// guarantee on *both* failure paths: a selection that fails to compile
+// must not apply an accompanying backend swap, and a backend swap that
+// fails must not apply an accompanying (valid) selection.
+func TestSelect400LeavesInstanceUntouched(t *testing.T) {
+	ts, _, inst := newServer(t, capi.Quickstart(), "quickstart",
+		capi.RunOptions{Backend: capi.BackendTALP, Ranks: 2})
+	activeBefore := inst.ActiveFunctions()
+	backendsBefore := inst.Backends()
+	names := inst.ActiveFunctionNames()
+
+	// (a) Invalid spec + valid backend swap: the swap must not happen.
+	resp, body := postJSON(t, ts.URL+"/v1/select", ctl.SelectRequest{
+		Spec:     "this = is(not a valid((( spec",
+		Backends: []string{"extrae"},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid spec + swap: %d %s", resp.StatusCode, body)
+	}
+	if got := inst.Backends(); len(got) != len(backendsBefore) || got[0] != backendsBefore[0] {
+		t.Fatalf("failed select swapped backends anyway: %v", got)
+	}
+	if got := inst.ActiveFunctions(); got != activeBefore {
+		t.Fatalf("failed select changed the selection: %d -> %d", activeBefore, got)
+	}
+
+	// (b) Valid include list + unknown backend: the selection must not be
+	// applied (and the backend set stays).
+	resp, body = postJSON(t, ts.URL+"/v1/select", ctl.SelectRequest{
+		Include:  names[:2],
+		Backends: []string{"no-such-backend"},
+	})
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "registered:") {
+		t.Fatalf("valid include + bad backend: %d %s", resp.StatusCode, body)
+	}
+	if got := inst.ActiveFunctions(); got != activeBefore {
+		t.Fatalf("failed swap applied the selection: %d -> %d", activeBefore, got)
+	}
+	if got := inst.Backends(); got[0] != backendsBefore[0] {
+		t.Fatalf("failed swap changed backends: %v", got)
+	}
+	if inst.Reconfigs() != 0 {
+		t.Fatalf("reconfigs = %d after two 400s", inst.Reconfigs())
+	}
+}
+
+// scrapeMetric reads one integer-valued metric from /metrics.
+func scrapeMetric(t *testing.T, base, name string) int {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw := new(bytes.Buffer)
+	raw.ReadFrom(resp.Body) //nolint:errcheck
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\d+)$`)
+	m := re.FindSubmatch(raw.Bytes())
+	if m == nil {
+		t.Fatalf("%s missing from metrics:\n%s", name, raw.String())
+	}
+	n, err := strconv.Atoi(string(m[1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}

@@ -28,12 +28,22 @@ import (
 )
 
 // ResolvedFunc is one instrumentable function as seen by the runtime.
+// Always handle it by pointer: the runtime hangs per-function hot-path
+// state off it.
 type ResolvedFunc struct {
 	PackedID int32
 	Addr     uint64
 	// Name is empty when the function ID could not be resolved to a
 	// symbol (hidden visibility in a DSO).
 	Name string
+
+	// sample points at the function's sampling/suppression state once a
+	// policy has ever been installed (nil = deliver everything, the fast
+	// path). The handler loads it atomically right after the active-set
+	// lookup, so changing a function's sampling rate never locks the hot
+	// path. Set under Runtime.mu, never cleared back to nil — a cleared
+	// policy keeps the pairing stacks so open pairs stay balanced.
+	sample atomic.Pointer[funcSampleState]
 }
 
 // Backend is a measurement tool attached to the instrumentation. OnEnter
@@ -100,6 +110,10 @@ type Options struct {
 	// PatchAll ignores the IC and patches every sled ("xray full").
 	PatchAll bool
 	Costs    CostModel
+	// Ranks sizes the sampler's preallocated per-rank slots (the simulated
+	// MPI world size). Rank IDs beyond it still work through a slower
+	// overflow path; 0 defaults to 16.
+	Ranks int
 }
 
 // Report summarizes what initialization did — the §VI-B facts.
@@ -178,6 +192,17 @@ type Runtime struct {
 	// them down per backend name (both guarded by mu).
 	synthExits     int64
 	synthByBackend map[string]int64
+
+	// Sampling state (see sampler.go). samplePolicies holds the explicit
+	// per-ID overrides and sampleDefault the table's default policy (both
+	// guarded by mu); defaultSample publishes the default to the handler,
+	// which materializes per-function state lazily on a function's first
+	// event — a table-wide default never allocates for functions that
+	// never fire. sampleRanks sizes the preallocated per-rank slots.
+	samplePolicies map[int32]SamplePolicy
+	sampleDefault  *SamplePolicy
+	defaultSample  atomic.Pointer[SamplePolicy]
+	sampleRanks    int
 }
 
 // backendBox wraps the backend interface value for atomic.Value, which
@@ -204,6 +229,9 @@ func New(proc *obj.Process, xr *xray.Runtime, cfg *ic.Config, backend Backend, o
 	if opts.Costs == (CostModel{}) {
 		opts.Costs = DefaultCostModel()
 	}
+	if opts.Ranks <= 0 {
+		opts.Ranks = 16
+	}
 	rt := &Runtime{
 		proc:           proc,
 		xr:             xr,
@@ -211,6 +239,7 @@ func New(proc *obj.Process, xr *xray.Runtime, cfg *ic.Config, backend Backend, o
 		opts:           opts,
 		byID:           map[int32]*ResolvedFunc{},
 		synthByBackend: map[string]int64{},
+		sampleRanks:    opts.Ranks,
 	}
 	rt.backend.Store(backendBox{backend})
 	if err := rt.resolve(); err != nil {
@@ -421,6 +450,22 @@ func (rt *Runtime) installHandler() {
 			}
 			return
 		}
+		// The sampling/suppression stage: two atomic loads on the fast
+		// (no-policy) path; with a policy installed, the per-rank decision
+		// logic drops sampled-out / suppressed / collapsed pairs before
+		// they reach the backend chain. A table-wide default policy is
+		// materialized into per-function state here, on the function's
+		// first event (lazySampleState), so installing a default never
+		// allocates for functions that never fire.
+		st := rf.sample.Load()
+		if st == nil {
+			if dp := rt.defaultSample.Load(); dp != nil {
+				st = rt.lazySampleState(rf, dp)
+			}
+		}
+		if st != nil && !st.admit(tc, kind) {
+			return
+		}
 		backend := rt.loadBackend()
 		if kind == xray.Entry {
 			backend.OnEnter(tc, rf)
@@ -456,6 +501,10 @@ type ReconfigReport struct {
 	// one entry per Deselector in the attached backend graph (a Mux fan-out
 	// delivers — and counts — per child). Empty when nothing was closed.
 	SyntheticExitsByBackend map[string]int `json:"SyntheticExitsByBackend,omitempty"`
+	// Sampling carries the sampler's aggregate counters at the time of the
+	// re-selection (nil when no sampling policy is installed). Mid-phase
+	// the values may lag the hot path by up to one publication window.
+	Sampling *SamplingCounters `json:"Sampling,omitempty"`
 	// VirtualNs is the virtual-time cost of the re-patch per the CostModel.
 	VirtualNs int64
 }
@@ -568,6 +617,13 @@ func (rt *Runtime) Reconfigure(cfg *ic.Config) (ReconfigReport, error) {
 	rt.reconfigs++
 	rt.reconfigNs += rep.VirtualNs
 	rep.Seq = rt.reconfigs
+	if rt.sampleDefault != nil || len(rt.samplePolicies) > 0 {
+		var c SamplingCounters
+		for _, st := range rt.sampleStatesSnapshot() {
+			c.add(st.counters())
+		}
+		rep.Sampling = &c
+	}
 	return rep, nil
 }
 
@@ -595,6 +651,8 @@ type Snapshot struct {
 	// DroppedInFlight / DroppedUnpatched are the split drop counters.
 	DroppedInFlight  int64
 	DroppedUnpatched int64
+	// Sampling is the sampler's point-in-time view (policies + counters).
+	Sampling SamplingSnapshot
 	// InitVirtualNs is T_init.
 	InitVirtualNs int64
 }
@@ -621,6 +679,7 @@ func (rt *Runtime) Snapshot() Snapshot {
 	snap.InitVirtualNs = rt.report.InitVirtualNs
 	snap.DroppedInFlight = rt.droppedInFlight.Load()
 	snap.DroppedUnpatched = rt.droppedUnpatched.Load()
+	snap.Sampling = rt.SamplingSnapshot()
 	return snap
 }
 

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"capi/internal/compiler"
@@ -51,6 +52,12 @@ func (c *dispatchCtx) MPIRank() *mpi.Rank  { return c.rank }
 // wires them. The prefix "mux:" forces the mux wrapper even for a single
 // backend ("mux:extrae"), isolating the fan-out's own dispatch cost — the
 // mux-of-one vs. direct comparison the benchdiff vs_direct gate watches.
+//
+// The prefix "sampled:" with an "@N" suffix ("sampled:extrae@64") installs
+// a default 1-in-N stride sampling policy on the runtime, measuring the
+// sampler's hot-path cost — the benchdiff vs_none_cap gate asserts sampled
+// dispatch stays within benchcmp.SampledVsNoneLimit of the discarding
+// baseline.
 func NewDispatchHarness(backend string, traceOpts *trace.Options) (*DispatchHarness, error) {
 	p := prog.New("dispatchbench", "main")
 	p.MustAddUnit("app.exe", prog.Executable)
@@ -82,6 +89,20 @@ func NewDispatchHarness(backend string, traceOpts *trace.Options) (*DispatchHarn
 
 	h := &DispatchHarness{Backend: backend, XR: xr}
 	spec := backend
+	stride, suppressNs := 0, 0
+	if rest, ok := strings.CutPrefix(spec, "sampled:"); ok {
+		n, inner, err := cutAtN(rest)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("experiments: sampled dispatch spec %q needs a valid @N stride suffix", backend)
+		}
+		stride, spec = n, inner
+	} else if rest, ok := strings.CutPrefix(spec, "suppressed:"); ok {
+		n, inner, err := cutAtN(rest)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("experiments: suppressed dispatch spec %q needs a valid @N min-duration suffix", backend)
+		}
+		suppressNs, spec = n, inner
+	}
 	forceMux := strings.HasPrefix(spec, "mux:")
 	spec = strings.TrimPrefix(spec, "mux:")
 	var leaves []dyncapi.Backend
@@ -119,9 +140,17 @@ func NewDispatchHarness(backend string, traceOpts *trace.Options) (*DispatchHarn
 	if len(leaves) > 1 || forceMux {
 		back = dyncapi.NewMux(leaves...)
 	}
-	rt, err := dyncapi.New(proc, xr, ic.New("dispatchbench", "bench", kernels), back, dyncapi.Options{})
+	rt, err := dyncapi.New(proc, xr, ic.New("dispatchbench", "bench", kernels), back, dyncapi.Options{Ranks: 1})
 	if err != nil {
 		return nil, err
+	}
+	if stride > 0 || suppressNs > 0 {
+		err := rt.SetSampling(dyncapi.SamplingConfig{
+			Default: &dyncapi.SamplePolicy{Stride: stride, MinDurationNs: int64(suppressNs)},
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	h.RT = rt
 	// Initialize MPI on the lone rank (a 1-rank collective completes
@@ -145,6 +174,16 @@ func NewDispatchHarness(backend string, traceOpts *trace.Options) (*DispatchHarn
 		h.ids = append(h.ids, id)
 	}
 	return h, nil
+}
+
+// cutAtN splits "spec@N" into N and spec.
+func cutAtN(s string) (int, string, error) {
+	at := strings.LastIndex(s, "@")
+	if at < 0 {
+		return 0, "", fmt.Errorf("experiments: missing @N suffix in %q", s)
+	}
+	n, err := strconv.Atoi(s[at+1:])
+	return n, s[:at], err
 }
 
 // Dispatch fires one enter/exit event pair for the i-th kernel (rotating).

@@ -1,0 +1,78 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParseSpec fuzzes the specification parser with untrusted input — the
+// exact bytes POST /v1/select hands to Session.Select. The parser must
+// never panic: it either produces an AST or a positioned error. The corpus
+// seeds with the published Listing 1, the built-in modules and the shapes
+// the unit tests exercise (including the known-invalid ones, so mutations
+// start from both sides of the fence).
+func FuzzParseSpec(f *testing.F) {
+	seeds := []string{
+		"",
+		"\n",
+		"# comment only\n",
+		"%%\n",
+		"%name\n",
+		"a = inSystemHeader(%%)\nsubtract(%%, %a)\n",
+		"!import(\"mpi.capi\")\nsubtract(%mpi_comm, inSystemHeader(%%))\n",
+		"excluded = join(inSystemHeader(%%), inlineSpecified(%%))\ncoarse(subtract(%mpi_comm, %excluded))\n",
+		// The paper's Listing 1 missing-comma compatibility form.
+		`kernels = flops(">=", 10, loopDepth(">=" 1, %%))` + "\n",
+		// Multi-line argument lists (newlines inside parentheses).
+		"join(\n  inSystemHeader(%%),\n  inlineSpecified(%%)\n)\n",
+		// Strings with escapes, numbers, nested calls.
+		`byName("^_GLOBAL__sub_I_", %%)` + "\n",
+		`flops("<", -10.5, %%)` + "\n",
+		`f("a\"b\\c\n\t")` + "\n",
+		// Invalid shapes the parser must reject without panicking.
+		"bogus(%%",
+		"a = = b\n",
+		"!imprt(\"x\")\n",
+		"!import(unquoted)\n",
+		`"dangling string`,
+		"f(,)\n",
+		"%\n",
+		"f()g()\n",
+		"= %%\n",
+		"f(\xff\xfe)\n",
+		"\x00\n",
+	}
+	// The built-in modules are real-world inputs too.
+	for _, src := range builtinSources {
+		seeds = append(seeds, src)
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := Parse(src)
+		if err != nil {
+			if file != nil {
+				t.Fatalf("Parse returned both a file and error %v", err)
+			}
+			// Errors must be positioned spec errors, never raw panizes
+			// recovered upstream.
+			if !strings.Contains(err.Error(), "spec:") {
+				t.Fatalf("unpositioned parse error: %v", err)
+			}
+			return
+		}
+		if file == nil {
+			t.Fatal("Parse returned nil file and nil error")
+		}
+		// The AST must be printable and internally consistent: every
+		// statement stringifies without panicking and reports a position.
+		for _, stmt := range file.Stmts {
+			_ = stmt.Pos()
+		}
+		if !utf8.ValidString(src) {
+			return // byte-level round-trip not meaningful
+		}
+	})
+}
