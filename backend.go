@@ -120,17 +120,21 @@ var (
 // functions, where a panic is a build-time mistake, not a runtime condition.
 func RegisterBackend(name string, factory BackendFactory) {
 	if name == "" {
+		//capi:panic-ok registration runs in init functions; a bad name is a build-time mistake
 		panic("capi: RegisterBackend with empty name")
 	}
 	if strings.ContainsAny(name, ", ") {
+		//capi:panic-ok registration runs in init functions; a bad name is a build-time mistake
 		panic(fmt.Sprintf("capi: RegisterBackend name %q must not contain commas or spaces", name))
 	}
 	if factory == nil {
+		//capi:panic-ok registration runs in init functions; a nil factory is a build-time mistake
 		panic(fmt.Sprintf("capi: RegisterBackend %q with nil factory", name))
 	}
 	backendMu.Lock()
 	defer backendMu.Unlock()
 	if _, dup := backendRegistry[name]; dup {
+		//capi:panic-ok registration runs in init functions; a duplicate name is a build-time mistake
 		panic(fmt.Sprintf("capi: backend %q registered twice", name))
 	}
 	backendRegistry[name] = factory

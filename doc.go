@@ -55,6 +55,12 @@
 //	          metrics, SSE reconfigure events (served by cmd/capi-serve)
 //	benchcmp  benchmark-regression comparator (cmd/benchdiff CI gate
 //	          against BENCH_baseline.json)
+//	lint      stdlib-only static-analysis suite enforcing the //capi:
+//	          source annotations: hotpath (dispatch path must not
+//	          allocate/lock/block), atomicfield (no mixed atomic/plain
+//	          access), guardedby (mutex discipline), noexit (library code
+//	          never aborts the process) — run by cmd/capi-lint as a
+//	          required CI gate
 //
 // # The Fig. 1 loop
 //

@@ -191,13 +191,13 @@ type Controller struct {
 	inEpoch   atomic.Bool
 
 	mu        sync.Mutex
-	epochs    []Epoch
-	reconfigs int
-	dropped   []string
+	epochs    []Epoch  //capi:guardedby mu
+	reconfigs int      //capi:guardedby mu
+	dropped   []string //capi:guardedby mu
 	// demoted is the LIFO of currently demoted functions (most recent
 	// last) and demotedSet its membership index; both guarded by mu.
-	demoted    []demotion
-	demotedSet map[int32]bool
+	demoted    []demotion     //capi:guardedby mu
+	demotedSet map[int32]bool //capi:guardedby mu
 }
 
 // demotion records one demote-ladder entry.

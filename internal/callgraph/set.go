@@ -48,6 +48,7 @@ func (s *Set) Graph() *Graph { return s.g }
 
 func (s *Set) check(o *Set) {
 	if s.g != o.g {
+		//capi:panic-ok mixing sets of two graphs is a programming error, not a runtime condition
 		panic("callgraph: set operation across different graphs")
 	}
 }

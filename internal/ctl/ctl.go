@@ -75,8 +75,8 @@ type Server struct {
 	inFlight atomic.Bool
 
 	mu      sync.Mutex
-	lastRun *RunSummary
-	lastErr string
+	lastRun *RunSummary //capi:guardedby mu
+	lastErr string      //capi:guardedby mu
 }
 
 // New builds a control-plane server over a started instance. app names the

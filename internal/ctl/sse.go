@@ -20,9 +20,9 @@ type event struct {
 // the authoritative state is always one GET /v1/status away.
 type hub struct {
 	mu     sync.Mutex
-	next   int64
-	closed bool
-	subs   map[chan event]struct{}
+	next   int64                   //capi:guardedby mu
+	closed bool                    //capi:guardedby mu
+	subs   map[chan event]struct{} //capi:guardedby mu
 }
 
 func newHub() *hub {

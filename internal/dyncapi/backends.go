@@ -127,7 +127,7 @@ type TALPBackend struct {
 	Mon *talp.Monitor
 
 	mu      sync.Mutex
-	regions map[int32]*talpRegionState
+	regions map[int32]*talpRegionState //capi:guardedby mu
 }
 
 type talpRegionState struct {
@@ -272,6 +272,8 @@ func (b *ExtraeBackend) Name() string { return "extrae" }
 
 // OnEnter implements Backend: charge the trace-write cost, record, and pay
 // the flush stall when this append wrote out a full ring.
+//
+//capi:hotpath
 func (b *ExtraeBackend) OnEnter(tc xray.ThreadCtx, fn *ResolvedFunc) {
 	c := tc.Clock()
 	c.Advance(b.costs.EventCost)
@@ -282,6 +284,8 @@ func (b *ExtraeBackend) OnEnter(tc xray.ThreadCtx, fn *ResolvedFunc) {
 
 // OnExit implements Backend. The exit timestamp is taken before the probe's
 // own cost is charged, so tracing overhead does not inflate region time.
+//
+//capi:hotpath
 func (b *ExtraeBackend) OnExit(tc xray.ThreadCtx, fn *ResolvedFunc) {
 	c := tc.Clock()
 	t := c.Now()

@@ -160,9 +160,9 @@ type Runtime struct {
 	// mu serializes configuration changes (Reconfigure, SwapBackend) and
 	// guards cfg and the reconfiguration counters.
 	mu         sync.Mutex
-	cfg        *ic.Config
-	reconfigs  int
-	reconfigNs int64
+	cfg        *ic.Config //capi:guardedby mu
+	reconfigs  int        //capi:guardedby mu
+	reconfigNs int64      //capi:guardedby mu
 
 	// active holds the map[int32]*ResolvedFunc of currently selected
 	// functions. The handler loads it atomically on every event;
@@ -190,8 +190,8 @@ type Runtime struct {
 	// synthExits accumulates the synthetic exits delivered through the
 	// Deselector hook across all reconfigurations; synthByBackend breaks
 	// them down per backend name (both guarded by mu).
-	synthExits     int64
-	synthByBackend map[string]int64
+	synthExits     int64            //capi:guardedby mu
+	synthByBackend map[string]int64 //capi:guardedby mu
 
 	// Sampling state (see sampler.go). samplePolicies holds the explicit
 	// per-ID overrides and sampleDefault the table's default policy (both
@@ -199,8 +199,8 @@ type Runtime struct {
 	// which materializes per-function state lazily on a function's first
 	// event — a table-wide default never allocates for functions that
 	// never fire. sampleRanks sizes the preallocated per-rank slots.
-	samplePolicies map[int32]SamplePolicy
-	sampleDefault  *SamplePolicy
+	samplePolicies map[int32]SamplePolicy //capi:guardedby mu
+	sampleDefault  *SamplePolicy          //capi:guardedby mu
 	defaultSample  atomic.Pointer[SamplePolicy]
 	sampleRanks    int
 }
@@ -351,6 +351,7 @@ func (rt *Runtime) resolve() error {
 		// selected function is among the unresolvable ones, the check the
 		// paper performs in §VI-B(a). DynCaPI itself cannot use it.
 		truth := make(map[uint64]string)
+		//capi:unguarded-ok resolve runs inside New, before the runtime is published to any other goroutine
 		if rt.cfg != nil && !lo.Image.Exe {
 			for _, s := range lo.Image.NM() {
 				if s.Kind == obj.SymFunc {
@@ -375,6 +376,7 @@ func (rt *Runtime) resolve() error {
 				rt.report.FunctionsResolved++
 			} else {
 				rt.report.Unresolved++
+				//capi:unguarded-ok resolve runs inside New, before the runtime is published to any other goroutine
 				if trueName, ok := truth[addr-lo.Base]; ok && rt.cfg != nil && rt.cfg.Contains(trueName) {
 					rt.report.UnresolvedSelected++
 				}
@@ -416,6 +418,7 @@ func sortedIDs(set map[int32]*ResolvedFunc) []int32 {
 // patch applies the initial IC (or patches everything) in one coalesced
 // batch and publishes the active set.
 func (rt *Runtime) patch() error {
+	//capi:unguarded-ok patch runs inside New, before the runtime is published to any other goroutine
 	want := rt.wantSet(rt.cfg, rt.opts.PatchAll)
 	ids := sortedIDs(want)
 	if len(ids) > 0 {
@@ -435,44 +438,53 @@ func (rt *Runtime) patch() error {
 }
 
 func (rt *Runtime) installHandler() {
-	rt.xr.SetHandler(func(tc xray.ThreadCtx, id int32, kind xray.EntryType) {
-		m, _ := rt.active.Load().(map[int32]*ResolvedFunc)
-		rf := m[id]
-		if rf == nil {
-			if rt.byID[id] != nil {
-				if d, _ := rt.deselected.Load().(map[int32]struct{}); d != nil {
-					if _, ok := d[id]; ok {
-						rt.droppedInFlight.Add(1)
-						return
-					}
+	rt.xr.SetHandler(rt.dispatch)
+}
+
+// dispatch is the XRay event handler — the per-event hot path: active-set
+// lookup, drop classification, sampler admission, backend delivery. Two
+// atomic loads plus two map reads on the fast path; everything it calls
+// stays allocation- and lock-free (the lint hotpath analyzer walks it from
+// this annotation).
+//
+//capi:hotpath
+func (rt *Runtime) dispatch(tc xray.ThreadCtx, id int32, kind xray.EntryType) {
+	m, _ := rt.active.Load().(map[int32]*ResolvedFunc)
+	rf := m[id]
+	if rf == nil {
+		if rt.byID[id] != nil {
+			if d, _ := rt.deselected.Load().(map[int32]struct{}); d != nil {
+				if _, ok := d[id]; ok {
+					rt.droppedInFlight.Add(1)
+					return
 				}
-				rt.droppedUnpatched.Add(1)
 			}
-			return
+			rt.droppedUnpatched.Add(1)
 		}
-		// The sampling/suppression stage: two atomic loads on the fast
-		// (no-policy) path; with a policy installed, the per-rank decision
-		// logic drops sampled-out / suppressed / collapsed pairs before
-		// they reach the backend chain. A table-wide default policy is
-		// materialized into per-function state here, on the function's
-		// first event (lazySampleState), so installing a default never
-		// allocates for functions that never fire.
-		st := rf.sample.Load()
-		if st == nil {
-			if dp := rt.defaultSample.Load(); dp != nil {
-				st = rt.lazySampleState(rf, dp)
-			}
+		return
+	}
+	// The sampling/suppression stage: two atomic loads on the fast
+	// (no-policy) path; with a policy installed, the per-rank decision
+	// logic drops sampled-out / suppressed / collapsed pairs before
+	// they reach the backend chain. A table-wide default policy is
+	// materialized into per-function state here, on the function's
+	// first event (lazySampleState), so installing a default never
+	// allocates for functions that never fire.
+	st := rf.sample.Load()
+	if st == nil {
+		if dp := rt.defaultSample.Load(); dp != nil {
+			st = rt.lazySampleState(rf, dp)
 		}
-		if st != nil && !st.admit(tc, kind) {
-			return
-		}
-		backend := rt.loadBackend()
-		if kind == xray.Entry {
-			backend.OnEnter(tc, rf)
-		} else {
-			backend.OnExit(tc, rf)
-		}
-	})
+	}
+	if st != nil && !st.admit(tc, kind) {
+		return
+	}
+	backend := rt.loadBackend()
+	if kind == xray.Entry {
+		backend.OnEnter(tc, rf)
+	} else {
+		backend.OnExit(tc, rf)
+	}
 }
 
 // ReconfigReport summarizes one live re-selection (Reconfigure call).

@@ -42,6 +42,8 @@ func (m *Mux) Name() string { return m.name }
 func (m *Mux) Children() []Backend { return m.backends }
 
 // OnEnter implements Backend: every child sees the event, in order.
+//
+//capi:hotpath
 func (m *Mux) OnEnter(tc xray.ThreadCtx, fn *ResolvedFunc) {
 	for _, b := range m.backends {
 		b.OnEnter(tc, fn)
@@ -49,6 +51,8 @@ func (m *Mux) OnEnter(tc xray.ThreadCtx, fn *ResolvedFunc) {
 }
 
 // OnExit implements Backend.
+//
+//capi:hotpath
 func (m *Mux) OnExit(tc xray.ThreadCtx, fn *ResolvedFunc) {
 	for _, b := range m.backends {
 		b.OnExit(tc, fn)

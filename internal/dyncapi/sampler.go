@@ -345,6 +345,11 @@ func (st *funcSampleState) slot(rank int) *sampleSlot {
 	return st.overflowSlot(rank)
 }
 
+// overflowSlot is the reviewed slow path for rank IDs beyond the
+// preallocated range: it may allocate and touch a sync.Map, so the hotpath
+// traversal stops here.
+//
+//capi:coldpath
 func (st *funcSampleState) overflowSlot(rank int) *sampleSlot {
 	if v, ok := st.overflow.Load(rank); ok {
 		return v.(*sampleSlot)
@@ -359,6 +364,8 @@ func (st *funcSampleState) overflowSlot(rank int) *sampleSlot {
 // called from the XRay handler for every event of a function that ever had
 // a sampling policy; the timed-policy work is kept out-of-line so the
 // stride/no-policy path stays a handful of plain field operations.
+//
+//capi:hotpath
 func (st *funcSampleState) admit(tc xray.ThreadCtx, kind xray.EntryType) bool {
 	sl := st.slot(tc.RankID())
 	if kind == xray.Entry {
@@ -435,6 +442,7 @@ func (st *funcSampleState) admitTimedEnter(sl *sampleSlot, tc xray.ThreadCtx, de
 			sl.suppressed++
 		}
 	}
+	//capi:hotpath-ok amortized per-rank timestamp stack: grows to the rank's max nesting depth once, then never again
 	sl.starts = append(sl.starts,
 		now<<sampleStartShift|int64(cls)<<sampleClsShift|int64(sl.depth&sampleDepthMask))
 	return deliver
@@ -517,7 +525,10 @@ func (rt *Runtime) sampleState(rf *ResolvedFunc) *funcSampleState {
 // yet but a table-wide default policy is installed, so materialize a state
 // carrying it. dp is the default-policy pointer the handler read; if the
 // table changed between that read and the state publication, re-apply the
-// now-current policy so no state is left running a stale default.
+// now-current policy so no state is left running a stale default. It
+// allocates — once per function, on its first-ever event.
+//
+//capi:coldpath
 func (rt *Runtime) lazySampleState(rf *ResolvedFunc, dp *SamplePolicy) *funcSampleState {
 	st := newFuncSampleState(rt.sampleRanks)
 	st.setPolicy(*dp)

@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GuardedByAnalyzer enforces mutex discipline declared in the source:
+// fields annotated //capi:guardedby <mu> may only be accessed in functions
+// that lock the named mutex (any x.<mu>.Lock()/RLock() call in the same
+// function body — a flow-insensitive, same-function approximation).
+// Functions that run with the lock already held by their caller are
+// annotated //capi:locked <mu>; reviewed pre-publication accesses
+// (constructors, quiescent snapshots) carry //capi:unguarded-ok <reason>.
+var GuardedByAnalyzer = &Analyzer{
+	Name: "guardedby",
+	Doc:  "//capi:guardedby fields accessed only while the named mutex is held",
+	Run:  runGuardedBy,
+}
+
+var lockMethods = map[string]bool{
+	"Lock":     true,
+	"RLock":    true,
+	"TryLock":  true,
+	"TryRLock": true,
+}
+
+func runGuardedBy(pass *Pass) error {
+	// Pass A: collect the annotated fields: field key → guard name.
+	guards := map[string]string{}
+	for _, pkg := range pass.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					obj, ok := pkg.Info.Defs[ts.Name].(*types.TypeName)
+					if !ok {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						mu, ok := FieldAnnotation(field, MarkGuardedBy)
+						if !ok {
+							continue
+						}
+						if mu == "" {
+							pass.Reportf(field.Pos(), "//capi:guardedby needs a mutex field name argument")
+							continue
+						}
+						for _, name := range field.Names {
+							if key := fieldKey(obj, name.Name); key != "" {
+								guards[key] = mu
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(guards) == 0 {
+		return nil
+	}
+
+	// Pass B: check every function body's accesses against the mutexes it
+	// demonstrably holds.
+	ix := buildIndex(pass)
+	for _, fi := range ix.funcs {
+		if fi.decl.Body == nil {
+			continue
+		}
+		held := heldMutexes(fi)
+		info := fi.pkg.Info
+		ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection, ok := info.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return true
+			}
+			key := fieldKeyOf(selection)
+			mu, guarded := guards[key]
+			if !guarded || held[mu] {
+				return true
+			}
+			if f := fi.pkg.FileOf(sel.Pos()); f != nil &&
+				fi.pkg.Suppressed(pass.Fset, f, sel.Pos(), MarkUnguardedOK) {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "field %s (//capi:guardedby %s) accessed without holding %s", key, mu, mu)
+			return true
+		})
+	}
+	return nil
+}
+
+// heldMutexes returns the names of the mutexes the function demonstrably
+// holds: every <x>.<name>.Lock()/RLock() call in the body, plus any
+// //capi:locked <name> doc annotation (comma-separated for several).
+func heldMutexes(fi *funcInfo) map[string]bool {
+	held := map[string]bool{}
+	if arg, ok := fi.ann[MarkLocked]; ok {
+		for _, name := range strings.Split(arg, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				held[name] = true
+			}
+		}
+	}
+	info := fi.pkg.Info
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !lockMethods[fun.Sel.Name] {
+			return true
+		}
+		callee := calleeOf(info, call)
+		if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync" {
+			return true
+		}
+		switch recv := ast.Unparen(fun.X).(type) {
+		case *ast.SelectorExpr:
+			held[recv.Sel.Name] = true
+		case *ast.Ident:
+			held[recv.Name] = true
+		}
+		return true
+	})
+	return held
+}

@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// funcInfo is one function or method declared in a target package, with its
+// parsed //capi: doc annotations.
+type funcInfo struct {
+	key  string // types.Func.FullName()
+	decl *ast.FuncDecl
+	pkg  *Package
+	fn   *types.Func
+	ann  map[string]string // directive → argument
+}
+
+// moduleIndex is the whole-module view the cross-package analyzers walk:
+// every declared function keyed by its fully-qualified name, plus the set of
+// target import paths ("in module" for traversal purposes).
+//
+// Functions are keyed by FullName string, not object identity: a target
+// package sees its in-module dependencies through gc export data, so the
+// *types.Func a call site resolves to is a different object from the one
+// the callee's own source produced — but their FullNames agree.
+type moduleIndex struct {
+	funcs   map[string]*funcInfo
+	targets map[string]bool
+}
+
+func buildIndex(pass *Pass) *moduleIndex {
+	ix := &moduleIndex{
+		funcs:   map[string]*funcInfo{},
+		targets: map[string]bool{},
+	}
+	for _, pkg := range pass.Packages {
+		ix.targets[pkg.ImportPath] = true
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Name == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				ix.funcs[fn.FullName()] = &funcInfo{
+					key:  fn.FullName(),
+					decl: fd,
+					pkg:  pkg,
+					fn:   fn,
+					ann:  FuncAnnotations(fd),
+				}
+			}
+		}
+	}
+	return ix
+}
+
+// inModule reports whether the package path belongs to the analyzed module.
+func (ix *moduleIndex) inModule(pkg *types.Package) bool {
+	return pkg != nil && ix.targets[pkg.Path()]
+}
+
+// lookup resolves a call-site *types.Func (possibly an export-data object)
+// to the declaration index entry, or nil for functions without source here.
+func (ix *moduleIndex) lookup(fn *types.Func) *funcInfo {
+	return ix.funcs[fn.FullName()]
+}
+
+// calleeOf resolves the static callee of a call expression: the *types.Func
+// for direct function and method calls, or nil for dynamic calls (func
+// values, interface methods), conversions, and builtins.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if sel.Kind() != types.MethodVal {
+				return nil
+			}
+			fn, _ := sel.Obj().(*types.Func)
+			if fn != nil && interfaceMethod(fn) {
+				return nil // dynamic dispatch
+			}
+			return fn
+		}
+		// Qualified identifier (pkg.Fn).
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// interfaceMethod reports whether fn is declared on an interface — a call
+// through it is dynamic dispatch, not a statically resolvable callee.
+func interfaceMethod(fn *types.Func) bool {
+	recv := fn.Signature().Recv()
+	return recv != nil && types.IsInterface(recv.Type().Underlying())
+}
+
+// builtinOf returns the builtin a call invokes ("make", "append", …), or "".
+func builtinOf(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// isConversion reports whether the call expression is a type conversion,
+// returning the target type.
+func isConversion(info *types.Info, call *ast.CallExpr) (types.Type, bool) {
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil, false
+	}
+	return tv.Type, true
+}
+
+// fieldKeyOf builds the stable cross-package key of a selected struct field:
+// "pkgpath.StructName.field". Returns "" when the receiver is not a named
+// (or pointer-to-named) struct type.
+func fieldKeyOf(sel *types.Selection) string {
+	field, ok := sel.Obj().(*types.Var)
+	if !ok || !field.IsField() {
+		return ""
+	}
+	recv := sel.Recv()
+	for {
+		if p, ok := recv.Underlying().(*types.Pointer); ok {
+			recv = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		if a, ok := types.Unalias(recv).(*types.Named); ok {
+			named = a
+		} else {
+			return ""
+		}
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path() + "." + obj.Name() + "." + field.Name()
+}
+
+// fieldKey builds the same key from a struct declaration's side:
+// the named type object plus the field name.
+func fieldKey(structObj *types.TypeName, fieldName string) string {
+	if structObj.Pkg() == nil {
+		return ""
+	}
+	return structObj.Pkg().Path() + "." + structObj.Name() + "." + fieldName
+}

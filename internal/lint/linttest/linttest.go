@@ -1,0 +1,97 @@
+// Package linttest replays analyzers over fixture modules and checks their
+// diagnostics against // want "regex" annotations — the shape of
+// golang.org/x/tools' analysistest, rebuilt on the stdlib-only lint
+// framework. Each fixture directory under testdata/src/<name>/ is a
+// self-contained module (its own go.mod, stdlib imports only), so the
+// loader's `go list -export` works offline and the parent module's ./...
+// walks never see the fixture code.
+package linttest
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"capi/internal/lint"
+)
+
+// wantRe matches one expectation inside a // want comment: a Go-quoted
+// regexp.
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads the fixture module rooted at dir, applies the analyzers, and
+// fails t unless the diagnostics match the fixture's // want annotations
+// exactly: every diagnostic must be declared by a want on its line, and
+// every want must fire.
+func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	fset, pkgs, err := lint.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "// want ")
+					if !ok {
+						continue
+					}
+					pos := fset.Position(c.Slash)
+					ms := wantRe.FindAllStringSubmatch(text, -1)
+					if len(ms) == 0 {
+						t.Errorf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+						continue
+					}
+					for _, m := range ms {
+						pat, err := strconv.Unquote(`"` + m[1] + `"`)
+						if err != nil {
+							t.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+							continue
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+							continue
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+
+	diags, err := lint.Run(fset, pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers over %s: %v", dir, err)
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic %s:%d:%d: [%s] %s",
+				d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}

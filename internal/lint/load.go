@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load enumerates the packages matching patterns (relative to dir, "" =
+// cwd), parses the non-dependency ones with comments, and type-checks them
+// against the toolchain's export data for their dependencies. All files
+// share the returned FileSet. Packages come back sorted by import path.
+func Load(dir string, patterns ...string) (*token.FileSet, []*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("lint: go list: %v\n%s", err, stderr.String())
+	}
+
+	var targets []*listPackage
+	exports := map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, nil, fmt.Errorf("lint: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.Standard && !lp.DepOnly {
+			targets = append(targets, lp)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var pkgs []*Package
+	for _, lp := range targets {
+		if len(lp.CgoFiles) > 0 {
+			return nil, nil, fmt.Errorf("lint: %s: cgo packages are not supported", lp.ImportPath)
+		}
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, nil, fmt.Errorf("lint: %v", err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+		}
+		conf := types.Config{
+			Importer: imp,
+			Sizes:    types.SizesFor("gc", buildGOARCH()),
+		}
+		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, nil, fmt.Errorf("lint: type-checking %s: %v", lp.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			ImportPath: lp.ImportPath,
+			Dir:        lp.Dir,
+			Files:      files,
+			Types:      tpkg,
+			Info:       info,
+		})
+	}
+	return fset, pkgs, nil
+}
+
+// buildGOARCH returns the architecture the toolchain compiles for, honoring
+// a GOARCH override so sizes match the export data go list produced.
+func buildGOARCH() string {
+	if arch := os.Getenv("GOARCH"); arch != "" {
+		return arch
+	}
+	out, err := exec.Command("go", "env", "GOARCH").Output()
+	if err != nil {
+		return "amd64"
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// NoExitAnalyzer keeps library code from taking the host process down: a
+// measurement probe must degrade, never abort the application it measures.
+// Packages outside cmd/ and examples/ (and any package main) must not call
+// os.Exit or log.Fatal*/log.Panic*, and must not use bare panic.
+// Registration-time and generator-time assertions — invariants that can
+// only trip on a programming error before any event flows — carry a
+// //capi:panic-ok <reason> line comment.
+var NoExitAnalyzer = &Analyzer{
+	Name: "noexit",
+	Doc:  "library packages must not call os.Exit, log.Fatal, or bare panic",
+	Run:  runNoExit,
+}
+
+// libraryPackage reports whether the package is held to the no-exit rule.
+func libraryPackage(pkg *Package) bool {
+	if pkg.Types.Name() == "main" {
+		return false
+	}
+	for _, elem := range strings.Split(pkg.ImportPath, "/") {
+		if elem == "cmd" || elem == "examples" {
+			return false
+		}
+	}
+	return true
+}
+
+func runNoExit(pass *Pass) error {
+	for _, pkg := range pass.Packages {
+		if !libraryPackage(pkg) {
+			continue
+		}
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				var what string
+				if builtinOf(info, call) == "panic" {
+					what = "bare panic in library package"
+				} else if callee := calleeOf(info, call); callee != nil && callee.Pkg() != nil {
+					switch path := callee.Pkg().Path(); {
+					case path == "os" && callee.Name() == "Exit":
+						what = "library package calls os.Exit"
+					case path == "log" && (strings.HasPrefix(callee.Name(), "Fatal") ||
+						strings.HasPrefix(callee.Name(), "Panic")):
+						what = "library package calls log." + callee.Name()
+					}
+				}
+				if what == "" {
+					return true
+				}
+				if pkg.Suppressed(pass.Fset, f, call.Pos(), MarkPanicOK) {
+					return true
+				}
+				pass.Reportf(call.Pos(), "%s; return an error or degrade instead", what)
+				return true
+			})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+// Package fixture exercises the atomicfield analyzer: Counter.n is
+// accessed through sync/atomic package functions, so plain accesses
+// elsewhere mix memory orders; typed atomics and plain-only fields stay
+// out of scope; constructors carry the reviewed hatch.
+package fixture
+
+import "sync/atomic"
+
+// Counter uses legacy package-function atomics on n.
+type Counter struct {
+	n    int64
+	cold int64
+}
+
+// Incr is the sanctioned atomic writer.
+func (c *Counter) Incr() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+// Load is the sanctioned atomic reader.
+func (c *Counter) Load() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+// Peek reads the field plainly: the mixed-memory-order bug.
+func (c *Counter) Peek() int64 {
+	return c.n // want "field fixture.Counter.n is accessed via sync/atomic \\(at .*atomic.go:\\d+\\); plain access mixes memory orders"
+}
+
+// Reset writes it plainly: equally flagged.
+func (c *Counter) Reset() {
+	c.n = 0 // want "field fixture.Counter.n is accessed via sync/atomic"
+}
+
+// New initializes the field before the value is published: the reviewed
+// hatch keeps constructors readable.
+func New(seed int64) *Counter {
+	c := &Counter{}
+	c.n = seed //capi:nonatomic-ok pre-publication: no other goroutine can see c yet
+	return c
+}
+
+// Cold is plain-only: out of the analyzer's scope.
+func (c *Counter) Cold() int64 { return c.cold }
+
+// Typed uses a typed atomic: mixed access is unrepresentable, so the
+// analyzer ignores the field entirely.
+type Typed struct {
+	v atomic.Int64
+}
+
+// Bump goes through the typed API.
+func (t *Typed) Bump() int64 {
+	t.v.Add(1)
+	return t.v.Load()
+}

@@ -1,0 +1,67 @@
+// Package fixture exercises the guardedby analyzer: annotated fields,
+// in-body Lock and RLock acquisition, the //capi:locked caller-holds
+// annotation, the constructor hatch, and a guard missing its argument.
+package fixture
+
+import "sync"
+
+// Registry guards its table with mu.
+type Registry struct {
+	mu    sync.Mutex
+	names map[string]int //capi:guardedby mu
+	hits  int            //capi:guardedby mu
+}
+
+// Add holds the lock: compliant.
+func (r *Registry) Add(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.names[name] = len(r.names)
+	r.hits++
+}
+
+// Peek reads the table without the lock.
+func (r *Registry) Peek(name string) (int, bool) {
+	id, ok := r.names[name] // want "field fixture.Registry.names \\(//capi:guardedby mu\\) accessed without holding mu"
+	return id, ok
+}
+
+// addLocked runs with the lock already held by its caller.
+//
+//capi:locked mu
+func (r *Registry) addLocked(name string) {
+	r.names[name] = len(r.names)
+	r.hits++
+}
+
+// New initializes guarded fields before the value is published.
+func New() *Registry {
+	r := &Registry{}
+	r.names = map[string]int{} //capi:unguarded-ok pre-publication: the constructor owns r exclusively
+	return r
+}
+
+// Stats is read-mostly under an RWMutex.
+type Stats struct {
+	mu  sync.RWMutex
+	max int64 //capi:guardedby mu
+}
+
+// Max holds the read lock: compliant.
+func (s *Stats) Max() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.max
+}
+
+// Racy reads without any lock.
+func (s *Stats) Racy() int64 {
+	return s.max // want "field fixture.Stats.max \\(//capi:guardedby mu\\) accessed without holding mu"
+}
+
+// Broken demonstrates the annotation's own diagnostic: a guard needs the
+// mutex field's name.
+type Broken struct {
+	//capi:guardedby
+	n int // want "//capi:guardedby needs a mutex field name argument"
+}

@@ -1,0 +1,16 @@
+// Command app proves the exemption: a main package under cmd/ may exit
+// and panic freely.
+package main
+
+import (
+	"os"
+
+	"fixture"
+)
+
+func main() {
+	if err := fixture.Degrade(); err == nil {
+		panic("unreachable")
+	}
+	os.Exit(0)
+}

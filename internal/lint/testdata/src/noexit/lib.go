@@ -1,0 +1,37 @@
+// Package fixture exercises the noexit analyzer: library code must not
+// abort the process it measures; init-time assertions carry the reviewed
+// hatch; the cmd/ package in this module stays exempt.
+package fixture
+
+import (
+	"errors"
+	"log"
+	"os"
+)
+
+// Explode panics bare: flagged.
+func Explode() {
+	panic("boom") // want "bare panic in library package; return an error or degrade instead"
+}
+
+// Quit exits: flagged.
+func Quit() {
+	os.Exit(1) // want "library package calls os.Exit; return an error or degrade instead"
+}
+
+// Moan logs fatally: flagged.
+func Moan() {
+	log.Fatalf("unrecoverable: %v", errors.New("x")) // want "library package calls log.Fatalf; return an error or degrade instead"
+}
+
+// MustRegister mirrors the registries' init-time assertion hatch.
+func MustRegister(name string) {
+	if name == "" {
+		panic("empty backend name") //capi:panic-ok registration runs in init functions; an empty name is a build-time mistake
+	}
+}
+
+// Degrade is the compliant shape: report, never abort.
+func Degrade() error {
+	return errors.New("probe disabled")
+}

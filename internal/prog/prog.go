@@ -252,6 +252,7 @@ func (p *Program) AddUnit(name string, kind UnitKind) (*Unit, error) {
 func (p *Program) MustAddUnit(name string, kind UnitKind) *Unit {
 	u, err := p.AddUnit(name, kind)
 	if err != nil {
+		//capi:panic-ok Must* helper for generators with static inputs, by contract
 		panic(err)
 	}
 	return u
@@ -278,6 +279,7 @@ func (p *Program) AddFunc(f *Function) error {
 // MustAddFunc is AddFunc for generator code with static inputs.
 func (p *Program) MustAddFunc(f *Function) *Function {
 	if err := p.AddFunc(f); err != nil {
+		//capi:panic-ok Must* helper for generators with static inputs, by contract
 		panic(err)
 	}
 	return f

@@ -116,22 +116,22 @@ type shard struct {
 	// contend with each other (single-writer), so the hot path pays an
 	// uncontended lock/unlock.
 	mu   sync.Mutex
-	ring []Event
-	n    int
-	segs [][]Event
+	ring []Event   //capi:guardedby mu
+	n    int       //capi:guardedby mu
+	segs [][]Event //capi:guardedby mu
 
 	// held counts the events currently retained (flushed segments plus the
 	// active ring); recorded = held + wrapped.
-	held    int64
-	kind    [2]int64 // accepted events per Kind
-	dropped int64
-	wrapped int64
-	wraps   int64
-	flushes int64
+	held    int64    //capi:guardedby mu
+	kind    [2]int64 //capi:guardedby mu
+	dropped int64    //capi:guardedby mu
+	wrapped int64    //capi:guardedby mu
+	wraps   int64    //capi:guardedby mu
+	flushes int64    //capi:guardedby mu
 
 	// free recycles the backing array of the most recently evicted segment
 	// as the next ring, so steady-state wrap mode allocates nothing.
-	free []Event
+	free []Event //capi:guardedby mu
 }
 
 // Buffer is a sharded trace buffer: one ring per rank, flushed in batches
@@ -178,8 +178,11 @@ func (b *Buffer) Ranks() int { return len(b.shards) }
 // append flushed a full ring into a segment, so the caller can charge the
 // flush stall to the executing rank. Only the rank's own goroutine may call
 // Append for its shard.
+//
+//capi:hotpath
 func (b *Buffer) Append(rank int, t int64, id int32, name string, k Kind) bool {
 	s := b.shards[rank]
+	//capi:hotpath-ok single-writer shard lock: uncontended by contract, only a Report snapshot ever waits on it
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.held >= b.dropLimit {
@@ -202,7 +205,11 @@ func (b *Buffer) Append(rank int, t int64, id int32, name string, k Kind) bool {
 // copy) and, in wrap mode, evicts the oldest segments beyond the retained
 // budget — recycling an evicted backing array as the next ring, so
 // steady-state tracing allocates nothing. The newest segment is never
-// evicted.
+// evicted. Callers hold s.mu; the amortized segment bookkeeping is the
+// reviewed out-of-line slow path of Append.
+//
+//capi:coldpath
+//capi:locked mu
 func (s *shard) flush(opts *Options) {
 	if s.n == 0 {
 		return
@@ -233,6 +240,8 @@ func (s *shard) flush(opts *Options) {
 // retainedEvents returns the shard's surviving records in time order
 // (segments are appended in order and each rank's clock is monotonic).
 // Callers must hold s.mu.
+//
+//capi:locked mu
 func (s *shard) retainedEvents() []Event {
 	out := make([]Event, 0, s.held)
 	for _, seg := range s.segs {

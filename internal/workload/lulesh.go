@@ -342,6 +342,7 @@ func Lulesh(opts LuleshOptions) *prog.Program {
 	scaleWork(b.p, luleshWorkScale)
 
 	if err := b.p.Validate(); err != nil {
+		//capi:panic-ok generator invariant over static inputs; cannot trip on user data
 		panic(fmt.Sprintf("workload: lulesh generator invalid: %v", err))
 	}
 	return b.p

@@ -167,6 +167,7 @@ func Quickstart() *prog.Program {
 	b.fn(&prog.Function{Name: "main", Unit: exe, TU: "main.c", Statements: 60, Ops: mainOps})
 
 	if err := b.p.Validate(); err != nil {
+		//capi:panic-ok generator invariant over static inputs; cannot trip on user data
 		panic(fmt.Sprintf("workload: quickstart generator invalid: %v", err))
 	}
 	return b.p

@@ -130,9 +130,9 @@ type Runtime struct {
 	proc *obj.Process
 
 	mu      sync.Mutex
-	objects [MaxDSOs + 1]*objectState
-	objID   map[*obj.LoadedObject]uint8
-	nextDSO int
+	objects [MaxDSOs + 1]*objectState   //capi:guardedby mu
+	objID   map[*obj.LoadedObject]uint8 //capi:guardedby mu
+	nextDSO int                         //capi:guardedby mu
 
 	// patchMu serializes sled rewriting (the mprotect open/write/close
 	// dance): concurrent patch operations must not interleave their
@@ -140,7 +140,7 @@ type Runtime struct {
 	patchMu sync.Mutex
 
 	handler atomic.Value // of Handler
-	stats   Stats
+	stats   Stats        //capi:guardedby mu
 }
 
 // NewRuntime creates the runtime for a process: the executable is
@@ -154,7 +154,9 @@ func NewRuntime(p *obj.Process) (*Runtime, error) {
 		if exe.Image.NumFuncIDs > MaxFuncID+1 {
 			return nil, fmt.Errorf("xray: executable uses %d function IDs (limit %d)", exe.Image.NumFuncIDs, MaxFuncID+1)
 		}
+		//capi:unguarded-ok NewRuntime has not published rt to any other goroutine yet
 		rt.objects[0] = &objectState{lo: exe, trampoline: Trampoline{Object: exe.Image.Name}}
+		//capi:unguarded-ok NewRuntime has not published rt to any other goroutine yet
 		rt.objID[exe] = 0
 	}
 	for _, lo := range p.Objects() {
@@ -291,7 +293,10 @@ func (rt *Runtime) SetHandler(h Handler) { rt.handler.Store(h) }
 
 // Dispatch invokes the installed handler for a patched sled; the execution
 // engine calls it from the trampoline site. A missing handler is a no-op,
-// as in real XRay.
+// as in real XRay. One atomic load and an indirect call — the entry point
+// of the event hot path.
+//
+//capi:hotpath
 func (rt *Runtime) Dispatch(tc ThreadCtx, id int32, kind EntryType) {
 	if h, ok := rt.handler.Load().(Handler); ok && h != nil {
 		h(tc, id, kind)
