@@ -451,6 +451,37 @@ func BenchmarkDispatchSampled(b *testing.B) {
 	}
 }
 
+// BenchmarkDispatchAsync measures the asynchronous pipeline's hot-path
+// cost: dispatch appends a compact record to the rank's ring and returns,
+// while a consumer goroutine replays the stream through the backend off
+// the hot path. The inline extrae entry runs alongside as the same-run
+// anchor — the benchdiff async_vs_inline_cap gate asserts every async
+// entry stays ≤ benchcmp.AsyncVsInlineLimit (0.6x) of its inline
+// counterpart, the acceptance bar for lifting backends off the hot path.
+func BenchmarkDispatchAsync(b *testing.B) {
+	for _, backend := range []string{
+		experiments.BackendExtrae,
+		"async:" + experiments.BackendExtrae,
+		"async:" + experiments.BackendTALP,
+		"async:" + experiments.BackendScoreP,
+	} {
+		b.Run(backend, func(b *testing.B) {
+			h, err := experiments.NewDispatchHarness(backend, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.Dispatch(i)
+			}
+			b.StopTimer()
+			// Drain and stop the consumer pool outside the timed window:
+			// the benchmark measures the hot-path append, not the drain.
+			h.Close()
+		})
+	}
+}
+
 // BenchmarkDispatchSuppressed measures the timed sampler path: a
 // min-duration policy that suppresses (nearly) every pair still has to
 // read the virtual clock and maintain the timestamp stack per event.

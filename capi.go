@@ -277,6 +277,17 @@ type RunOptions struct {
 	// collapse between the XRay handler and the backend chain. nil starts
 	// unsampled; Instance.SetSampling changes the table on a live run.
 	Sampling *SamplingOptions
+	// Async lifts the measurement backends off the dispatch hot path: the
+	// XRay handler appends a compact event record to a bounded per-rank ring
+	// and returns; a consumer pool replays the records through the backend
+	// chain asynchronously. Phase-end results are exact (Run drains the
+	// pipeline before capturing them); overload drops whole enter/exit
+	// pairs, counted in DroppedAsync. Incompatible with Adapt (the
+	// controller needs events on live rank clocks).
+	Async bool
+	// AsyncBuf is the per-rank ring capacity in events (0 = the
+	// dyncapi.DefaultAsyncBuf default). Only meaningful with Async.
+	AsyncBuf int
 }
 
 // backendNames resolves the configured backend set: Backends verbatim when
@@ -329,7 +340,14 @@ type RunResult struct {
 	AdaptEpochs []AdaptEpoch
 	// Sampling carries the sampler's exact end-of-phase counters and
 	// installed policies; nil when no sampling policy was ever installed.
+	// On an async run it is captured after the pipeline drain barrier, so
+	// the counters reconcile exactly against what the backends received.
 	Sampling *SamplingSnapshot
+	// DroppedAsync is the cumulative count of enter/exit pairs the async
+	// pipeline rejected under back-pressure (always 0 on inline runs). The
+	// exact conservation identity on an async run is
+	// enters == delivered + sampledOut + suppressed + collapsed + droppedAsync.
+	DroppedAsync int64
 	// Backends lists the attached measurement backends in delivery order;
 	// Reports carries each backend's end-of-phase report, keyed by backend
 	// name (backends that produced nothing are absent).
@@ -439,10 +457,18 @@ func (s *Session) Start(sel *Selection, opts RunOptions) (*Instance, error) {
 	}
 	inst.backends = backends
 	if opts.Adapt != nil {
+		if opts.Async {
+			return nil, fmt.Errorf("capi: Async and Adapt are incompatible: the overhead-budget controller detects epoch boundaries on live rank clocks, which the replayed pipeline events do not advance")
+		}
 		inst.ctrl = adapt.New(backend, *opts.Adapt)
 		backend = inst.ctrl
 	}
-	rt, err := dyncapi.New(proc, xr, cfg, backend, dyncapi.Options{PatchAll: opts.PatchAll, Ranks: opts.Ranks})
+	rt, err := dyncapi.New(proc, xr, cfg, backend, dyncapi.Options{
+		PatchAll: opts.PatchAll,
+		Ranks:    opts.Ranks,
+		Async:    opts.Async,
+		AsyncBuf: opts.AsyncBuf,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -792,6 +818,12 @@ type InstanceStatus struct {
 	DroppedUnpatched        int64            `json:"droppedUnpatched"`
 	SyntheticExits          int64            `json:"syntheticExits"`
 	SyntheticExitsByBackend map[string]int64 `json:"syntheticExitsByBackend,omitempty"`
+	// Async reports whether the asynchronous event pipeline is attached;
+	// PipelineDepth is the number of events currently queued in its rings
+	// and DroppedAsync the enter/exit pairs rejected under back-pressure.
+	Async         bool  `json:"async"`
+	PipelineDepth int64 `json:"pipelineDepth"`
+	DroppedAsync  int64 `json:"droppedAsync"`
 	// Sampling is the sampler's live view (policies + conservation
 	// counters); nil when no sampling policy was ever installed.
 	Sampling *SamplingSnapshot `json:"sampling,omitempty"`
@@ -826,6 +858,9 @@ func (i *Instance) Status() InstanceStatus {
 	st.DroppedUnpatched = snap.DroppedUnpatched
 	st.SyntheticExits = snap.SyntheticExits
 	st.SyntheticExitsByBackend = snap.SyntheticExitsByBackend
+	st.Async = snap.Async
+	st.PipelineDepth = snap.AsyncDepth
+	st.DroppedAsync = snap.DroppedAsync
 	if snap.Sampling.Configured || snap.Sampling.Counters.Enters > 0 {
 		sampling := snap.Sampling
 		st.Sampling = &sampling
@@ -863,6 +898,49 @@ func (i *Instance) SyntheticExits() int64 {
 		return 0
 	}
 	return i.rt.SyntheticExits()
+}
+
+// Async reports whether the instance runs the asynchronous event pipeline.
+func (i *Instance) Async() bool {
+	return i.rt != nil && i.rt.AsyncEnabled()
+}
+
+// PipelineDepth returns the number of events currently queued in the async
+// pipeline's per-rank rings (0 for inline or uninstrumented instances).
+func (i *Instance) PipelineDepth() int64 {
+	if i.rt == nil {
+		return 0
+	}
+	return i.rt.PipelineDepth()
+}
+
+// DroppedAsync returns how many enter/exit pairs the async pipeline rejected
+// under back-pressure (0 for inline or uninstrumented instances).
+func (i *Instance) DroppedAsync() int64 {
+	if i.rt == nil {
+		return 0
+	}
+	return i.rt.DroppedAsync()
+}
+
+// DrainPipeline blocks until every event dispatched before the call has been
+// delivered through the backend chain — what Run does automatically at phase
+// end, exposed for mid-phase report consumers that want catch-up semantics.
+// A no-op on inline or uninstrumented instances.
+func (i *Instance) DrainPipeline() {
+	if i.rt != nil {
+		i.rt.DrainPipeline()
+	}
+}
+
+// Close tears the instance's background machinery down: the async pipeline
+// is drained and its consumer pool stopped. Must not be called while a Run
+// executes. A no-op for inline or uninstrumented instances; safe to call
+// more than once.
+func (i *Instance) Close() {
+	if i.rt != nil {
+		i.rt.Close()
+	}
 }
 
 // Run executes one phase of the workload on the live instance. The first
@@ -929,8 +1007,12 @@ func (i *Instance) Run() (*RunResult, error) {
 		return nil, err
 	}
 	if i.rt != nil {
-		// The engine has joined its rank goroutines: publish the exact
-		// sampling counters so end-of-phase reports reconcile exactly.
+		// The engine has joined its rank goroutines. On an async run, drain
+		// the pipeline first — events still queued in the rings have not
+		// reached the backends yet, and capturing RunResult or backend
+		// reports before they land would short-count the phase. Only then
+		// publish the exact sampling counters.
+		i.rt.DrainPipeline()
 		i.rt.FlushSampling()
 	}
 
@@ -960,6 +1042,7 @@ func (i *Instance) Run() (*RunResult, error) {
 		if snap := i.rt.SamplingSnapshot(); snap.Configured || snap.Counters.Enters > 0 {
 			out.Sampling = &snap
 		}
+		out.DroppedAsync = i.rt.DroppedAsync()
 	}
 	backends := i.backends
 	out.WallSeconds = time.Since(i.wallStart).Seconds()

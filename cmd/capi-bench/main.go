@@ -13,15 +13,17 @@
 //
 // -json emits a BENCH_*.json-style document: wall-clock dispatch ns/op per
 // measurement backend — the four built-ins, the mux fan-out variants
-// (mux-of-one, talp+extrae) and the sampled-dispatch entry
-// (sampled:extrae@64, gated at ≤1.3x of the none baseline) — and the
-// coalesced batch-patching statistics, so performance trajectories can
-// accumulate across commits. -backend narrows the dispatch suite to one
-// registry-resolved backend set (comma-separated = fanned out behind the
-// mux), always alongside the "none" baseline the relative gates need;
-// unknown names fail fast with the registered list. -sample N adds a
-// 1-in-N stride-sampled entry for the chosen set, -suppress-ns M a
-// min-duration-suppressed one.
+// (mux-of-one, talp+extrae), the sampled-dispatch entry
+// (sampled:extrae@64, gated at ≤1.3x of the none baseline) and the
+// async-pipeline entry (async:extrae, gated at ≤0.6x of the same run's
+// inline extrae) — and the coalesced batch-patching statistics, so
+// performance trajectories can accumulate across commits. -backend narrows
+// the dispatch suite to one registry-resolved backend set (comma-separated
+// = fanned out behind the mux), always alongside the "none" baseline the
+// relative gates need; unknown names fail fast with the registered list.
+// -sample N adds a 1-in-N stride-sampled entry for the chosen set,
+// -suppress-ns M a min-duration-suppressed one, -async (optionally with
+// -async-buf N) an async-pipeline one.
 //
 // Scale 1.0 reproduces the paper's 410,666-node OpenFOAM call graph; smaller
 // scales keep turnaround short. Absolute virtual seconds are not comparable
@@ -33,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
 	"sort"
 	"strings"
 	"testing"
@@ -59,6 +62,8 @@ func main() {
 		backend  = flag.String("backend", "", "restrict -json dispatch benches to this comma-separated backend set (registry-resolved; several = mux fan-out)")
 		sample   = flag.Int("sample", 0, "add a 1-in-N stride-sampled dispatch entry for the -backend set (default extrae) to the -json suite")
 		suppress = flag.Int64("suppress-ns", 0, "add a min-duration-suppressed dispatch entry (threshold in virtual ns) to the -json suite")
+		async    = flag.Bool("async", false, "add an async-pipeline dispatch entry for the -backend set (default extrae) to the -json suite (the default suite already carries async:extrae)")
+		asyncBuf = flag.Int("async-buf", 0, "async: per-rank ring capacity in events for the -async entry (0 = default 65536)")
 		probe    = flag.Bool("probe", false, "print calibration counters (maintainer tool)")
 	)
 	flag.Parse()
@@ -79,6 +84,10 @@ func main() {
 			experiments.BackendTALP,
 			experiments.BackendScoreP,
 			experiments.BackendExtrae,
+			// The async pipeline right after its same-run inline anchor:
+			// the async_vs_inline_cap gate asserts the append-only hot path
+			// costs at most 0.6x of inline extrae dispatch.
+			"async:" + experiments.BackendExtrae,
 			// The fan-out variants the benchdiff gates watch: mux-of-one
 			// against the direct extrae path, and the talp+extrae combo.
 			"mux:" + experiments.BackendExtrae,
@@ -102,6 +111,16 @@ func main() {
 		}
 		if *suppress > 0 {
 			suite = append(suite, fmt.Sprintf("suppressed:%s@%d", sampleTarget, *suppress))
+		}
+		if *async || *asyncBuf > 0 {
+			prefix := "async:"
+			if *asyncBuf > 0 {
+				prefix = fmt.Sprintf("async@%d:", *asyncBuf)
+			}
+			entry := prefix + sampleTarget
+			if !slices.Contains(suite, entry) {
+				suite = append(suite, entry)
+			}
 		}
 		if err := runBenchJSON(opts, suite); err != nil {
 			fatal(err)
@@ -153,6 +172,9 @@ func runBenchJSON(opts experiments.Options, suite []string) error {
 				h.Dispatch(i)
 			}
 		})
+		// Drain and stop any async consumer pool outside the timed window
+		// so pools do not accumulate across suite entries.
+		h.Close()
 		perPair := float64(r.T.Nanoseconds()) / float64(r.N)
 		out.Dispatch = append(out.Dispatch, benchcmp.Dispatch{
 			Backend:    backend,

@@ -59,6 +59,8 @@ func main() {
 		epoch    = flag.Float64("epoch", 0, "adaptation epoch length in virtual seconds (implies -adapt)")
 		sample   = flag.Int("sample", 0, "initial 1-in-N stride sampling (0 = unsampled; change live via POST /v1/sampling)")
 		suppress = flag.Int64("suppress-ns", 0, "initial min-duration suppression threshold in virtual ns")
+		async    = flag.Bool("async", false, "asynchronous event pipeline: backends consume off the dispatch hot path (incompatible with -adapt)")
+		asyncBuf = flag.Int("async-buf", 0, "async: per-rank ring capacity in events (0 = default 65536)")
 	)
 	flag.Parse()
 
@@ -91,6 +93,8 @@ func main() {
 		Backends: backends,
 		Ranks:    *ranks,
 		PatchAll: *full,
+		Async:    *async,
+		AsyncBuf: *asyncBuf,
 	}
 	if *adapt || *budget > 0 || *epoch > 0 {
 		runOpts.Adapt = &capi.AdaptOptions{Budget: *budget, Epoch: vtime.Seconds(*epoch)}
@@ -134,6 +138,9 @@ func main() {
 		if err := srv.Shutdown(shutCtx); err != nil {
 			fatal(err)
 		}
+		// Drain and stop the async consumer pool (a no-op in inline mode);
+		// the HTTP server is down, so no phase can start anymore.
+		inst.Close()
 		st := inst.Status()
 		fmt.Fprintf(os.Stderr, "capi-serve: served %d phases, %d re-selections, %d events\n",
 			st.Runs, st.Reconfigs, st.Events)

@@ -59,6 +59,8 @@ func main() {
 		sample   = flag.Int("sample", 0, "1-in-N stride sampling: deliver 1 of every N enters per function and rank (0 = unsampled)")
 		suppress = flag.Int64("suppress-ns", 0, "suppress enter/exit pairs predicted shorter than this many virtual ns (exact drop accounting)")
 		collapse = flag.Bool("collapse-redundant", false, "collapse repeated identical short calls into a count+aggregate")
+		async    = flag.Bool("async", false, "asynchronous event pipeline: backends consume off the dispatch hot path (incompatible with -adapt)")
+		asyncBuf = flag.Int("async-buf", 0, "async: per-rank ring capacity in events (0 = default 65536; overflow drops whole pairs, counted)")
 	)
 	flag.Parse()
 
@@ -108,6 +110,8 @@ func main() {
 		Ranks:          *ranks,
 		PatchAll:       *full,
 		EmulateTALPBug: *talpBug,
+		Async:          *async,
+		AsyncBuf:       *asyncBuf,
 	}
 	if *adapt || *budget > 0 || *epoch > 0 {
 		runOpts.Adapt = &capi.AdaptOptions{
@@ -136,6 +140,10 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "dyncapi: T_init %.2fs, T_total %.2fs (virtual), %d functions patched, %d events\n",
 		res.InitSeconds, res.TotalSeconds, res.Patched, res.Events)
+	if res.DroppedAsync > 0 {
+		fmt.Fprintf(os.Stderr, "dyncapi: async: %d enter/exit pairs dropped under back-pressure (raise -async-buf)\n",
+			res.DroppedAsync)
+	}
 	if res.Sampling != nil {
 		c := res.Sampling.Counters
 		fmt.Fprintf(os.Stderr, "dyncapi: sampling: %d enters -> %d delivered (%d sampled out, %d suppressed [%.1fµs], %d collapsed [%.1fµs])\n",

@@ -33,7 +33,12 @@
 //	          with exact drop accounting, and redundancy collapse of
 //	          repeated identical short calls — policies published
 //	          atomically, rates changeable mid-run without locking the
-//	          hot path (SetSampling / SetFuncSampling)
+//	          hot path (SetSampling / SetFuncSampling), and the async
+//	          event pipeline (pipeline.go): per-rank bounded single-writer
+//	          rings lift the backend chain off the dispatch hot path, a
+//	          consumer pool replays events under pinned clocks, drain
+//	          barriers keep phase results and synthetic-exit ordering
+//	          exact, back-pressure drops whole pairs (DroppedAsync)
 //	capi      backend registry (RegisterBackend / RunOptions.Backends):
 //	          measurement systems are named factories behind the public
 //	          MeasurementBackend interface, reporting through one

@@ -1,0 +1,277 @@
+package capi_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	capi "capi"
+)
+
+// slowCountBackend is a registered backend that counts events and sleeps on
+// every delivery — slow enough that an async run's rings are provably
+// non-empty when the engine's ranks join, which is what the Run flush
+// barrier exists for. A process-wide singleton, like race-count, so counts
+// survive backend-set swaps.
+type slowCountBackend struct {
+	enters, exits atomic.Int64
+	delay         atomic.Int64 // nanoseconds per event
+}
+
+func (b *slowCountBackend) Name() string { return "slow-count" }
+func (b *slowCountBackend) OnEnter(tc capi.ThreadCtx, fn *capi.ResolvedFunc) {
+	if d := b.delay.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+	b.enters.Add(1)
+}
+func (b *slowCountBackend) OnExit(tc capi.ThreadCtx, fn *capi.ResolvedFunc) {
+	if d := b.delay.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+	b.exits.Add(1)
+}
+func (b *slowCountBackend) InitCost(int) int64           { return 0 }
+func (b *slowCountBackend) Events() capi.EventBackend    { return b }
+func (b *slowCountBackend) StartPhase(*capi.World) error { return nil }
+func (b *slowCountBackend) Report() capi.Report          { return nil }
+
+var slowCounter = &slowCountBackend{}
+
+func init() {
+	capi.RegisterBackend("slow-count", func(capi.BackendConfig) (capi.MeasurementBackend, error) {
+		return slowCounter, nil
+	})
+}
+
+// TestAsyncAdaptIncompatible: the overhead-budget controller reads live
+// rank clocks the replayed pipeline events never advance, so the
+// combination is rejected up front instead of silently mis-adapting.
+func TestAsyncAdaptIncompatible(t *testing.T) {
+	s := newQuickSession(t)
+	sel, err := s.Select(quickSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Start(sel, capi.RunOptions{
+		Backend: capi.BackendTALP, Ranks: 2,
+		Async: true, Adapt: &capi.AdaptOptions{Budget: 0.01},
+	})
+	if err == nil {
+		t.Fatal("Async+Adapt accepted")
+	}
+}
+
+// TestInstanceAsyncRunFlushBarrier is the phase-end flush-ordering
+// regression test: Instance.Run must drain the async pipeline after the
+// engine's ranks join and before RunResult is captured. The backend sleeps
+// per event, so at join time the rings still hold queued events — without
+// the barrier, the counting backend's totals (and every backend report)
+// would be short of the sampler's Delivered count at Run return.
+func TestInstanceAsyncRunFlushBarrier(t *testing.T) {
+	slowCounter.enters.Store(0)
+	slowCounter.exits.Store(0)
+	slowCounter.delay.Store(int64(50 * time.Microsecond))
+	defer slowCounter.delay.Store(0)
+
+	s := newQuickSession(t)
+	sel, err := s.Select(quickSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := s.Start(sel, capi.RunOptions{
+		Backends: []string{"slow-count"},
+		Ranks:    2,
+		Async:    true,
+		// Stride 1: the sampler counts every event and delivers every event,
+		// giving the independent expected count for the assertion below.
+		Sampling: &capi.SamplingOptions{Default: &capi.SamplingPolicy{Stride: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	if !inst.Async() {
+		t.Fatal("pipeline not attached")
+	}
+
+	res, err := inst.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sampling == nil || res.Sampling.Counters.Enters == 0 {
+		t.Fatalf("no sampling counters captured: %+v", res.Sampling)
+	}
+	if res.DroppedAsync != 0 {
+		t.Fatalf("default ring dropped %d pairs on a quickstart phase", res.DroppedAsync)
+	}
+	// The exact reconciliation, read immediately at Run return: every enter
+	// the sampler delivered has already landed in the backend. A missing
+	// drain barrier loses the tail of the phase still queued in the rings.
+	c := res.Sampling.Counters
+	if got := slowCounter.enters.Load(); got != c.Delivered {
+		t.Fatalf("at Run return the backend saw %d enters, sampler delivered %d — phase-end flush barrier broken",
+			got, c.Delivered)
+	}
+	if d := inst.PipelineDepth(); d != 0 {
+		t.Fatalf("pipeline depth %d at Run return, want 0", d)
+	}
+}
+
+// TestInstanceAsyncConservationUnderRace is the async stress test: phases
+// execute through the asynchronous pipeline while four goroutines hammer
+// the instance — live sampling-rate changes, re-selection, backend-set
+// swaps and status scrapes. Run with -race.
+//
+// The acceptance invariant extends the inline one with back-pressure:
+//
+//	enters == delivered + sampled-out + suppressed + collapsed
+//	backend enters == delivered − droppedAsync
+//
+// — every event is delivered, sampled out, suppressed, collapsed or
+// dropped by the bounded ring, with nothing unaccounted.
+func TestInstanceAsyncConservationUnderRace(t *testing.T) {
+	raceCounter.enters.Store(0)
+	raceCounter.exits.Store(0)
+	s, err := capi.NewSession(capi.Lulesh(capi.LuleshOptions{Timesteps: 3000}),
+		capi.SessionOptions{OptLevel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := s.Select(quickSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow, err := s.Select(quickCoarseSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := s.Start(wide, capi.RunOptions{
+		Backends: []string{"race-count"},
+		Ranks:    2,
+		Async:    true,
+		// A small ring keeps the back-pressure path itself under stress.
+		AsyncBuf: 256,
+		Sampling: &capi.SamplingOptions{Default: &capi.SamplingPolicy{Stride: 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(4)
+	go func() { // live rate changes
+		defer wg.Done()
+		tables := []capi.SamplingOptions{
+			{Default: &capi.SamplingPolicy{Stride: 1}},
+			{Default: &capi.SamplingPolicy{Stride: 8}},
+			{Default: &capi.SamplingPolicy{Stride: 64, MinDurationNs: 500}},
+			{Default: &capi.SamplingPolicy{MinDurationNs: 2000, CollapseRedundant: true}},
+			{}, // clear: deliver everything, keep accounting
+			{Default: &capi.SamplingPolicy{Stride: 3}},
+		}
+		for j := 0; ; j++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if err := inst.SetSampling(tables[j%len(tables)]); err != nil {
+				t.Errorf("SetSampling: %v", err)
+				return
+			}
+		}
+	}()
+	go func() { // live re-selection (Reconfigure drains before synthetic exits)
+		defer wg.Done()
+		for j := 0; ; j++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			sel := narrow
+			if j%2 == 1 {
+				sel = wide
+			}
+			if _, err := inst.Reconfigure(sel); err != nil {
+				t.Errorf("reconfigure: %v", err)
+				return
+			}
+		}
+	}()
+	go func() { // live backend-set swaps (SwapBackend drains first)
+		defer wg.Done()
+		sets := [][]string{{"race-count"}, {"race-count", "extrae"}}
+		for j := 0; ; j++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if _, err := inst.SetBackends(sets[j%2]); err != nil {
+				t.Errorf("set backends: %v", err)
+				return
+			}
+		}
+	}()
+	go func() { // scrapes, including the new pipeline observability
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			st := inst.Status()
+			if !st.Async {
+				t.Error("status lost the async flag")
+				return
+			}
+			inst.PipelineDepth()
+			inst.DroppedAsync()
+			inst.Sampling()
+			inst.Reports()
+		}
+	}()
+
+	for phase := 0; phase < 3; phase++ {
+		if _, err := inst.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	wg.Wait()
+
+	st := inst.Status()
+	if st.Runs != 3 || st.DroppedUnpatched != 0 {
+		t.Fatalf("final status = %+v", st)
+	}
+	snap := inst.Sampling()
+	c := snap.Counters
+	if c.Enters == 0 || c.SampledEvents == 0 {
+		t.Fatalf("stress run never sampled: %+v", c)
+	}
+	// (a) The sampler's conservation identity survives asynchrony exactly.
+	if got := c.Delivered + c.SampledEvents + c.SuppressedPairs + c.CollapsedCalls; got != c.Enters {
+		t.Fatalf("conservation broken: delivered %d + sampled %d + suppressed %d + collapsed %d = %d != enters %d",
+			c.Delivered, c.SampledEvents, c.SuppressedPairs, c.CollapsedCalls, got, c.Enters)
+	}
+	// (b) Zero unaccounted events across the pipeline: of the enters the
+	// sampler admitted, exactly the back-pressure-dropped pairs are missing
+	// from the independent backend count — no more, no fewer.
+	dropped := inst.DroppedAsync()
+	if got, want := raceCounter.enters.Load(), c.Delivered-dropped; got != want {
+		t.Fatalf("backend saw %d enters; sampler delivered %d, ring dropped %d pairs — %d unaccounted",
+			got, c.Delivered, dropped, want-got)
+	}
+	if st.DroppedAsync != dropped {
+		t.Fatalf("status reports %d dropped pairs, accessor %d", st.DroppedAsync, dropped)
+	}
+	if raceCounter.exits.Load() == 0 {
+		t.Fatal("no exits delivered at all")
+	}
+}

@@ -31,6 +31,15 @@ const (
 	SampledCapMinStride = 64
 )
 
+// AsyncVsInlineLimit is the hard cap on asynchronous dispatch: an "async:X"
+// entry must keep its ns/event at or below this factor of the *same run's*
+// inline X entry (machine speed cancels out). The async pipeline exists to
+// lift the backend off the hot path — if appending a compact record to the
+// rank's ring does not beat delivering inline by a wide margin, the extra
+// machinery (consumer pool, drain barriers, back-pressure accounting) is
+// not paying for itself. Like the sampled cap, it never loosens with -tol.
+const AsyncVsInlineLimit = 0.6
+
 // Dispatch is one backend's dispatch micro-benchmark result.
 type Dispatch struct {
 	Backend    string  `json:"backend"`
@@ -228,12 +237,51 @@ func Compare(base, cur *Doc, tol float64) []Result {
 		}
 		out = append(out, compare(metric, curNone, c.NsPerEvent, SampledVsNoneLimit))
 	}
+	// Async-pipeline caps: an "async:X" (or "async@N:X") entry is the X
+	// backend behind the append-only asynchronous pipeline, so its ns/event
+	// must stay at or below AsyncVsInlineLimit of the *same run's* inline X
+	// entry — the acceptance bar for lifting backends off the hot path.
+	// Same-run ratio, so machine speed cancels out; the cap never loosens
+	// with -tol. An async entry whose inline counterpart is absent from the
+	// run cannot be gated — a coverage hole, reported as missing rather
+	// than silently skipped.
+	for _, c := range cur.Dispatch {
+		name, ok := asyncInner(c.Backend)
+		if !ok {
+			continue
+		}
+		metric := "dispatch/" + c.Backend + " async_vs_inline_cap"
+		inline := dispatchNsPerEvent(cur, name)
+		if inline <= 0 {
+			out = append(out, Result{Metric: metric, Current: c.NsPerEvent, Limit: AsyncVsInlineLimit, Regressed: true, Missing: true})
+			continue
+		}
+		out = append(out, compare(metric, inline, c.NsPerEvent, AsyncVsInlineLimit))
+	}
 	out = append(out,
 		compare("batch_patch ns_per_func", base.BatchPatch.NsPerFunc, cur.BatchPatch.NsPerFunc, tol),
 		compare("batch_patch mprotect_calls", float64(base.BatchPatch.MprotectCalls), float64(cur.BatchPatch.MprotectCalls), 1),
 		compare("batch_patch mprotect_windows", float64(base.BatchPatch.BatchWindows), float64(cur.BatchPatch.BatchWindows), 1),
 	)
 	return out
+}
+
+// asyncInner extracts the inline backend spec from an async dispatch entry:
+// "async:extrae" and "async@4096:extrae" both yield "extrae". The second
+// return is false for non-async entries.
+func asyncInner(backend string) (string, bool) {
+	rest, ok := strings.CutPrefix(backend, "async")
+	if !ok {
+		return "", false
+	}
+	if num, ok := strings.CutPrefix(rest, "@"); ok {
+		colon := strings.Index(num, ":")
+		if colon < 0 {
+			return "", false
+		}
+		rest = num[colon:]
+	}
+	return strings.CutPrefix(rest, ":")
 }
 
 func dispatchNsPerEvent(d *Doc, backend string) float64 {

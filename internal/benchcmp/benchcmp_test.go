@@ -263,6 +263,69 @@ func TestMuxWithoutDirectCounterpartIsMissing(t *testing.T) {
 	}
 }
 
+// TestAsyncVsInlineCap: an async:X entry is capped at AsyncVsInlineLimit of
+// the same run's inline X entry — the acceptance bar for lifting backends
+// off the hot path — independent of the wall-clock tolerance.
+func TestAsyncVsInlineCap(t *testing.T) {
+	base, cur := doc(), doc()
+	entry := Dispatch{Backend: "async:extrae", NsPerPair: 60, NsPerEvent: 30, Iters: 1000}
+	base.Dispatch = append(base.Dispatch, entry)
+	cur.Dispatch = append(cur.Dispatch, entry)
+	// 30 async vs 80 inline extrae = 0.375x: well under the 0.6 cap.
+	if regs := Regressions(Compare(base, cur, 1.5)); len(regs) != 0 {
+		t.Fatalf("0.375x async dispatch flagged: %v", regs)
+	}
+	// 60 vs 80 = 0.75x: over the cap, even with a huge tolerance and an
+	// equally slow baseline entry (absolute gate passes).
+	base.Dispatch[len(base.Dispatch)-1].NsPerEvent = 60
+	cur.Dispatch[len(cur.Dispatch)-1].NsPerEvent = 60
+	regs := Regressions(Compare(base, cur, 10))
+	found := false
+	for _, r := range regs {
+		if r.Metric == "dispatch/async:extrae async_vs_inline_cap" {
+			if r.Limit != AsyncVsInlineLimit {
+				t.Fatalf("cap uses limit %v, want %v", r.Limit, AsyncVsInlineLimit)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("0.75x async dispatch passed a 10x tolerance: %v", regs)
+	}
+	// A sized ring ("async@N:X") pairs with the same inline anchor.
+	sized := doc()
+	sized.Dispatch = append(sized.Dispatch,
+		Dispatch{Backend: "async@4096:extrae", NsPerPair: 120, NsPerEvent: 60, Iters: 1000})
+	baseSized := doc()
+	baseSized.Dispatch = append(baseSized.Dispatch,
+		Dispatch{Backend: "async@4096:extrae", NsPerPair: 120, NsPerEvent: 60, Iters: 1000})
+	found = false
+	for _, r := range Regressions(Compare(baseSized, sized, 10)) {
+		if r.Metric == "dispatch/async@4096:extrae async_vs_inline_cap" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("async@N: entry escaped the inline cap")
+	}
+	// Without an inline counterpart in the current run the cap has no
+	// anchor: missing, not a silent skip.
+	cur2 := doc()
+	cur2.Dispatch = append(cur2.Dispatch[:3], entry) // drop inline extrae
+	base2 := doc()
+	base2.Dispatch = append(base2.Dispatch[:3], entry)
+	regs = Regressions(Compare(base2, cur2, 1.5))
+	found = false
+	for _, r := range regs {
+		if r.Metric == "dispatch/async:extrae async_vs_inline_cap" && r.Missing {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("async entry without inline anchor passed: %v", regs)
+	}
+}
+
 // TestSampledVsNoneCap: a sampled:X@N entry is capped at
 // SampledVsNoneLimit of the same run's none baseline, independent of the
 // wall-clock tolerance — even a 10x -tol does not excuse a slow sampler.

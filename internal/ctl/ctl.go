@@ -569,6 +569,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "capi_dropped_events_total{class=\"in_flight\"} %d\n", st.DroppedInFlight)
 	fmt.Fprintf(&b, "capi_dropped_events_total{class=\"unpatched\"} %d\n", st.DroppedUnpatched)
 	counter("capi_synthetic_exits_total", "Dangling enters closed by the backends on deselection.", st.SyntheticExits)
+	// Async pipeline: the async gauge is static per instance, the depth
+	// breathes with the consumer pool's lag, the drop counter only moves
+	// when back-pressure rejects whole enter/exit pairs.
+	asyncOn := 0
+	if st.Async {
+		asyncOn = 1
+	}
+	gauge("capi_pipeline_async", "1 when the asynchronous event pipeline is attached.", asyncOn)
+	gauge("capi_pipeline_depth", "Events currently queued in the async pipeline's per-rank rings.", st.PipelineDepth)
+	counter("capi_pipeline_dropped_total", "Enter/exit pairs rejected by async pipeline back-pressure (bounded rings).", st.DroppedAsync)
 	if len(st.SyntheticExitsByBackend) > 0 {
 		names := make([]string, 0, len(st.SyntheticExitsByBackend))
 		for name := range st.SyntheticExitsByBackend {

@@ -10,6 +10,7 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -825,6 +826,92 @@ func TestSelect400LeavesInstanceUntouched(t *testing.T) {
 	}
 	if inst.Reconfigs() != 0 {
 		t.Fatalf("reconfigs = %d after two 400s", inst.Reconfigs())
+	}
+}
+
+// ctlSlowBackend is a registered counting backend with a tunable per-event
+// delay — slow enough that a tiny async ring provably sheds load during a
+// phase. A process-wide singleton so counts survive backend-set swaps.
+type ctlSlowBackend struct {
+	enters atomic.Int64
+	delay  atomic.Int64 // nanoseconds per event
+}
+
+func (b *ctlSlowBackend) Name() string { return "ctl-slow" }
+func (b *ctlSlowBackend) OnEnter(capi.ThreadCtx, *capi.ResolvedFunc) {
+	if d := b.delay.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+	b.enters.Add(1)
+}
+func (b *ctlSlowBackend) OnExit(capi.ThreadCtx, *capi.ResolvedFunc) {
+	if d := b.delay.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+}
+func (b *ctlSlowBackend) InitCost(int) int64           { return 0 }
+func (b *ctlSlowBackend) Events() capi.EventBackend    { return b }
+func (b *ctlSlowBackend) StartPhase(*capi.World) error { return nil }
+func (b *ctlSlowBackend) Report() capi.Report          { return nil }
+
+var ctlSlow = &ctlSlowBackend{}
+
+func init() {
+	capi.RegisterBackend("ctl-slow", func(capi.BackendConfig) (capi.MeasurementBackend, error) {
+		return ctlSlow, nil
+	})
+}
+
+// TestAsyncPipelineOverHTTP is the control-plane e2e for the async event
+// pipeline: /v1/status and /metrics must expose the pipeline fields, and a
+// phase over an 8-slot ring feeding a 200µs/event backend must move the
+// drop counter while the depth gauge settles back to zero behind the
+// phase-end drain barrier.
+func TestAsyncPipelineOverHTTP(t *testing.T) {
+	ctlSlow.delay.Store(int64(200 * time.Microsecond))
+	defer ctlSlow.delay.Store(0)
+	ts, _, inst := newServer(t, capi.Quickstart(), "quickstart",
+		capi.RunOptions{Backends: []string{"ctl-slow"}, Ranks: 2, Async: true, AsyncBuf: 8})
+	t.Cleanup(func() { inst.Close() })
+
+	var st ctl.StatusResponse
+	getJSON(t, ts.URL+"/v1/status", &st)
+	if !st.Async || st.DroppedAsync != 0 || st.PipelineDepth != 0 {
+		t.Fatalf("fresh async status = %+v", st.InstanceStatus)
+	}
+	if got := scrapeMetric(t, ts.URL, "capi_pipeline_async"); got != 1 {
+		t.Fatalf("capi_pipeline_async = %d, want 1", got)
+	}
+	if got := scrapeMetric(t, ts.URL, "capi_pipeline_dropped_total"); got != 0 {
+		t.Fatalf("fresh drop counter = %d", got)
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/run", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: %d %s", resp.StatusCode, body)
+	}
+
+	// The fields moved: back-pressure dropped pairs during the phase, and
+	// the Run barrier left the rings empty before the summary was captured.
+	getJSON(t, ts.URL+"/v1/status", &st)
+	if st.DroppedAsync == 0 {
+		t.Fatal("8-slot ring over a 200µs/event backend dropped nothing")
+	}
+	if st.PipelineDepth != 0 {
+		t.Fatalf("pipeline depth %d after the phase, want 0", st.PipelineDepth)
+	}
+	if got := scrapeMetric(t, ts.URL, "capi_pipeline_dropped_total"); int64(got) != st.DroppedAsync {
+		t.Fatalf("metrics dropped = %d, status says %d", got, st.DroppedAsync)
+	}
+	if got := scrapeMetric(t, ts.URL, "capi_pipeline_depth"); got != 0 {
+		t.Fatalf("depth gauge = %d at quiescence", got)
+	}
+	// The synchronous path advertises itself too: a plain instance reports
+	// async 0 so dashboards can tell the modes apart.
+	ts2, _, _ := newServer(t, capi.Quickstart(), "quickstart",
+		capi.RunOptions{Backend: capi.BackendTALP, Ranks: 2})
+	if got := scrapeMetric(t, ts2.URL, "capi_pipeline_async"); got != 0 {
+		t.Fatalf("inline instance reports capi_pipeline_async = %d", got)
 	}
 }
 

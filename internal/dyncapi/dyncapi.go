@@ -114,6 +114,15 @@ type Options struct {
 	// MPI world size). Rank IDs beyond it still work through a slower
 	// overflow path; 0 defaults to 16.
 	Ranks int
+	// Async lifts the measurement backends off the dispatch hot path: the
+	// handler only appends a compact event record to a per-rank ring (see
+	// pipeline.go) and a consumer pool delivers the events to the backend
+	// chain asynchronously. The inline path stays the default.
+	Async bool
+	// AsyncBuf is the per-rank ring capacity in events (rounded up to a
+	// power of two); 0 defaults to DefaultAsyncBuf. When a ring fills, whole
+	// enter/exit pairs are dropped and counted in DroppedAsync.
+	AsyncBuf int
 }
 
 // Report summarizes what initialization did — the §VI-B facts.
@@ -203,6 +212,11 @@ type Runtime struct {
 	sampleDefault  *SamplePolicy          //capi:guardedby mu
 	defaultSample  atomic.Pointer[SamplePolicy]
 	sampleRanks    int
+
+	// pipe is the asynchronous event pipeline (nil in inline mode). Set in
+	// New before the handler is installed and never reassigned, so handlers
+	// and accessors may read it without synchronization.
+	pipe *pipeline
 }
 
 // backendBox wraps the backend interface value for atomic.Value, which
@@ -250,6 +264,9 @@ func New(proc *obj.Process, xr *xray.Runtime, cfg *ic.Config, backend Backend, o
 	}
 	rt.report.InitVirtualNs += opts.Costs.Base
 	rt.report.InitVirtualNs += backend.InitCost(rt.report.SymbolsScanned)
+	if opts.Async {
+		rt.pipe = newPipeline(rt, opts.Ranks, opts.AsyncBuf)
+	}
 	rt.installHandler()
 	return rt, nil
 }
@@ -438,6 +455,10 @@ func (rt *Runtime) patch() error {
 }
 
 func (rt *Runtime) installHandler() {
+	if rt.pipe != nil {
+		rt.xr.SetHandler(rt.dispatchAsync)
+		return
+	}
 	rt.xr.SetHandler(rt.dispatch)
 }
 
@@ -487,6 +508,42 @@ func (rt *Runtime) dispatch(tc xray.ThreadCtx, id int32, kind xray.EntryType) {
 	}
 }
 
+// dispatchAsync is the XRay event handler in async mode: the same active-set
+// lookup, drop classification and sampler admission as dispatch, but instead
+// of running the backend chain it appends a fixed-size record to the rank's
+// ring (pipeline.go) and returns — the backends consume off the hot path.
+// The sampling decision is still made here, synchronously, so the pairing
+// stacks see every event in program order and the conservation identity
+// survives asynchrony.
+//
+//capi:hotpath
+func (rt *Runtime) dispatchAsync(tc xray.ThreadCtx, id int32, kind xray.EntryType) {
+	m, _ := rt.active.Load().(map[int32]*ResolvedFunc)
+	rf := m[id]
+	if rf == nil {
+		if rt.byID[id] != nil {
+			if d, _ := rt.deselected.Load().(map[int32]struct{}); d != nil {
+				if _, ok := d[id]; ok {
+					rt.droppedInFlight.Add(1)
+					return
+				}
+			}
+			rt.droppedUnpatched.Add(1)
+		}
+		return
+	}
+	st := rf.sample.Load()
+	if st == nil {
+		if dp := rt.defaultSample.Load(); dp != nil {
+			st = rt.lazySampleState(rf, dp)
+		}
+	}
+	if st != nil && !st.admit(tc, kind) {
+		return
+	}
+	rt.pipe.append(tc, rf, kind)
+}
+
 // ReconfigReport summarizes one live re-selection (Reconfigure call).
 type ReconfigReport struct {
 	// Seq is the 1-based reconfiguration sequence number.
@@ -517,6 +574,10 @@ type ReconfigReport struct {
 	// re-selection (nil when no sampling policy is installed). Mid-phase
 	// the values may lag the hot path by up to one publication window.
 	Sampling *SamplingCounters `json:"Sampling,omitempty"`
+	// DroppedAsync is the cumulative count of enter/exit pairs the async
+	// pipeline rejected under back-pressure, as of this re-selection
+	// (0 in inline mode).
+	DroppedAsync int64 `json:"DroppedAsync,omitempty"`
 	// VirtualNs is the virtual-time cost of the re-patch per the CostModel.
 	VirtualNs int64
 }
@@ -600,6 +661,16 @@ func (rt *Runtime) Reconfigure(cfg *ic.Config) (ReconfigReport, error) {
 	}
 	rep.VirtualNs = int64(len(toPatch)+len(toUnpatch)) * rt.opts.Costs.PerPatch
 
+	// In async mode, drain the pipeline before closing dangling state:
+	// deselected functions went silent when the new active set was published
+	// above, so waiting for the rings to empty guarantees every already
+	// dispatched event has reached the backends before their synthetic exits
+	// are delivered — otherwise a queued real exit could arrive after the
+	// synthetic one that closed its frame.
+	if rt.pipe != nil && len(toUnpatch) > 0 {
+		rt.pipe.drain()
+	}
+
 	// Deliver synthetic exits for ranks caught inside a deselected
 	// function: the sleds are restored, so no real exit can arrive anymore.
 	// Every Deselector in the backend graph (the adapt controller may wrap
@@ -629,6 +700,9 @@ func (rt *Runtime) Reconfigure(cfg *ic.Config) (ReconfigReport, error) {
 	rt.reconfigs++
 	rt.reconfigNs += rep.VirtualNs
 	rep.Seq = rt.reconfigs
+	if rt.pipe != nil {
+		rep.DroppedAsync = rt.pipe.dropped()
+	}
 	if rt.sampleDefault != nil || len(rt.samplePolicies) > 0 {
 		var c SamplingCounters
 		for _, st := range rt.sampleStatesSnapshot() {
@@ -663,6 +737,18 @@ type Snapshot struct {
 	// DroppedInFlight / DroppedUnpatched are the split drop counters.
 	DroppedInFlight  int64
 	DroppedUnpatched int64
+	// Async reports whether the asynchronous event pipeline is attached.
+	// AsyncDepth is the number of events currently queued in the per-rank
+	// rings, DroppedAsync the pairs rejected by back-pressure (ring full)
+	// and DroppedAsyncByRank its per-rank breakdown (nil when inline).
+	// DroppedAsyncOrphanExits counts exits without a recorded enter (sled
+	// patched mid-call) rejected at a full ring — kept out of DroppedAsync
+	// because the conservation identity is stated in enter units.
+	Async                   bool
+	AsyncDepth              int64
+	DroppedAsync            int64
+	DroppedAsyncByRank      []int64 `json:",omitempty"`
+	DroppedAsyncOrphanExits int64   `json:",omitempty"`
 	// Sampling is the sampler's point-in-time view (policies + counters).
 	Sampling SamplingSnapshot
 	// InitVirtualNs is T_init.
@@ -691,6 +777,13 @@ func (rt *Runtime) Snapshot() Snapshot {
 	snap.InitVirtualNs = rt.report.InitVirtualNs
 	snap.DroppedInFlight = rt.droppedInFlight.Load()
 	snap.DroppedUnpatched = rt.droppedUnpatched.Load()
+	if rt.pipe != nil {
+		snap.Async = true
+		snap.AsyncDepth = rt.pipe.depthNow()
+		snap.DroppedAsync = rt.pipe.dropped()
+		snap.DroppedAsyncByRank = rt.pipe.droppedByRank()
+		snap.DroppedAsyncOrphanExits = rt.pipe.droppedOrphanExits()
+	}
 	snap.Sampling = rt.SamplingSnapshot()
 	return snap
 }
@@ -732,6 +825,13 @@ func (rt *Runtime) SwapBackend(b Backend) (BackendSwapReport, error) {
 
 	old := rt.loadBackend()
 	rep := BackendSwapReport{From: old.Name(), To: b.Name()}
+	// In async mode, drain before the swap so every event queued for the old
+	// backend set is delivered to it; events appended after the drain land on
+	// whichever backend the consumer loads at delivery time, the same
+	// in-flight window the inline path tolerates.
+	if rt.pipe != nil {
+		rt.pipe.drain()
+	}
 	// Publish the new backend *before* closing the old set's state: from
 	// here on new events go to the new backend, so the close loop below
 	// races only against truly in-flight handler calls (the same window the
@@ -856,4 +956,46 @@ func (rt *Runtime) SyntheticExits() int64 {
 // InitSeconds returns T_init in (virtual) seconds.
 func (rt *Runtime) InitSeconds() float64 {
 	return float64(rt.report.InitVirtualNs) / float64(vtime.Second)
+}
+
+// AsyncEnabled reports whether the asynchronous event pipeline is attached.
+func (rt *Runtime) AsyncEnabled() bool { return rt.pipe != nil }
+
+// DrainPipeline blocks until every event dispatched before the call has been
+// delivered through the backend chain. A no-op in inline mode. Phase-end
+// code must call it before reading backend reports or flushing sampling
+// counters, or queued events would be missing from the results.
+func (rt *Runtime) DrainPipeline() {
+	if rt.pipe != nil {
+		rt.pipe.drain()
+	}
+}
+
+// PipelineDepth returns the number of events currently queued in the async
+// rings (0 in inline mode).
+func (rt *Runtime) PipelineDepth() int64 {
+	if rt.pipe == nil {
+		return 0
+	}
+	return rt.pipe.depthNow()
+}
+
+// DroppedAsync counts the enter/exit pairs the async pipeline rejected under
+// back-pressure — the explicit bounded-ring policy. Each dropped pair is
+// counted once, at the enter (0 in inline mode).
+func (rt *Runtime) DroppedAsync() int64 {
+	if rt.pipe == nil {
+		return 0
+	}
+	return rt.pipe.dropped()
+}
+
+// Close drains and stops the async consumer pool. Like FlushSampling it
+// requires quiescence: no rank may dispatch events concurrently or after.
+// A no-op in inline mode; safe to call more than once.
+func (rt *Runtime) Close() {
+	if rt.pipe != nil {
+		rt.pipe.drain()
+		rt.pipe.close()
+	}
 }

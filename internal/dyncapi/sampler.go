@@ -623,7 +623,14 @@ func (rt *Runtime) SetSampling(cfg SamplingConfig) error {
 		rt.defaultSample.Store(&p)
 	} else {
 		rt.sampleDefault = nil
-		rt.defaultSample.Store(nil)
+		// A clear keeps the accounting, not just the existing states: the
+		// published default stays non-nil (zero policy: deliver everything)
+		// so a function first firing *after* the clear still materializes a
+		// counting state. Publishing nil here would let such functions
+		// deliver uncounted events, breaking the independently verified
+		// identity backendEnters == delivered for the clear windows of a
+		// live rate-change sequence.
+		rt.defaultSample.Store(&SamplePolicy{})
 	}
 	// Overridden functions get their state eagerly (there are few).
 	for id, p := range overrides {

@@ -58,6 +58,14 @@ func (c *dispatchCtx) MPIRank() *mpi.Rank  { return c.rank }
 // sampler's hot-path cost — the benchdiff vs_none_cap gate asserts sampled
 // dispatch stays within benchcmp.SampledVsNoneLimit of the discarding
 // baseline.
+//
+// The prefix "async:" ("async:extrae") attaches the asynchronous event
+// pipeline: the dispatch handler appends a compact record to the rank's
+// ring and returns, and a consumer goroutine replays the events through
+// the backend off the hot path. "async@N:" sizes the per-rank ring to N
+// events (capi-bench -async-buf). The benchdiff async_vs_inline_cap gate
+// compares each async entry against the same run's inline counterpart.
+// Callers of async harnesses must Close them to stop the consumer pool.
 func NewDispatchHarness(backend string, traceOpts *trace.Options) (*DispatchHarness, error) {
 	p := prog.New("dispatchbench", "main")
 	p.MustAddUnit("app.exe", prog.Executable)
@@ -90,6 +98,23 @@ func NewDispatchHarness(backend string, traceOpts *trace.Options) (*DispatchHarn
 	h := &DispatchHarness{Backend: backend, XR: xr}
 	spec := backend
 	stride, suppressNs := 0, 0
+	asyncMode, asyncBuf := false, 0
+	if rest, ok := strings.CutPrefix(spec, "async"); ok &&
+		(strings.HasPrefix(rest, ":") || strings.HasPrefix(rest, "@")) {
+		asyncMode = true
+		if num, ok := strings.CutPrefix(rest, "@"); ok {
+			colon := strings.Index(num, ":")
+			if colon < 0 {
+				return nil, fmt.Errorf("experiments: async dispatch spec %q needs the form async@N:backend", backend)
+			}
+			n, err := strconv.Atoi(num[:colon])
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("experiments: async dispatch spec %q needs the form async@N:backend", backend)
+			}
+			asyncBuf, rest = n, num[colon:]
+		}
+		spec = strings.TrimPrefix(rest, ":")
+	}
 	if rest, ok := strings.CutPrefix(spec, "sampled:"); ok {
 		n, inner, err := cutAtN(rest)
 		if err != nil || n < 1 {
@@ -140,7 +165,7 @@ func NewDispatchHarness(backend string, traceOpts *trace.Options) (*DispatchHarn
 	if len(leaves) > 1 || forceMux {
 		back = dyncapi.NewMux(leaves...)
 	}
-	rt, err := dyncapi.New(proc, xr, ic.New("dispatchbench", "bench", kernels), back, dyncapi.Options{Ranks: 1})
+	rt, err := dyncapi.New(proc, xr, ic.New("dispatchbench", "bench", kernels), back, dyncapi.Options{Ranks: 1, Async: asyncMode, AsyncBuf: asyncBuf})
 	if err != nil {
 		return nil, err
 	}
@@ -196,3 +221,8 @@ func (h *DispatchHarness) Dispatch(i int) {
 
 // Funcs returns the packed IDs of the patched kernels.
 func (h *DispatchHarness) Funcs() []int32 { return h.ids }
+
+// Close drains and stops the async consumer pool (a no-op for inline
+// harnesses). Benchmarks and capi-bench call it between suite entries so
+// consumer goroutines do not accumulate across harnesses.
+func (h *DispatchHarness) Close() { h.RT.Close() }

@@ -76,6 +76,8 @@ func TestRepoClean(t *testing.T) {
 var hotRoots = []string{
 	"capi/internal/xray.Runtime.Dispatch",
 	"capi/internal/dyncapi.Runtime.dispatch",
+	"capi/internal/dyncapi.Runtime.dispatchAsync",
+	"capi/internal/dyncapi.pipeline.append",
 	"capi/internal/dyncapi.Mux.OnEnter",
 	"capi/internal/dyncapi.Mux.OnExit",
 	"capi/internal/dyncapi.funcSampleState.admit",

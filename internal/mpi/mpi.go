@@ -193,6 +193,37 @@ type Rank struct {
 	callCount map[Op]int64
 }
 
+// NewReplayRank returns a detached rank that replays recorded state instead
+// of executing: its clock is pinned (cost charges are no-ops, only
+// SetReplayState moves it) and it never participates in communication. The
+// async event pipeline hands replay ranks to measurement backends so that
+// events recorded on the real rank goroutines can be delivered off the hot
+// path with exactly the recorded timestamps, MPI-time totals and
+// initialization state. The replay rank carries a private stub world sized
+// worldSize (it answers WorldSize, nothing else); it never shares the clock
+// or call state of the real rank with the same id. Exactly one consumer
+// goroutine may own a replay rank.
+func NewReplayRank(id, worldSize int) *Rank {
+	if worldSize < 1 {
+		worldSize = 1
+	}
+	r := &Rank{id: id, w: &World{size: worldSize}}
+	r.clk.Pin()
+	return r
+}
+
+// SetReplayState aligns a replay rank with one recorded event: the pinned
+// clock jumps to the recorded timestamp and the MPI-time total and
+// initialization flags take the values the real rank had when the event was
+// recorded. Only the owning consumer goroutine may call it, and only on
+// ranks created by NewReplayRank.
+func (r *Rank) SetReplayState(nowNs, mpiTotal int64, initialized, finalized bool) {
+	r.clk.Jump(nowNs)
+	r.totalMPI = mpiTotal
+	r.initialized = initialized
+	r.finalized = finalized
+}
+
 // ID returns the rank number (0-based). Named to compose with
 // xray.ThreadCtx implementations that embed a Rank.
 func (r *Rank) ID() int { return r.id }
