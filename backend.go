@@ -209,10 +209,12 @@ func ParseBackends(list string) ([]string, error) {
 }
 
 // buildMeasurementBackends resolves names through the registry, builds one
-// MeasurementBackend per name and wires the event path: the single
-// backend's sink directly, or a Mux fanning out to all of them (in list
+// MeasurementBackend per name, wraps each in its panic barrier
+// (guardedBackend — registry backends are untrusted code running inside
+// the host's dispatch path) and wires the event path: the single backend's
+// guarded sink directly, or a Mux fanning out to all of them (in list
 // order) when several are attached.
-func buildMeasurementBackends(names []string, cfg BackendConfig) ([]MeasurementBackend, dyncapi.Backend, error) {
+func buildMeasurementBackends(names []string, cfg BackendConfig, gopts dyncapi.GuardOptions) ([]MeasurementBackend, dyncapi.Backend, error) {
 	if err := ValidateBackends(names); err != nil {
 		return nil, nil, err
 	}
@@ -226,7 +228,7 @@ func buildMeasurementBackends(names []string, cfg BackendConfig) ([]MeasurementB
 		if mb == nil || mb.Events() == nil {
 			return nil, nil, fmt.Errorf("capi: backend %q factory returned no event sink", name)
 		}
-		backends = append(backends, mb)
+		backends = append(backends, newGuardedBackend(mb, gopts))
 	}
 	if len(backends) == 1 {
 		return backends, backends[0].Events(), nil

@@ -288,6 +288,14 @@ type RunOptions struct {
 	// AsyncBuf is the per-rank ring capacity in events (0 = the
 	// dyncapi.DefaultAsyncBuf default). Only meaningful with Async.
 	AsyncBuf int
+	// PanicLimit is the per-backend circuit-breaker threshold: every
+	// registry-built backend runs behind a panic barrier, and after this
+	// many recovered panics in one backend's delivery paths (events,
+	// synthetic exits, StartPhase, Report) the backend is auto-detached
+	// from the live chain — the instrumented process never crashes because
+	// a measurement tool did. 0 uses DefaultPanicLimit; negative keeps the
+	// barrier (panics recovered and counted) but never detaches.
+	PanicLimit int
 }
 
 // backendNames resolves the configured backend set: Backends verbatim when
@@ -348,6 +356,19 @@ type RunResult struct {
 	// exact conservation identity on an async run is
 	// enters == delivered + sampledOut + suppressed + collapsed + droppedAsync.
 	DroppedAsync int64
+	// DroppedPanicked is the cumulative count of enters the panic barriers
+	// swallowed (the enter that panicked, plus every enter arriving at an
+	// open breaker or a detached backend's tombstone), summed over every
+	// backend ever attached. It extends the per-backend conservation
+	// identity: for each backend,
+	// enters == delivered + sampledOut + suppressed + collapsed + droppedAsync + droppedPanicked,
+	// where "delivered" means delivered to the backend successfully.
+	DroppedPanicked int64
+	// Breaker carries the per-backend panic-barrier stats of every backend
+	// that ever panicked; DetachedBackends lists the backends the circuit
+	// breaker removed from the live instance, in trip order.
+	Breaker          []BreakerStatus `json:",omitempty"`
+	DetachedBackends []string        `json:",omitempty"`
 	// Backends lists the attached measurement backends in delivery order;
 	// Reports carries each backend's end-of-phase report, keyed by backend
 	// name (backends that produced nothing are absent).
@@ -413,6 +434,19 @@ type Instance struct {
 	running   bool
 	events    int64 // dispatched events, accumulated across completed phases
 	wallStart time.Time
+	// guards holds the panic barrier of every backend ever attached (the
+	// live set and the breaker-detached ones), in attach order — the drop
+	// accounting is cumulative, so conservation stays exact across
+	// detaches. detached lists the names the breaker removed, in trip
+	// order; breakerNotify is the trip callback (SetBreakerNotify).
+	guards        []*dyncapi.Guard
+	detached      []string
+	breakerNotify func(BreakerEvent)
+
+	// ttl is the ephemeral-probe scheduler: pending auto-reverts for TTL'd
+	// selections and sampling overrides (see ttl.go). It has its own lock;
+	// the ttl.mu → (rt locks) order matches mu's.
+	ttl ttlState
 }
 
 // Start prepares a live instance: the build is loaded, the XRay runtime
@@ -436,6 +470,7 @@ func (s *Session) Start(sel *Selection, opts RunOptions) (*Instance, error) {
 		return nil, err
 	}
 	inst := &Instance{s: s, opts: opts, proc: proc, xr: xr, world: world, curWorld: world, wallStart: time.Now()}
+	inst.ttl.wake = make(chan struct{}, 1)
 
 	var cfg *ic.Config
 	if sel != nil {
@@ -451,11 +486,12 @@ func (s *Session) Start(sel *Selection, opts RunOptions) (*Instance, error) {
 		World:          world,
 		EmulateTALPBug: opts.EmulateTALPBug,
 		Trace:          traceOptionsFor(opts),
-	})
+	}, inst.guardOptions())
 	if err != nil {
 		return nil, err
 	}
 	inst.backends = backends
+	inst.guards = guardsOf(backends)
 	if opts.Adapt != nil {
 		if opts.Async {
 			return nil, fmt.Errorf("capi: Async and Adapt are incompatible: the overhead-budget controller detects epoch boundaries on live rank clocks, which the replayed pipeline events do not advance")
@@ -482,7 +518,20 @@ func (s *Session) Start(sel *Selection, opts RunOptions) (*Instance, error) {
 	}
 	inst.rt = rt
 	inst.pendingNs = rt.Report().InitVirtualNs
+	// Pre-publication writes: the TTL base snapshots start as the initial
+	// explicit selection/sampling table, before any other goroutine can see
+	// the instance.
+	inst.ttl.userIC = cfg //capi:unguarded-ok pre-publication init in Start
+	if opts.Sampling != nil {
+		inst.ttl.lastSampling = copySamplingConfig(*opts.Sampling) //capi:unguarded-ok pre-publication init in Start
+	}
 	return inst, nil
+}
+
+// guardOptions builds the panic-barrier configuration shared by Start and
+// SetBackends.
+func (i *Instance) guardOptions() dyncapi.GuardOptions {
+	return dyncapi.GuardOptions{PanicLimit: i.opts.PanicLimit, OnTrip: i.onBreakerTrip}
 }
 
 // Reconfigure applies a new selection to the live instance: the currently
@@ -492,6 +541,10 @@ func (s *Session) Start(sel *Selection, opts RunOptions) (*Instance, error) {
 // workflow's turnaround, where the static workflow pays a recompile. A
 // reconfiguration landing *during* a phase (another goroutine is inside
 // Run — the control plane's remote re-selection) is charged to that phase.
+//
+// An explicit Reconfigure cancels a pending TTL revert (ReconfigureTTL):
+// the newest explicit selection wins, and becomes the base a later TTL'd
+// override reverts to.
 func (i *Instance) Reconfigure(sel *Selection) (ReconfigReport, error) {
 	if i.rt == nil {
 		return ReconfigReport{}, fmt.Errorf("capi: instance is not instrumented")
@@ -499,7 +552,19 @@ func (i *Instance) Reconfigure(sel *Selection) (ReconfigReport, error) {
 	if sel == nil || sel.IC == nil {
 		return ReconfigReport{}, fmt.Errorf("capi: nil selection")
 	}
-	rep, err := i.rt.Reconfigure(sel.IC)
+	rep, err := i.applySelection(sel.IC)
+	if err != nil {
+		return rep, err
+	}
+	i.ttlExplicitSelect(sel.IC)
+	return rep, nil
+}
+
+// applySelection re-patches to cfg and charges the virtual cost to the
+// next phase — shared by Reconfigure, ReconfigureTTL and TTL expiry (which
+// must not cancel the pending revert it is delivering).
+func (i *Instance) applySelection(cfg *ic.Config) (ReconfigReport, error) {
+	rep, err := i.rt.Reconfigure(cfg)
 	if err != nil {
 		return rep, err
 	}
@@ -529,10 +594,25 @@ func (i *Instance) Retune(opts AdaptOptions) (AdaptOptions, error) {
 // config clears all policies. On an adaptive instance the table replaces
 // the controller's demotions too (the controller re-demotes at the next
 // epoch if pressure persists).
+//
+// An explicit SetSampling cancels a pending TTL revert (SetSamplingTTL):
+// the newest explicit table wins, and becomes the base a later TTL'd
+// override reverts to.
 func (i *Instance) SetSampling(cfg SamplingOptions) error {
 	if i.rt == nil {
 		return fmt.Errorf("capi: instance is not instrumented")
 	}
+	if err := i.applySampling(cfg); err != nil {
+		return err
+	}
+	i.ttlExplicitSampling(cfg)
+	return nil
+}
+
+// applySampling installs a sampling table and re-arms the adapt ladder —
+// shared by SetSampling, SetSamplingTTL and TTL expiry (which must not
+// cancel the pending revert it is delivering).
+func (i *Instance) applySampling(cfg SamplingOptions) error {
 	if err := i.rt.SetSampling(cfg); err != nil {
 		return err
 	}
@@ -626,7 +706,7 @@ func (i *Instance) Reports() map[string]Report {
 // this accessor only sees the built-in extrae backend.
 func (i *Instance) TraceReport() *TraceReport {
 	for _, mb := range i.measurementBackends() {
-		if eb, ok := mb.(*extraeBackend); ok {
+		if eb, ok := unwrapBackend(mb).(*extraeBackend); ok {
 			return eb.traceReport()
 		}
 	}
@@ -640,7 +720,7 @@ func (i *Instance) TraceReport() *TraceReport {
 // this accessor only sees the built-in talp backend.
 func (i *Instance) TALPReport() *TALPReport {
 	for _, mb := range i.measurementBackends() {
-		if tb, ok := mb.(*talpBackend); ok {
+		if tb, ok := unwrapBackend(mb).(*talpBackend); ok {
 			return tb.talpReport()
 		}
 	}
@@ -654,7 +734,7 @@ func (i *Instance) TALPReport() *TALPReport {
 // this accessor only sees the built-in scorep backend.
 func (i *Instance) Profile() *Profile {
 	for _, mb := range i.measurementBackends() {
-		if sb, ok := mb.(*scorepBackend); ok {
+		if sb, ok := unwrapBackend(mb).(*scorepBackend); ok {
 			return sb.profile()
 		}
 	}
@@ -712,7 +792,7 @@ func (i *Instance) SetBackends(names []string) (BackendSwapReport, error) {
 		World:          i.curWorld,
 		EmulateTALPBug: i.opts.EmulateTALPBug,
 		Trace:          traceOptionsFor(i.opts),
-	})
+	}, i.guardOptions())
 	if err != nil {
 		return BackendSwapReport{}, err
 	}
@@ -721,6 +801,7 @@ func (i *Instance) SetBackends(names []string) (BackendSwapReport, error) {
 		return rep, err
 	}
 	i.backends = backends
+	i.guards = append(i.guards, guardsOf(backends)...)
 	i.pendingNs += rep.VirtualNs
 	return rep, nil
 }
@@ -827,6 +908,17 @@ type InstanceStatus struct {
 	// Sampling is the sampler's live view (policies + conservation
 	// counters); nil when no sampling policy was ever installed.
 	Sampling *SamplingSnapshot `json:"sampling,omitempty"`
+	// DroppedPanicked counts the enters the panic barriers swallowed,
+	// summed over every backend ever attached; Breaker is the per-backend
+	// barrier state of every backend that ever panicked, and
+	// DetachedBackends lists the backends the circuit breaker removed
+	// from the live instance, in trip order.
+	DroppedPanicked  int64           `json:"droppedPanicked"`
+	Breaker          []BreakerStatus `json:"breaker,omitempty"`
+	DetachedBackends []string        `json:"detachedBackends,omitempty"`
+	// TTL is the ephemeral-probe scheduler's state: pending auto-reverts
+	// and the scheduled/expired/canceled counters.
+	TTL TTLStatus `json:"ttl"`
 }
 
 // Status returns a consistent snapshot of the instance's live counters.
@@ -843,7 +935,9 @@ func (i *Instance) Status() InstanceStatus {
 	st.Running = i.running
 	st.Events = i.events
 	st.PendingSeconds = float64(i.pendingNs) / 1e9
+	st.Breaker, st.DetachedBackends, st.DroppedPanicked = i.breakerSnapshotLocked()
 	i.mu.Unlock()
+	st.TTL = i.ttlStatus()
 	if i.rt == nil {
 		return st
 	}
@@ -933,11 +1027,13 @@ func (i *Instance) DrainPipeline() {
 	}
 }
 
-// Close tears the instance's background machinery down: the async pipeline
-// is drained and its consumer pool stopped. Must not be called while a Run
-// executes. A no-op for inline or uninstrumented instances; safe to call
-// more than once.
+// Close tears the instance's background machinery down: the TTL scheduler
+// is stopped (pending reverts are dropped, not delivered), then the async
+// pipeline is drained and its consumer pool stopped. Must not be called
+// while a Run executes. A no-op for inline or uninstrumented instances;
+// safe to call more than once.
 func (i *Instance) Close() {
+	i.ttlStop()
 	if i.rt != nil {
 		i.rt.Close()
 	}
@@ -1045,6 +1141,7 @@ func (i *Instance) Run() (*RunResult, error) {
 		out.DroppedAsync = i.rt.DroppedAsync()
 	}
 	backends := i.backends
+	out.Breaker, out.DetachedBackends, out.DroppedPanicked = i.breakerSnapshotLocked()
 	out.WallSeconds = time.Since(i.wallStart).Seconds()
 	i.pendingNs = 0
 	i.runs++
@@ -1053,12 +1150,15 @@ func (i *Instance) Run() (*RunResult, error) {
 	// The backends' own reports lock internally; build them outside i.mu.
 	// Each built-in report is computed once and serves both the envelope
 	// entry and the deprecated typed field (Score-P's call-path aggregation
-	// in particular is too expensive to run twice per phase).
+	// in particular is too expensive to run twice per phase). The built-ins
+	// are looked up through their panic barrier (unwrapBackend); custom
+	// backends report through the guarded wrapper, so a panicking Report
+	// degrades to an absent envelope entry instead of unwinding the phase.
 	out.Reports = map[string]Report{}
 	for _, mb := range backends {
 		out.Backends = append(out.Backends, mb.Name())
 		var rep Report
-		switch b := mb.(type) {
+		switch b := unwrapBackend(mb).(type) {
 		case *talpBackend:
 			if r := b.talpReport(); r != nil {
 				out.TALP = r

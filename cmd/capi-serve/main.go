@@ -61,6 +61,7 @@ func main() {
 		suppress = flag.Int64("suppress-ns", 0, "initial min-duration suppression threshold in virtual ns")
 		async    = flag.Bool("async", false, "asynchronous event pipeline: backends consume off the dispatch hot path (incompatible with -adapt)")
 		asyncBuf = flag.Int("async-buf", 0, "async: per-rank ring capacity in events (0 = default 65536)")
+		panicLim = flag.Int("panic-limit", 0, "per-backend circuit breaker: recovered panics before auto-detach (0 = default 3, negative = never detach)")
 	)
 	flag.Parse()
 
@@ -90,11 +91,12 @@ func main() {
 	}
 
 	runOpts := capi.RunOptions{
-		Backends: backends,
-		Ranks:    *ranks,
-		PatchAll: *full,
-		Async:    *async,
-		AsyncBuf: *asyncBuf,
+		Backends:   backends,
+		Ranks:      *ranks,
+		PatchAll:   *full,
+		Async:      *async,
+		AsyncBuf:   *asyncBuf,
+		PanicLimit: *panicLim,
 	}
 	if *adapt || *budget > 0 || *epoch > 0 {
 		runOpts.Adapt = &capi.AdaptOptions{Budget: *budget, Epoch: vtime.Seconds(*epoch)}

@@ -61,6 +61,7 @@ func main() {
 		collapse = flag.Bool("collapse-redundant", false, "collapse repeated identical short calls into a count+aggregate")
 		async    = flag.Bool("async", false, "asynchronous event pipeline: backends consume off the dispatch hot path (incompatible with -adapt)")
 		asyncBuf = flag.Int("async-buf", 0, "async: per-rank ring capacity in events (0 = default 65536; overflow drops whole pairs, counted)")
+		panicLim = flag.Int("panic-limit", 0, "per-backend circuit breaker: recovered panics before auto-detach (0 = default 3, negative = never detach)")
 	)
 	flag.Parse()
 
@@ -112,6 +113,7 @@ func main() {
 		EmulateTALPBug: *talpBug,
 		Async:          *async,
 		AsyncBuf:       *asyncBuf,
+		PanicLimit:     *panicLim,
 	}
 	if *adapt || *budget > 0 || *epoch > 0 {
 		runOpts.Adapt = &capi.AdaptOptions{

@@ -38,7 +38,12 @@
 //	          rings lift the backend chain off the dispatch hot path, a
 //	          consumer pool replays events under pinned clocks, drain
 //	          barriers keep phase results and synthetic-exit ordering
-//	          exact, back-pressure drops whole pairs (DroppedAsync)
+//	          exact, back-pressure drops whole pairs (DroppedAsync),
+//	          and the panic barrier (guard.go): every delivery into a
+//	          backend runs behind a recover with a per-backend circuit
+//	          breaker — a tripped backend is auto-detached and replaced
+//	          by a tombstone that keeps drop accounting (DroppedPanicked)
+//	          exact for the rest of the run
 //	capi      backend registry (RegisterBackend / RunOptions.Backends):
 //	          measurement systems are named factories behind the public
 //	          MeasurementBackend interface, reporting through one
@@ -56,8 +61,10 @@
 //	exec      deterministic virtual-time execution engine
 //	workload  LULESH / OpenFOAM-icoFoam workload generators
 //	ctl       HTTP/JSON control plane over a live instance: remote
-//	          re-selection, phase execution, report scrapes, Prometheus
-//	          metrics, SSE reconfigure events (served by cmd/capi-serve)
+//	          re-selection (optionally TTL'd: ephemeral probes that
+//	          auto-revert), phase execution, report scrapes, Prometheus
+//	          metrics, SSE reconfigure/expired/breaker events (served by
+//	          cmd/capi-serve)
 //	benchcmp  benchmark-regression comparator (cmd/benchdiff CI gate
 //	          against BENCH_baseline.json)
 //	lint      stdlib-only static-analysis suite enforcing the //capi:
@@ -147,6 +154,24 @@
 // /v1/report envelope and as Prometheus counters; POST /v1/sampling
 // changes the table remotely. The adapt controller uses the same
 // mechanism as its demote ladder.
+//
+// # Ephemeral probes and the panic barrier
+//
+// Instance.ReconfigureTTL and Instance.SetSamplingTTL install an override
+// that auto-reverts to the last explicit state when the TTL expires — the
+// revert is an ordinary Reconfigure/SetSampling delivered by a timer
+// goroutine that only exists while a revert is pending. Explicit calls
+// cancel pending reverts; overlapping TTLs keep the original base. Over
+// HTTP the same thing is a "ttl" field on POST /v1/select and
+// /v1/sampling, with the expiry streamed as an SSE "expired" event.
+//
+// Every delivery into a measurement backend runs behind a recover barrier
+// with a per-backend circuit breaker (RunOptions.PanicLimit): a backend
+// that keeps panicking is auto-detached mid-phase — its chain slot swaps
+// to a tombstone so the conservation identity gains exactly one term
+// (enters == delivered + sampledEvents + suppressedPairs + collapsedCalls
+// + droppedAsync + droppedPanicked) and stays exact — while the host
+// phase always runs to completion.
 //
 // # Remote control plane
 //

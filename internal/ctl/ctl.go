@@ -17,7 +17,11 @@
 //	                    (with per-backend synthetic-exit counts). A
 //	                    "backends" list swaps the measurement-backend set
 //	                    of the live run (registry-resolved), with or
-//	                    without an accompanying re-selection.
+//	                    without an accompanying re-selection. An optional
+//	                    "ttl" duration makes the selection ephemeral: it
+//	                    auto-reverts to the pre-override snapshot, as a
+//	                    normal Reconfigure + SSE "expired" event, unless
+//	                    a newer explicit select lands first.
 //	POST /v1/run        execute the next phase ({"wait":false} → async)
 //	GET  /v1/report     unified report envelope: every attached backend's
 //	                    report, keyed by backend name (kind + JSON body),
@@ -25,9 +29,16 @@
 //	POST /v1/adapt      retune the overhead-budget controller live
 //	POST /v1/sampling   install/replace the sampling & suppression table
 //	                    (1-in-N stride, min-duration, redundancy collapse)
-//	                    on the live hot path; 400 leaves state untouched
-//	GET  /v1/events     SSE stream: one "reconfigure" event per re-selection
+//	                    on the live hot path; 400 leaves state untouched;
+//	                    an optional "ttl" auto-reverts to the previous table
+//	GET  /v1/events     SSE stream: "reconfigure" per re-selection, "run",
+//	                    "backends", "sampling", "expired" (a TTL revert
+//	                    delivered), "breaker" (a backend's panic-barrier
+//	                    circuit breaker tripped)
 //	GET  /metrics       Prometheus text exposition
+//
+// Error bodies are {"error": ..., "field": ...}: a 400 names the request
+// field it rejects and implies nothing was applied.
 //
 // The server relies on capi.Instance being safe for concurrent control
 // calls against an executing phase: re-selections land mid-run and report
@@ -36,6 +47,7 @@ package ctl
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"mime"
@@ -47,6 +59,7 @@ import (
 	"time"
 
 	capi "capi"
+	"capi/internal/dyncapi"
 	"capi/internal/experiments"
 	"capi/internal/ic"
 	"capi/internal/vtime"
@@ -100,6 +113,12 @@ func New(session *capi.Session, inst *capi.Instance, app string) *Server {
 	s.mux.HandleFunc("GET /v1/events", s.handleEvents)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /{$}", s.handleIndex)
+	// TTL expiries and breaker trips originate inside the instance (timer
+	// goroutine / trip goroutine), not in a handler; surface them on the
+	// SSE stream so remote observers see the revert or detach the moment
+	// it happens.
+	inst.SetTTLNotify(func(e capi.TTLExpiry) { s.hub.publish("expired", e) })
+	inst.SetBreakerNotify(func(e capi.BreakerEvent) { s.hub.publish("breaker", e) })
 	return s
 }
 
@@ -122,6 +141,15 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeFieldErr is writeErr with the offending request field named in the
+// body — every 400 a client can fix by editing one field uses it.
+func writeFieldErr(w http.ResponseWriter, code int, field, format string, args ...any) {
+	writeJSON(w, code, map[string]string{
+		"error": fmt.Sprintf(format, args...),
+		"field": field,
+	})
 }
 
 // StatusResponse is the GET /v1/status document.
@@ -184,6 +212,13 @@ type SelectRequest struct {
 	// with synthetic exits, the sleds and the selection stay untouched.
 	// Unknown names are rejected with the registered list.
 	Backends []string `json:"backends,omitempty"`
+	// TTL makes the selection ephemeral: a Go duration string ("2s",
+	// "1m30s") after which the instance auto-reverts to the pre-override
+	// selection (delivered as a normal Reconfigure, visible on the SSE
+	// stream as an "expired" event). A newer explicit select cancels the
+	// pending revert; a second TTL'd select keeps the original base and
+	// moves the deadline. Requires a selection source in the same request.
+	TTL string `json:"ttl,omitempty"`
 }
 
 // SelectionSummary carries the Table I statistics of a compiled selection.
@@ -197,13 +232,15 @@ type SelectionSummary struct {
 // SelectResponse is the POST /v1/select result: the live re-selection's
 // delta report (with per-backend synthetic-exit counts) plus, when a spec
 // was compiled, the selection statistics, and — when the request swapped
-// the backend set — the swap report.
+// the backend set — the swap report. TTLSeconds echoes the accepted TTL
+// for an ephemeral selection.
 type SelectResponse struct {
 	Report      capi.ReconfigReport     `json:"report"`
 	Active      int                     `json:"active"`
 	Selection   *SelectionSummary       `json:"selection,omitempty"`
 	BackendSwap *capi.BackendSwapReport `json:"backendSwap,omitempty"`
 	Backends    []string                `json:"backends,omitempty"`
+	TTLSeconds  float64                 `json:"ttlSeconds,omitempty"`
 }
 
 func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
@@ -216,7 +253,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	ctype, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
 	if ctype == "application/json" {
 		if err := json.Unmarshal(body, &req); err != nil {
-			writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
+			writeFieldErr(w, http.StatusBadRequest, "body", "decoding request: %v", err)
 			return
 		}
 	} else {
@@ -228,6 +265,24 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	if !hasSelection && len(req.Backends) == 0 {
 		writeErr(w, http.StatusBadRequest, "empty selection: provide spec source, a builtin name, an include list or a backends swap")
 		return
+	}
+	// Parse the TTL before touching the instance: an unparsable (or
+	// selection-less) TTL is a 400 that must leave everything untouched.
+	var ttl time.Duration
+	if req.TTL != "" {
+		ttl, err = time.ParseDuration(req.TTL)
+		if err != nil {
+			writeFieldErr(w, http.StatusBadRequest, "ttl", "parsing ttl: %v", err)
+			return
+		}
+		if ttl <= 0 {
+			writeFieldErr(w, http.StatusBadRequest, "ttl", "ttl must be positive, got %q", req.TTL)
+			return
+		}
+		if !hasSelection {
+			writeFieldErr(w, http.StatusBadRequest, "ttl", "ttl requires a selection to revert from (a backends swap alone cannot expire)")
+			return
+		}
 	}
 	if !s.inst.Status().Instrumented {
 		writeErr(w, http.StatusConflict, "instance is not instrumented")
@@ -244,10 +299,12 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case strings.TrimSpace(req.Spec) != "" || req.Builtin != "":
 			src := req.Spec
+			specField := "spec"
 			if strings.TrimSpace(src) == "" {
+				specField = "builtin"
 				src, err = experiments.SpecSource(req.Builtin)
 				if err != nil {
-					writeErr(w, http.StatusBadRequest, "builtin %q: %v", req.Builtin, err)
+					writeFieldErr(w, http.StatusBadRequest, "builtin", "builtin %q: %v", req.Builtin, err)
 					return
 				}
 			}
@@ -255,7 +312,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				// The compile error (lexer/parser/selector) goes back verbatim
 				// so the remote user can fix the spec.
-				writeErr(w, http.StatusBadRequest, "compiling spec: %v", err)
+				writeFieldErr(w, http.StatusBadRequest, specField, "compiling spec: %v", err)
 				return
 			}
 			summary = &SelectionSummary{Pre: sel.Pre, Selected: sel.Selected, Added: sel.Added, Seconds: sel.Seconds}
@@ -264,7 +321,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 			// silently unpatch it — reject unknown names instead, like the spec
 			// path rejects a spec that does not compile.
 			if unknown := s.inst.UnknownFunctionNames(req.Include); len(unknown) > 0 {
-				writeErr(w, http.StatusBadRequest, "unknown function name(s): %s", strings.Join(unknown, ", "))
+				writeFieldErr(w, http.StatusBadRequest, "include", "unknown function name(s): %s", strings.Join(unknown, ", "))
 				return
 			}
 			cfg := ic.New(s.app, "http", req.Include).WithIncludeIDs(req.IncludeIDs)
@@ -279,7 +336,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	if len(req.Backends) > 0 {
 		rep, err := s.inst.SetBackends(req.Backends)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "swapping backends: %v", err)
+			writeFieldErr(w, http.StatusBadRequest, "backends", "swapping backends: %v", err)
 			return
 		}
 		swap = &rep
@@ -294,7 +351,16 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	rep, err := s.inst.Reconfigure(sel)
+	var rep capi.ReconfigReport
+	if ttl > 0 {
+		rep, err = s.inst.ReconfigureTTL(sel, ttl)
+	} else {
+		rep, err = s.inst.Reconfigure(sel)
+	}
+	if errors.Is(err, capi.ErrNoTTLBase) {
+		writeFieldErr(w, http.StatusConflict, "ttl", "%v", err)
+		return
+	}
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, "reconfigure: %v", err)
 		return
@@ -307,6 +373,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		Selection:   summary,
 		BackendSwap: swap,
 		Backends:    s.inst.Backends(),
+		TTLSeconds:  ttl.Seconds(),
 	})
 }
 
@@ -412,6 +479,13 @@ type ReportResponse struct {
 	Backends []string               `json:"backends"`
 	Reports  map[string]ReportEntry `json:"reports"`
 	Sampling *capi.SamplingSnapshot `json:"sampling,omitempty"`
+	// Breaker carries the panic-barrier stats of every backend that ever
+	// panicked; DetachedBackends lists the backends the circuit breaker
+	// removed, DroppedPanicked the enters the barriers swallowed (part of
+	// the conservation identity alongside Sampling's counters).
+	Breaker          []capi.BreakerStatus `json:"breaker,omitempty"`
+	DetachedBackends []string             `json:"detachedBackends,omitempty"`
+	DroppedPanicked  int64                `json:"droppedPanicked,omitempty"`
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
@@ -423,6 +497,10 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	if snap := s.inst.Sampling(); snap.Configured || snap.Counters.Enters > 0 {
 		resp.Sampling = &snap
 	}
+	st := s.inst.Status()
+	resp.Breaker = st.Breaker
+	resp.DetachedBackends = st.DetachedBackends
+	resp.DroppedPanicked = st.DroppedPanicked
 	for name, rep := range s.inst.Reports() {
 		raw, err := rep.MarshalJSON()
 		if err != nil {
@@ -499,13 +577,40 @@ type SamplingRequest struct {
 	RedundantGapNs    int64 `json:"redundantGapNs,omitempty"`
 	// Functions overrides the default policy per function name.
 	Functions map[string]capi.SamplingPolicy `json:"functions,omitempty"`
+	// TTL makes the table ephemeral: a Go duration string after which the
+	// previous table is restored (SSE "expired" event). A newer explicit
+	// POST /v1/sampling cancels the pending revert.
+	TTL string `json:"ttl,omitempty"`
+}
+
+// samplingField maps a dyncapi.PolicyError field to the SamplingRequest
+// JSON field it arrived in (the runtime calls the per-function override
+// map "funcs"; the HTTP API calls it "functions").
+func samplingField(field string) string {
+	if field == "funcs" {
+		return "functions"
+	}
+	return field
 }
 
 func (s *Server) handleSampling(w http.ResponseWriter, r *http.Request) {
 	var req SamplingRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
+		writeFieldErr(w, http.StatusBadRequest, "body", "decoding request: %v", err)
 		return
+	}
+	var ttl time.Duration
+	if req.TTL != "" {
+		var err error
+		ttl, err = time.ParseDuration(req.TTL)
+		if err != nil {
+			writeFieldErr(w, http.StatusBadRequest, "ttl", "parsing ttl: %v", err)
+			return
+		}
+		if ttl <= 0 {
+			writeFieldErr(w, http.StatusBadRequest, "ttl", "ttl must be positive, got %q", req.TTL)
+			return
+		}
 	}
 	if !s.inst.Status().Instrumented {
 		writeErr(w, http.StatusConflict, "instance is not instrumented")
@@ -523,7 +628,19 @@ func (s *Server) handleSampling(w http.ResponseWriter, r *http.Request) {
 	}
 	// SetSampling validates the whole config — policy values and function
 	// names — before touching the table, so a 400 here means no mutation.
-	if err := s.inst.SetSampling(cfg); err != nil {
+	// A validation failure names the offending field (dyncapi.PolicyError).
+	var err error
+	if ttl > 0 {
+		err = s.inst.SetSamplingTTL(cfg, ttl)
+	} else {
+		err = s.inst.SetSampling(cfg)
+	}
+	if err != nil {
+		var pe *dyncapi.PolicyError
+		if errors.As(err, &pe) {
+			writeFieldErr(w, http.StatusBadRequest, samplingField(pe.Field), "%v", err)
+			return
+		}
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -605,6 +722,39 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		counter("capi_suppressed_virtual_ns_total", "Virtual ns of min-duration-suppressed pairs (exact accounting).", c.SuppressedNs)
 		counter("capi_collapsed_calls_total", "Repeated identical short calls collapsed by redundancy suppression.", c.CollapsedCalls)
 		counter("capi_sampler_delivered_total", "Enters delivered through the sampler to the backend chain.", c.Delivered)
+	}
+	// Ephemeral probes: the pending gauges flip while a TTL'd override is
+	// live, the counters record the scheduler's full history.
+	ttlPending := func(pending bool) int {
+		if pending {
+			return 1
+		}
+		return 0
+	}
+	fmt.Fprintf(&b, "# HELP capi_ttl_pending 1 while a TTL'd override awaits its auto-revert, per kind.\n# TYPE capi_ttl_pending gauge\n")
+	fmt.Fprintf(&b, "capi_ttl_pending{kind=\"select\"} %d\n", ttlPending(st.TTL.SelectPending))
+	fmt.Fprintf(&b, "capi_ttl_pending{kind=\"sampling\"} %d\n", ttlPending(st.TTL.SamplingPending))
+	counter("capi_ttl_scheduled_total", "TTL'd overrides accepted (select and sampling).", st.TTL.Scheduled)
+	counter("capi_ttl_expired_total", "TTL auto-reverts delivered.", st.TTL.Expired)
+	counter("capi_ttl_canceled_total", "Pending TTL reverts canceled by a newer explicit select/sampling call.", st.TTL.Canceled)
+	// Panic barrier: totals always, the per-backend breakdown only for
+	// backends that ever panicked (label cardinality stays bounded by the
+	// attached set).
+	counter("capi_dropped_panicked_total", "Enters swallowed by the per-backend panic barriers (panicking delivery or open breaker).", st.DroppedPanicked)
+	gauge("capi_detached_backends", "Backends the circuit breaker removed from the live instance.", len(st.DetachedBackends))
+	if len(st.Breaker) > 0 {
+		fmt.Fprintf(&b, "# HELP capi_backend_panics_total Panics recovered in a backend's delivery paths.\n# TYPE capi_backend_panics_total counter\n")
+		for _, bs := range st.Breaker {
+			fmt.Fprintf(&b, "capi_backend_panics_total{backend=%q} %d\n", bs.Backend, bs.Panics)
+		}
+		fmt.Fprintf(&b, "# HELP capi_breaker_tripped 1 when the backend's circuit breaker is open.\n# TYPE capi_breaker_tripped gauge\n")
+		for _, bs := range st.Breaker {
+			tripped := 0
+			if bs.Tripped {
+				tripped = 1
+			}
+			fmt.Fprintf(&b, "capi_breaker_tripped{backend=%q} %d\n", bs.Backend, tripped)
+		}
 	}
 	gauge("capi_attached_backends", "Measurement backends attached to the instance.", len(st.Backends))
 	gauge("capi_init_virtual_seconds", "DynCaPI start-up time (T_init), virtual.", st.InitSeconds)

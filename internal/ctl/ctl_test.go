@@ -79,6 +79,24 @@ func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
 	return resp, raw.Bytes()
 }
 
+// errorField decodes a {"error": ..., "field": ...} error body and returns
+// the named field — every 400 a client can fix by editing one request
+// field must carry one.
+func errorField(t *testing.T, body []byte) string {
+	t.Helper()
+	var e struct {
+		Error string `json:"error"`
+		Field string `json:"field"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatalf("error body is not JSON: %v in %s", err, body)
+	}
+	if e.Error == "" {
+		t.Fatalf("error body without error message: %s", body)
+	}
+	return e.Field
+}
+
 var reconfigsTotalRe = regexp.MustCompile(`(?m)^capi_reconfigs_total (\d+)$`)
 
 func scrapeReconfigs(t *testing.T, base string) int {
@@ -760,15 +778,21 @@ func TestSamplingInvalidSpecLeavesStateUntouched(t *testing.T) {
 			t.Fatalf("%s mutated the table: %+v", when, snap)
 		}
 	}
-	for _, bad := range []ctl.SamplingRequest{
-		{Stride: -2},
-		{MinDurationNs: -5},
-		{Stride: 4, Functions: map[string]capi.SamplingPolicy{"no_such_function": {Stride: 2}}},
-		{RedundantGapNs: 100}, // gap without collapse
+	for _, bad := range []struct {
+		req   ctl.SamplingRequest
+		field string
+	}{
+		{ctl.SamplingRequest{Stride: -2}, "stride"},
+		{ctl.SamplingRequest{MinDurationNs: -5}, "minDurationNs"},
+		{ctl.SamplingRequest{Stride: 4, Functions: map[string]capi.SamplingPolicy{"no_such_function": {Stride: 2}}}, "functions"},
+		{ctl.SamplingRequest{RedundantGapNs: 100}, "redundantGapNs"}, // gap without collapse
 	} {
-		resp, body := postJSON(t, ts.URL+"/v1/sampling", bad)
+		resp, body := postJSON(t, ts.URL+"/v1/sampling", bad.req)
 		if resp.StatusCode != http.StatusBadRequest {
-			t.Fatalf("bad request %+v: %d %s", bad, resp.StatusCode, body)
+			t.Fatalf("bad request %+v: %d %s", bad.req, resp.StatusCode, body)
+		}
+		if got := errorField(t, body); got != bad.field {
+			t.Fatalf("bad request %+v: 400 names field %q, want %q (body %s)", bad.req, got, bad.field, body)
 		}
 		assertUntouched("invalid sampling request")
 	}
@@ -776,9 +800,14 @@ func TestSamplingInvalidSpecLeavesStateUntouched(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	raw2 := new(bytes.Buffer)
+	raw2.ReadFrom(resp2.Body) //nolint:errcheck
 	resp2.Body.Close()
 	if resp2.StatusCode != http.StatusBadRequest {
 		t.Fatalf("garbage body: %d", resp2.StatusCode)
+	}
+	if got := errorField(t, raw2.Bytes()); got != "body" {
+		t.Fatalf("garbage body 400 names field %q, want \"body\"", got)
 	}
 	assertUntouched("garbage body")
 }
@@ -802,6 +831,9 @@ func TestSelect400LeavesInstanceUntouched(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("invalid spec + swap: %d %s", resp.StatusCode, body)
 	}
+	if got := errorField(t, body); got != "spec" {
+		t.Fatalf("invalid spec 400 names field %q, want \"spec\" (body %s)", got, body)
+	}
 	if got := inst.Backends(); len(got) != len(backendsBefore) || got[0] != backendsBefore[0] {
 		t.Fatalf("failed select swapped backends anyway: %v", got)
 	}
@@ -817,6 +849,9 @@ func TestSelect400LeavesInstanceUntouched(t *testing.T) {
 	})
 	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "registered:") {
 		t.Fatalf("valid include + bad backend: %d %s", resp.StatusCode, body)
+	}
+	if got := errorField(t, body); got != "backends" {
+		t.Fatalf("bad backend 400 names field %q, want \"backends\" (body %s)", got, body)
 	}
 	if got := inst.ActiveFunctions(); got != activeBefore {
 		t.Fatalf("failed swap applied the selection: %d -> %d", activeBefore, got)
@@ -935,4 +970,162 @@ func scrapeMetric(t *testing.T, base, name string) int {
 		t.Fatal(err)
 	}
 	return n
+}
+
+// subscribeSSE opens /v1/events and feeds parsed events into a channel.
+// It waits until the hub has registered the client so no event can be
+// published into the gap between subscribe and first read.
+func subscribeSSE(t *testing.T, ts *httptest.Server) chan [2]string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	events := make(chan [2]string, 16)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		var name, data string
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				name = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				data = strings.TrimPrefix(line, "data: ")
+			case line == "" && name != "":
+				events <- [2]string{name, data}
+				name, data = "", ""
+			}
+		}
+	}()
+	for i := 0; i < 500; i++ {
+		if scrapeMetric(t, ts.URL, "capi_sse_clients") == 1 {
+			return events
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("SSE client never registered")
+	return nil
+}
+
+// TestTTLSelectOverHTTP is the control-plane e2e for ephemeral probes: a
+// POST /v1/select with a TTL applies the override, /v1/status counts down
+// the pending revert, the expiry arrives as an SSE "expired" event (after
+// the override's own "reconfigure"), the selection reverts to the
+// pre-override base, and the capi_ttl_* series advance.
+func TestTTLSelectOverHTTP(t *testing.T) {
+	ts, _, inst := newServer(t, capi.Quickstart(), "quickstart",
+		capi.RunOptions{Backend: capi.BackendTALP, Ranks: 2})
+	wideActive := inst.ActiveFunctions()
+	events := subscribeSSE(t, ts)
+
+	resp, body := postJSON(t, ts.URL+"/v1/select", ctl.SelectRequest{Spec: narrowSpec, TTL: "250ms"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ttl'd select: %d %s", resp.StatusCode, body)
+	}
+	var selResp ctl.SelectResponse
+	if err := json.Unmarshal(body, &selResp); err != nil {
+		t.Fatal(err)
+	}
+	if selResp.TTLSeconds != 0.25 {
+		t.Fatalf("ttlSeconds = %v, want 0.25", selResp.TTLSeconds)
+	}
+	var st ctl.StatusResponse
+	getJSON(t, ts.URL+"/v1/status", &st)
+	if !st.TTL.SelectPending || st.TTL.Scheduled != 1 {
+		t.Fatalf("status after ttl'd select: %+v", st.TTL)
+	}
+	if st.ActiveFunctions >= wideActive {
+		t.Fatalf("override not applied: %d active, had %d", st.ActiveFunctions, wideActive)
+	}
+	if got := scrapeMetric(t, ts.URL, `capi_ttl_pending{kind="select"}`); got != 1 {
+		t.Fatalf("capi_ttl_pending{kind=\"select\"} = %d, want 1", got)
+	}
+
+	// The override's own reconfigure, then the expiry's revert.
+	for _, want := range []string{"reconfigure", "expired"} {
+		select {
+		case ev := <-events:
+			if ev[0] != want {
+				t.Fatalf("event %q, want %q (data %s)", ev[0], want, ev[1])
+			}
+			if want == "expired" {
+				var e capi.TTLExpiry
+				if err := json.Unmarshal([]byte(ev[1]), &e); err != nil {
+					t.Fatalf("%v in %s", err, ev[1])
+				}
+				if e.Kind != "select" || e.Report == nil {
+					t.Fatalf("expired event = %+v", e)
+				}
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("timed out waiting for %q", want)
+		}
+	}
+
+	getJSON(t, ts.URL+"/v1/status", &st)
+	if st.ActiveFunctions != wideActive {
+		t.Fatalf("reverted to %d active functions, want %d", st.ActiveFunctions, wideActive)
+	}
+	if st.TTL.SelectPending || st.TTL.Expired != 1 {
+		t.Fatalf("status after expiry: %+v", st.TTL)
+	}
+	if got := scrapeMetric(t, ts.URL, "capi_ttl_expired_total"); got != 1 {
+		t.Fatalf("capi_ttl_expired_total = %d, want 1", got)
+	}
+	if got := scrapeMetric(t, ts.URL, `capi_ttl_pending{kind="select"}`); got != 0 {
+		t.Fatalf("capi_ttl_pending{kind=\"select\"} = %d, want 0", got)
+	}
+}
+
+// TestTTLRequestValidation: TTL strings the server cannot honor are 400s
+// that name the ttl field and leave no revert pending, and an explicit
+// select cancels a pending revert (counted, visible in /v1/status).
+func TestTTLRequestValidation(t *testing.T) {
+	ts, _, inst := newServer(t, capi.Quickstart(), "quickstart",
+		capi.RunOptions{Backend: capi.BackendTALP, Ranks: 2})
+	for _, bad := range []ctl.SelectRequest{
+		{Spec: narrowSpec, TTL: "soon"},           // unparsable
+		{Spec: narrowSpec, TTL: "-3s"},            // non-positive
+		{Backends: []string{"extrae"}, TTL: "1s"}, // swap alone cannot expire
+	} {
+		resp, body := postJSON(t, ts.URL+"/v1/select", bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%+v: %d %s", bad, resp.StatusCode, body)
+		}
+		if got := errorField(t, body); got != "ttl" {
+			t.Fatalf("%+v: 400 names field %q, want \"ttl\" (body %s)", bad, got, body)
+		}
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/sampling", ctl.SamplingRequest{Stride: 4, TTL: "nope"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad sampling ttl: %d %s", resp.StatusCode, body)
+	}
+	if got := errorField(t, body); got != "ttl" {
+		t.Fatalf("bad sampling ttl names field %q (body %s)", got, body)
+	}
+	var st ctl.StatusResponse
+	getJSON(t, ts.URL+"/v1/status", &st)
+	if st.TTL.SelectPending || st.TTL.SamplingPending || st.TTL.Scheduled != 0 {
+		t.Fatalf("rejected TTLs left state behind: %+v", st.TTL)
+	}
+
+	// A pending revert is canceled by an explicit select, not delivered.
+	resp, body = postJSON(t, ts.URL+"/v1/select", ctl.SelectRequest{Spec: narrowSpec, TTL: "1h"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ttl'd select: %d %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/select", ctl.SelectRequest{Spec: wideSpec})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explicit select: %d %s", resp.StatusCode, body)
+	}
+	getJSON(t, ts.URL+"/v1/status", &st)
+	if st.TTL.SelectPending || st.TTL.Canceled != 1 {
+		t.Fatalf("explicit select did not cancel the revert: %+v", st.TTL)
+	}
+	if got := scrapeMetric(t, ts.URL, "capi_ttl_canceled_total"); got != 1 {
+		t.Fatalf("capi_ttl_canceled_total = %d, want 1", got)
+	}
+	_ = inst
 }

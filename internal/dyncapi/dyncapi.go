@@ -17,6 +17,7 @@ package dyncapi
 
 import (
 	"fmt"
+	"reflect"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -807,15 +808,31 @@ type BackendSwapReport struct {
 	VirtualNs int64 `json:"virtualNs"`
 }
 
+// backendIdentitySet collects the identity of every node in the backend
+// graph rooted at b, for SwapBackend's departure/arrival diff. Nodes whose
+// dynamic type is not comparable are skipped — they always diff as
+// departing/arriving, the conservative pre-diff behavior.
+func backendIdentitySet(b Backend) map[any]bool {
+	set := map[any]bool{}
+	walkBackends(b, func(c Backend) {
+		if reflect.TypeOf(c).Comparable() {
+			set[c] = true
+		}
+	})
+	return set
+}
+
 // SwapBackend exchanges the attached measurement backend set while the
 // runtime is live: the patched sleds are untouched, the handler simply
 // starts delivering events to the new backend (atomically — events in
-// flight finish on the old one). Before the swap, every Deselector among
-// the detached backends closes its open state for every currently active
-// function, exactly like a deselection would — an enter recorded by a
-// backend that is being detached can never be balanced by it later. The new
-// backend set gets the scanned DSO symbols injected (SymbolInjector) and
-// its virtual start-up cost is reported for the caller to charge.
+// flight finish on the old one). The swap diffs the two chains by node
+// identity: a backend present in both (a partial swap that keeps some of
+// a mux's children) keeps its state untouched. Every *departing*
+// Deselector closes its open state for every currently active function,
+// exactly like a deselection would — an enter recorded by a backend that
+// is being detached can never be balanced by it later. Every *arriving*
+// SymbolInjector gets the scanned DSO symbols injected, and only arriving
+// leaves charge their virtual start-up cost into VirtualNs.
 func (rt *Runtime) SwapBackend(b Backend) (BackendSwapReport, error) {
 	if b == nil {
 		return BackendSwapReport{}, fmt.Errorf("dyncapi: nil backend")
@@ -825,6 +842,8 @@ func (rt *Runtime) SwapBackend(b Backend) (BackendSwapReport, error) {
 
 	old := rt.loadBackend()
 	rep := BackendSwapReport{From: old.Name(), To: b.Name()}
+	keep := backendIdentitySet(b)
+	oldSet := backendIdentitySet(old)
 	// In async mode, drain before the swap so every event queued for the old
 	// backend set is delivered to it; events appended after the drain land on
 	// whichever backend the consumer loads at delivery time, the same
@@ -840,6 +859,10 @@ func (rt *Runtime) SwapBackend(b Backend) (BackendSwapReport, error) {
 	rt.backend.Store(backendBox{b})
 	active, _ := rt.active.Load().(map[int32]*ResolvedFunc)
 	for _, nd := range deselectors(old) {
+		if keep[any(nd.ds)] {
+			// Staying attached: its open state remains live in the new chain.
+			continue
+		}
 		for _, rf := range active {
 			if n := nd.ds.OnDeselect(rf); n > 0 {
 				rep.SyntheticExits += n
@@ -856,11 +879,29 @@ func (rt *Runtime) SwapBackend(b Backend) (BackendSwapReport, error) {
 	}
 
 	for _, injector := range symbolInjectors(b) {
+		if oldSet[any(injector)] {
+			// Already attached before the swap: injected at its own attach.
+			continue
+		}
 		for _, s := range rt.dsoSyms {
 			injector.InjectSymbol(s.addr, s.name)
 		}
 	}
-	rep.VirtualNs = b.InitCost(rt.report.SymbolsScanned)
+	// Start-up cost: only arriving leaves pay. Fan-outs and bridges are
+	// skipped so a mux's children are not charged twice (Mux.InitCost sums
+	// them already).
+	walkBackends(b, func(c Backend) {
+		if _, isFan := c.(fanout); isFan {
+			return
+		}
+		if _, isBridge := c.(backendUnwrapper); isBridge {
+			return
+		}
+		if reflect.TypeOf(c).Comparable() && oldSet[c] {
+			return
+		}
+		rep.VirtualNs += c.InitCost(rt.report.SymbolsScanned)
+	})
 	return rep, nil
 }
 

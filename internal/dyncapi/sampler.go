@@ -86,19 +86,31 @@ type SamplePolicy struct {
 	RedundantGapNs int64 `json:"redundantGapNs,omitempty"`
 }
 
+// PolicyError is a sampling-config validation failure, carrying the JSON
+// field that caused it so the control plane can name the offending field
+// in its 400 body (errors.As-able through any wrapping).
+type PolicyError struct {
+	// Field is the offending field's JSON name: "stride", "minDurationNs",
+	// "redundantGapNs", "funcs" or "ids".
+	Field string
+	Msg   string
+}
+
+func (e *PolicyError) Error() string { return e.Msg }
+
 // validate rejects nonsensical policies.
 func (p SamplePolicy) validate() error {
 	if p.Stride < 0 {
-		return fmt.Errorf("dyncapi: sampling stride %d must be >= 0", p.Stride)
+		return &PolicyError{Field: "stride", Msg: fmt.Sprintf("dyncapi: sampling stride %d must be >= 0", p.Stride)}
 	}
 	if p.MinDurationNs < 0 {
-		return fmt.Errorf("dyncapi: sampling min duration %dns must be >= 0", p.MinDurationNs)
+		return &PolicyError{Field: "minDurationNs", Msg: fmt.Sprintf("dyncapi: sampling min duration %dns must be >= 0", p.MinDurationNs)}
 	}
 	if p.RedundantGapNs < 0 {
-		return fmt.Errorf("dyncapi: redundancy gap %dns must be >= 0", p.RedundantGapNs)
+		return &PolicyError{Field: "redundantGapNs", Msg: fmt.Sprintf("dyncapi: redundancy gap %dns must be >= 0", p.RedundantGapNs)}
 	}
 	if p.RedundantGapNs > 0 && !p.CollapseRedundant {
-		return fmt.Errorf("dyncapi: redundancy gap set without CollapseRedundant")
+		return &PolicyError{Field: "redundantGapNs", Msg: "dyncapi: redundancy gap set without CollapseRedundant"}
 	}
 	return nil
 }
@@ -560,12 +572,12 @@ func (rt *Runtime) SetSampling(cfg SamplingConfig) error {
 	}
 	for name, p := range cfg.Funcs {
 		if err := p.validate(); err != nil {
-			return fmt.Errorf("%w (function %q)", err, name)
+			return &PolicyError{Field: "funcs", Msg: fmt.Sprintf("%v (function %q)", err, name)}
 		}
 	}
 	for id, p := range cfg.IDs {
 		if err := p.validate(); err != nil {
-			return fmt.Errorf("%w (id %d)", err, id)
+			return &PolicyError{Field: "ids", Msg: fmt.Sprintf("%v (id %d)", err, id)}
 		}
 	}
 
@@ -590,12 +602,12 @@ func (rt *Runtime) SetSampling(cfg SamplingConfig) error {
 		}
 		if len(unknown) > 0 {
 			sort.Strings(unknown)
-			return fmt.Errorf("dyncapi: unknown function name(s) in sampling config: %s", strings.Join(unknown, ", "))
+			return &PolicyError{Field: "funcs", Msg: fmt.Sprintf("dyncapi: unknown function name(s) in sampling config: %s", strings.Join(unknown, ", "))}
 		}
 	}
 	for id := range cfg.IDs {
 		if rt.byID[id] == nil {
-			return fmt.Errorf("dyncapi: unknown function id %d in sampling config", id)
+			return &PolicyError{Field: "ids", Msg: fmt.Sprintf("dyncapi: unknown function id %d in sampling config", id)}
 		}
 	}
 
