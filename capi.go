@@ -900,11 +900,14 @@ type InstanceStatus struct {
 	SyntheticExits          int64            `json:"syntheticExits"`
 	SyntheticExitsByBackend map[string]int64 `json:"syntheticExitsByBackend,omitempty"`
 	// Async reports whether the asynchronous event pipeline is attached;
-	// PipelineDepth is the number of events currently queued in its rings
-	// and DroppedAsync the enter/exit pairs rejected under back-pressure.
+	// PipelineDepth is the number of events currently queued in its rings,
+	// DroppedAsync the enter/exit pairs rejected under back-pressure, and
+	// AsyncBuf the effective per-rank ring capacity in events (the
+	// configured -async-buf rounded up to a power of two; 0 when inline).
 	Async         bool  `json:"async"`
 	PipelineDepth int64 `json:"pipelineDepth"`
 	DroppedAsync  int64 `json:"droppedAsync"`
+	AsyncBuf      int   `json:"asyncBuf,omitempty"`
 	// Sampling is the sampler's live view (policies + conservation
 	// counters); nil when no sampling policy was ever installed.
 	Sampling *SamplingSnapshot `json:"sampling,omitempty"`
@@ -955,6 +958,7 @@ func (i *Instance) Status() InstanceStatus {
 	st.Async = snap.Async
 	st.PipelineDepth = snap.AsyncDepth
 	st.DroppedAsync = snap.DroppedAsync
+	st.AsyncBuf = snap.AsyncBuf
 	if snap.Sampling.Configured || snap.Sampling.Counters.Enters > 0 {
 		sampling := snap.Sampling
 		st.Sampling = &sampling

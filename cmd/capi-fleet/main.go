@@ -1,0 +1,113 @@
+// Command capi-fleet is the federated control plane: one coordinator that
+// aggregates many capi-serve instances (internal/fleet). Members join via
+// the static -members list or by self-registering (capi-serve -fleet);
+// control mutations POSTed to the coordinator fan out to every member
+// with partial-failure accounting, and the read side is merged — the
+// member table with rollup counters, the per-backend report envelope with
+// fleet-wide POP metrics recomputed over every member's ranks, a unified
+// /metrics exposition with member labels, and one SSE feed multiplexing
+// every member's event stream.
+//
+// Usage:
+//
+//	capi-fleet                                        # members self-register
+//	capi-fleet -members http://127.0.0.1:7070,http://127.0.0.1:7071
+//	capi-fleet -addr 127.0.0.1:8070 -ttl 30s
+//
+// Then, from anywhere:
+//
+//	curl localhost:8070/v1/fleet/status
+//	curl -X POST -H 'Content-Type: application/json' \
+//	     -d '{"builtin":"mpi coarse"}' localhost:8070/v1/select
+//	curl localhost:8070/v1/fleet/report
+//	curl -N localhost:8070/v1/fleet/events
+//	curl localhost:8070/metrics
+//
+// The coordinator shuts down gracefully on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"capi/internal/fleet"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8070", "listen address")
+		members = flag.String("members", "", "comma-separated static member base URLs (e.g. http://127.0.0.1:7070,http://127.0.0.1:7071)")
+		ttl     = flag.Duration("ttl", fleet.DefaultTTL, "heartbeat TTL before a registered member is evicted")
+		probe   = flag.Duration("probe", fleet.DefaultProbeInterval, "member /v1/healthz probe interval (0 disables)")
+		timeout = flag.Duration("timeout", fleet.DefaultTimeout, "per-member control request timeout")
+		retries = flag.Int("retries", fleet.DefaultRetries, "per-member retries for retryable fan-out failures")
+		backoff = flag.Duration("backoff", fleet.DefaultBackoff, "first fan-out retry delay (doubles per attempt)")
+	)
+	flag.Parse()
+
+	opts := fleet.Options{
+		TTL:     *ttl,
+		Timeout: *timeout,
+		Retries: *retries,
+		Backoff: *backoff,
+	}
+	if *probe > 0 {
+		opts.ProbeInterval = *probe
+	} else {
+		opts.ProbeInterval = -1
+	}
+	if *members != "" {
+		for _, m := range strings.Split(*members, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				opts.Members = append(opts.Members, m)
+			}
+		}
+	}
+
+	coord, err := fleet.New(opts)
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           coord,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "capi-fleet: coordinator on http://%s (%d static members, TTL %s)\n",
+		*addr, len(opts.Members), *ttl)
+	fmt.Fprintf(os.Stderr, "capi-fleet: POST /v1/fleet/register to join; GET /v1/fleet/status, GET /v1/fleet/report, GET /v1/fleet/events, POST /v1/select, GET /metrics\n")
+
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "capi-fleet: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		// Close first: it disconnects SSE subscribers and stops the member
+		// tailers, so Shutdown is not held open by streaming requests.
+		coord.Close()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "capi-fleet:", err)
+	os.Exit(1)
+}

@@ -11,6 +11,7 @@
 //	capi-serve -app quickstart -backend extrae -addr 127.0.0.1:7070
 //	capi-serve -app lulesh -builtin mpi -backend talp,extrae   # fan-out
 //	capi-serve -app lulesh -full -adapt -budget 0.01
+//	capi-serve -app lulesh -builtin mpi -fleet http://127.0.0.1:8070  # join a fleet
 //
 // -backend takes a comma-separated list of registry names (fail-fast on
 // unknown ones); with several, one run feeds every backend and GET
@@ -35,12 +36,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	capi "capi"
 	"capi/internal/ctl"
 	"capi/internal/experiments"
+	"capi/internal/fleet"
 	"capi/internal/vtime"
 )
 
@@ -62,6 +65,9 @@ func main() {
 		async    = flag.Bool("async", false, "asynchronous event pipeline: backends consume off the dispatch hot path (incompatible with -adapt)")
 		asyncBuf = flag.Int("async-buf", 0, "async: per-rank ring capacity in events (0 = default 65536)")
 		panicLim = flag.Int("panic-limit", 0, "per-backend circuit breaker: recovered panics before auto-detach (0 = default 3, negative = never detach)")
+		fleetURL = flag.String("fleet", "", "capi-fleet coordinator base URL: self-register and heartbeat (e.g. http://127.0.0.1:8070)")
+		fleetNm  = flag.String("fleet-name", "", "member name to register under (default: the advertised host:port)")
+		advert   = flag.String("advertise", "", "base URL the coordinator should reach this member at (default http://<-addr>)")
 	)
 	flag.Parse()
 
@@ -127,6 +133,19 @@ func main() {
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "capi-serve: control plane on http://%s (GET /v1/status, POST /v1/select, POST /v1/run, GET /v1/report, POST /v1/sampling, GET /metrics, GET /v1/events)\n", *addr)
+
+	if *fleetURL != "" {
+		self := *advert
+		if self == "" {
+			self = "http://" + *addr
+		}
+		go fleet.Heartbeat(ctx, strings.TrimRight(*fleetURL, "/"),
+			fleet.RegisterRequest{URL: self, Name: *fleetNm, App: *app},
+			fleet.DefaultHeartbeatInterval,
+			func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "capi-serve: "+format+"\n", args...)
+			})
+	}
 
 	select {
 	case err := <-done:

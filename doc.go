@@ -65,6 +65,14 @@
 //	          auto-revert), phase execution, report scrapes, Prometheus
 //	          metrics, SSE reconfigure/expired/breaker events (served by
 //	          cmd/capi-serve)
+//	fleet     federated control plane over many capi-serve members
+//	          (cmd/capi-fleet): registration with heartbeat-TTL eviction,
+//	          cluster-wide fan-out of select/sampling/adapt with
+//	          partial-failure accounting (all-or-report-divergence),
+//	          merged status/report — fleet-wide POP metrics re-derived
+//	          from concatenated per-member rank times — a member-labelled
+//	          unified /metrics, and a multiplexed SSE feed tailing every
+//	          member's event stream with reconnect/backoff
 //	benchcmp  benchmark-regression comparator (cmd/benchdiff CI gate
 //	          against BENCH_baseline.json)
 //	lint      stdlib-only static-analysis suite enforcing the //capi:
@@ -182,6 +190,13 @@
 // ReconfigReport), phase execution, measurement reports, adaptive-controller
 // retuning, Prometheus metrics and an SSE stream of reconfigure events.
 // Instance.Status returns the consistent snapshot those endpoints expose.
+//
+// Above the single process sits the federated control plane: cmd/capi-fleet
+// (internal/fleet) aggregates many capi-serve members — capi-serve -fleet
+// self-registers and heartbeats — fanning control mutations out
+// cluster-wide with explicit partial-failure reporting and merging the
+// members' status, reports (fleet-wide POP efficiency over the union of
+// all ranks), metrics and event streams into one coordinator surface.
 //
 // Everything is deterministic: workloads are generated from fixed seeds and
 // time is virtual, so measurements are reproducible bit-for-bit.

@@ -35,6 +35,8 @@
 //	                    "backends", "sampling", "expired" (a TTL revert
 //	                    delivered), "breaker" (a backend's panic-barrier
 //	                    circuit breaker tripped)
+//	GET  /v1/healthz    liveness probe (no instance lock — answers even
+//	                    mid-reconfigure; what a fleet coordinator polls)
 //	GET  /metrics       Prometheus text exposition
 //
 // Error bodies are {"error": ..., "field": ...}: a 400 names the request
@@ -111,6 +113,7 @@ func New(session *capi.Session, inst *capi.Instance, app string) *Server {
 	s.mux.HandleFunc("POST /v1/adapt", s.handleAdapt)
 	s.mux.HandleFunc("POST /v1/sampling", s.handleSampling)
 	s.mux.HandleFunc("GET /v1/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /{$}", s.handleIndex)
 	// TTL expiries and breaker trips originate inside the instance (timer
@@ -152,12 +155,36 @@ func writeFieldErr(w http.ResponseWriter, code int, field, format string, args .
 	})
 }
 
+// HealthzResponse is the GET /v1/healthz document: the liveness probe the
+// fleet coordinator hits. It deliberately reads nothing from the instance —
+// no instance lock, no runtime snapshot — so it answers even while a phase
+// executes and a reconfigure holds the instance mutex.
+type HealthzResponse struct {
+	OK            bool    `json:"ok"`
+	App           string  `json:"app"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthzResponse{
+		OK:            true,
+		App:           s.app,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	})
+}
+
 // StatusResponse is the GET /v1/status document.
 type StatusResponse struct {
 	App string `json:"app"`
 	capi.InstanceStatus
 	HTTPSelects   int64   `json:"httpSelects"`
 	UptimeSeconds float64 `json:"uptimeSeconds"`
+	// PipelineHint appears when the async pipeline has shed load
+	// (droppedAsync > 0): ring-sizing guidance naming the next
+	// power-of-two -async-buf. The rings cannot grow on a live run — the
+	// single-writer contract pins their memory — so the hint is restart
+	// advice, not a knob.
+	PipelineHint string `json:"pipelineHint,omitempty"`
 	// LastRun summarizes the most recently completed phase. It lags the
 	// Runs counter by one instant: the instance counts the phase before
 	// the server records the summary, so a poller that needs the summary
@@ -173,6 +200,13 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		InstanceStatus: s.inst.Status(),
 		HTTPSelects:    s.httpSelects.Load(),
 		UptimeSeconds:  time.Since(s.started).Seconds(),
+	}
+	if resp.Async && resp.DroppedAsync > 0 && resp.AsyncBuf > 0 {
+		// AsyncBuf is already a power of two (the pipeline rounds up), so
+		// the next rung is exactly one doubling.
+		resp.PipelineHint = fmt.Sprintf(
+			"async back-pressure dropped %d enter/exit pairs with -async-buf %d; restart with -async-buf %d (next power of two)",
+			resp.DroppedAsync, resp.AsyncBuf, resp.AsyncBuf*2)
 	}
 	s.mu.Lock()
 	resp.LastRun = s.lastRun
@@ -655,7 +689,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		"endpoints": []string{
 			"GET /v1/status", "GET /v1/selection", "POST /v1/select",
 			"POST /v1/run", "GET /v1/report", "POST /v1/adapt",
-			"POST /v1/sampling", "GET /v1/events", "GET /metrics",
+			"POST /v1/sampling", "GET /v1/events", "GET /v1/healthz",
+			"GET /metrics",
 		},
 	})
 }

@@ -699,6 +699,32 @@ func TestIndexListsEndpoints(t *testing.T) {
 	}
 }
 
+// TestHealthz pins the liveness probe: 200 with the app name and a
+// moving uptime, and — because fleet coordinators hit it on every probe
+// tick — it must answer while a phase is executing, when /v1/status
+// contends on the instance lock.
+func TestHealthz(t *testing.T) {
+	ts, _, _ := newServer(t, capi.Quickstart(), "quickstart",
+		capi.RunOptions{Backend: capi.BackendTALP, Ranks: 2})
+	var hz ctl.HealthzResponse
+	getJSON(t, ts.URL+"/v1/healthz", &hz)
+	if !hz.OK || hz.App != "quickstart" || hz.UptimeSeconds < 0 {
+		t.Fatalf("healthz = %+v", hz)
+	}
+
+	// Probe while a phase runs: the handler takes no instance lock, so a
+	// busy member still reports live.
+	wait := false
+	resp, body := postJSON(t, ts.URL+"/v1/run", ctl.RunRequest{Wait: &wait})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("run: %d %s", resp.StatusCode, body)
+	}
+	getJSON(t, ts.URL+"/v1/healthz", &hz)
+	if !hz.OK {
+		t.Fatal("healthz not OK during a running phase")
+	}
+}
+
 // TestSamplingEndpoint drives POST /v1/sampling end-to-end: install a
 // table, see it on /v1/status and /metrics, run a sampled phase, and read
 // the conservation counters back through the report envelope.
@@ -914,6 +940,12 @@ func TestAsyncPipelineOverHTTP(t *testing.T) {
 	if !st.Async || st.DroppedAsync != 0 || st.PipelineDepth != 0 {
 		t.Fatalf("fresh async status = %+v", st.InstanceStatus)
 	}
+	if st.AsyncBuf != 8 {
+		t.Fatalf("asyncBuf = %d, want the effective 8-slot ring surfaced", st.AsyncBuf)
+	}
+	if st.PipelineHint != "" {
+		t.Fatalf("fresh instance already hints %q; the hint must wait for drops", st.PipelineHint)
+	}
 	if got := scrapeMetric(t, ts.URL, "capi_pipeline_async"); got != 1 {
 		t.Fatalf("capi_pipeline_async = %d, want 1", got)
 	}
@@ -934,6 +966,11 @@ func TestAsyncPipelineOverHTTP(t *testing.T) {
 	}
 	if st.PipelineDepth != 0 {
 		t.Fatalf("pipeline depth %d after the phase, want 0", st.PipelineDepth)
+	}
+	// Shed load produces operator guidance: the hint names the next
+	// power-of-two ring (8 → 16) so the restart advice is copy-pasteable.
+	if !strings.Contains(st.PipelineHint, "-async-buf 16") {
+		t.Fatalf("pipelineHint = %q, want next-power-of-two advice naming -async-buf 16", st.PipelineHint)
 	}
 	if got := scrapeMetric(t, ts.URL, "capi_pipeline_dropped_total"); int64(got) != st.DroppedAsync {
 		t.Fatalf("metrics dropped = %d, status says %d", got, st.DroppedAsync)

@@ -750,6 +750,10 @@ type Snapshot struct {
 	DroppedAsync            int64
 	DroppedAsyncByRank      []int64 `json:",omitempty"`
 	DroppedAsyncOrphanExits int64   `json:",omitempty"`
+	// AsyncBuf is the effective per-rank ring capacity in events (the
+	// configured value rounded up to a power of two; 0 when inline) — the
+	// base the control plane's ring-sizing hint doubles from.
+	AsyncBuf int `json:",omitempty"`
 	// Sampling is the sampler's point-in-time view (policies + counters).
 	Sampling SamplingSnapshot
 	// InitVirtualNs is T_init.
@@ -784,6 +788,7 @@ func (rt *Runtime) Snapshot() Snapshot {
 		snap.DroppedAsync = rt.pipe.dropped()
 		snap.DroppedAsyncByRank = rt.pipe.droppedByRank()
 		snap.DroppedAsyncOrphanExits = rt.pipe.droppedOrphanExits()
+		snap.AsyncBuf = rt.pipe.ringCap()
 	}
 	snap.Sampling = rt.SamplingSnapshot()
 	return snap

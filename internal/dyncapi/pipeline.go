@@ -386,6 +386,13 @@ func (p *pipeline) depthNow() int64 {
 	return d
 }
 
+// ringCap returns the effective per-rank ring capacity in events (the
+// configured AsyncBuf rounded up to a power of two) — what a ring-sizing
+// hint doubles from.
+func (p *pipeline) ringCap() int {
+	return len(p.shards[0].ring)
+}
+
 // dropped sums the pairs rejected by back-pressure across all shards.
 func (p *pipeline) dropped() int64 {
 	var d int64

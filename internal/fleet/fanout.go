@@ -1,0 +1,165 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// MemberResult is one member's outcome of a fan-out mutation.
+type MemberResult struct {
+	Member   string `json:"member"`
+	URL      string `json:"url"`
+	Status   int    `json:"status,omitempty"` // last HTTP status seen, 0 on transport failure
+	Attempts int    `json:"attempts"`
+	Error    string `json:"error,omitempty"`
+	// Response relays the member's own JSON response verbatim, so the
+	// caller can see exactly what each member applied (or rejected).
+	Response json.RawMessage `json:"response,omitempty"`
+}
+
+// FanoutResponse reports a cluster-wide mutation: which members applied it
+// and which did not. The HTTP status encodes the split — 200 all applied,
+// 207 partial (Divergent true), 502 none, 503 empty fleet. The fleet is
+// divergent whenever some but not all members applied: callers that need
+// convergence must retry or evict the failed members themselves.
+type FanoutResponse struct {
+	Path      string         `json:"path"`
+	Members   int            `json:"members"`
+	Divergent bool           `json:"divergent"`
+	Applied   []MemberResult `json:"applied"`
+	Failed    []MemberResult `json:"failed,omitempty"`
+}
+
+// fanoutHandler returns the handler that replays the request body to the
+// named control path on every live member.
+func (s *Server) fanoutHandler(path string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+		if err != nil {
+			writeFieldErr(w, http.StatusBadRequest, "body", "reading request: %v", err)
+			return
+		}
+		members := s.reg.snapshot()
+		if len(members) == 0 {
+			writeErr(w, http.StatusServiceUnavailable, "fleet has no members")
+			return
+		}
+		s.fanouts.Add(1)
+
+		// Relay the caller's Content-Type: /v1/select distinguishes raw
+		// spec source (text/plain) from JSON documents by it.
+		ctype := r.Header.Get("Content-Type")
+		if ctype == "" {
+			ctype = "application/json"
+		}
+		results := make([]MemberResult, len(members))
+		var wg sync.WaitGroup
+		for i, m := range members {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				results[i] = s.postMember(m, path, ctype, body)
+			}()
+		}
+		wg.Wait()
+
+		resp := FanoutResponse{Path: path, Members: len(members)}
+		for _, res := range results {
+			if res.Error == "" {
+				resp.Applied = append(resp.Applied, res)
+			} else {
+				resp.Failed = append(resp.Failed, res)
+				s.fanoutFailures.Add(1)
+			}
+		}
+		sort.Slice(resp.Applied, func(i, j int) bool { return resp.Applied[i].Member < resp.Applied[j].Member })
+		sort.Slice(resp.Failed, func(i, j int) bool { return resp.Failed[i].Member < resp.Failed[j].Member })
+
+		code := http.StatusOK
+		switch {
+		case len(resp.Applied) == 0:
+			code = http.StatusBadGateway
+		case len(resp.Failed) > 0:
+			code = http.StatusMultiStatus
+			resp.Divergent = true
+		}
+		writeJSON(w, code, resp)
+	}
+}
+
+// postMember POSTs one mutation to one member with per-attempt timeout and
+// doubling backoff. Transport errors and 5xx responses are retried; a 4xx
+// is the member deterministically rejecting the document, so it is
+// reported immediately — retrying a rejection cannot converge the fleet.
+func (s *Server) postMember(m memberSnap, path, ctype string, body []byte) MemberResult {
+	res := MemberResult{Member: m.Name, URL: m.URL}
+	attempts := 1 + s.opts.Retries
+	backoff := s.opts.Backoff
+	for attempt := 1; attempt <= attempts; attempt++ {
+		res.Attempts = attempt
+		if attempt > 1 {
+			select {
+			case <-s.baseCtx.Done():
+				res.Error = "coordinator is shutting down"
+				return res
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		status, respBody, err := s.postOnce(m.URL+path, ctype, body)
+		if err != nil {
+			res.Status, res.Error = 0, err.Error()
+			s.reg.setHealth(m.Name, false, err.Error(), false)
+			continue
+		}
+		res.Status = status
+		res.Response = jsonOrNil(respBody)
+		if status >= 200 && status < 300 {
+			res.Error = ""
+			s.reg.setHealth(m.Name, true, "", true)
+			return res
+		}
+		res.Error = fmt.Sprintf("member returned status %d", status)
+		if status >= 400 && status < 500 {
+			return res
+		}
+	}
+	return res
+}
+
+func (s *Server) postOnce(url, ctype string, body []byte) (int, []byte, error) {
+	ctx, cancel := context.WithTimeout(s.baseCtx, s.opts.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", ctype)
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, respBody, nil
+}
+
+// jsonOrNil relays b only when it is valid JSON — the fan-out response is
+// itself JSON, and a member replying with a non-JSON body must not be able
+// to corrupt it.
+func jsonOrNil(b []byte) json.RawMessage {
+	if json.Valid(b) {
+		return json.RawMessage(b)
+	}
+	return nil
+}

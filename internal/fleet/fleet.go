@@ -1,0 +1,388 @@
+// Package fleet is the federated control plane: one coordinator over many
+// capi-serve instances. The single-instance control plane (internal/ctl)
+// drives exactly one in-process Instance; the paper's own setting is a
+// multi-rank MPI job steered as one system (TALP/DLB coordinate across
+// ranks at runtime), and selection decisions are only meaningful
+// fleet-wide — a global overhead budget must be split and enforced across
+// members, not per process. cmd/capi-fleet mounts this server.
+//
+// Members are capi-serve endpoints, discovered two ways: a static
+// -members list given at start-up, and dynamic self-registration
+// (POST /v1/fleet/register, re-POSTed as a heartbeat). A registered member
+// that misses its heartbeat TTL is evicted by a single lazily-started
+// timer goroutine (the ttl.go pattern: monotonic deadlines, coalesced wake
+// channel, the goroutine exists only while a dynamic member is
+// registered); static members are never evicted, only marked unhealthy by
+// the /v1/healthz liveness prober.
+//
+// Endpoints:
+//
+//	POST /v1/fleet/register   {"url","name","app"} → join or heartbeat
+//	GET  /v1/fleet/status     member table + rollup counters (runs, events,
+//	                          droppedAsync, droppedPanicked, breaker state)
+//	GET  /v1/fleet/report     per-backend envelope merge across members;
+//	                          TALP per-rank times are re-derived through
+//	                          pop.ComputeMerged into fleet-wide POP metrics
+//	GET  /v1/fleet/events     SSE mux: every member's event stream, tailed
+//	                          with reconnect/backoff, tagged by member
+//	POST /v1/select           fan-out to every member   ─┐ per-member
+//	POST /v1/sampling         fan-out to every member    ├ timeout/retry/
+//	POST /v1/adapt            fan-out to every member   ─┘ backoff
+//	GET  /v1/healthz          the coordinator's own liveness probe
+//	GET  /metrics             fleet series + every member's exposition,
+//	                          re-labelled with member="<name>"
+//
+// Fan-out is all-or-report-divergence: the response lists exactly which
+// members applied the change (applied) and which did not (failed, with the
+// per-member error), and the HTTP status encodes the split — 200 when every
+// member applied, 207 on partial application (divergent: true), 502 when
+// no member applied, 503 when the fleet is empty. A dead member is
+// reported as failed, never silently dropped: convergence is the caller's
+// decision, so the coordinator never hides a divergent member behind a
+// 200.
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Defaults for Options zero values.
+const (
+	// DefaultTTL is the heartbeat TTL for dynamically registered members.
+	DefaultTTL = 15 * time.Second
+	// DefaultProbeInterval is the /v1/healthz liveness probe cadence.
+	DefaultProbeInterval = 5 * time.Second
+	// DefaultTimeout bounds every control request to one member (per
+	// attempt, not per fan-out).
+	DefaultTimeout = 5 * time.Second
+	// DefaultRetries is how many times a retryable (network / 5xx)
+	// fan-out failure is retried per member.
+	DefaultRetries = 2
+	// DefaultBackoff is the first retry delay; it doubles per attempt.
+	DefaultBackoff = 150 * time.Millisecond
+	// DefaultHeartbeatInterval is how often Heartbeat re-registers —
+	// one third of DefaultTTL, so two beats may be lost before eviction.
+	DefaultHeartbeatInterval = 5 * time.Second
+)
+
+// maxBodyBytes bounds request and relayed response bodies.
+const maxBodyBytes = 1 << 20
+
+// Options configures a coordinator.
+type Options struct {
+	// Members lists static member base URLs (joined at start-up, never
+	// evicted — only marked unhealthy when their probe fails).
+	Members []string
+	// TTL is the heartbeat TTL for registered members (DefaultTTL if 0).
+	TTL time.Duration
+	// ProbeInterval is the liveness probe cadence (DefaultProbeInterval
+	// if 0); negative disables the prober.
+	ProbeInterval time.Duration
+	// Timeout bounds each control request to one member (DefaultTimeout
+	// if 0).
+	Timeout time.Duration
+	// Retries is the per-member retry count for retryable fan-out
+	// failures (DefaultRetries if 0; negative means no retries).
+	Retries int
+	// Backoff is the first retry delay, doubling per attempt
+	// (DefaultBackoff if 0).
+	Backoff time.Duration
+	// Client overrides the HTTP client used for member requests (tests).
+	// It must not set Client.Timeout: SSE tails stream indefinitely and
+	// per-request deadlines come from contexts.
+	Client *http.Client
+}
+
+// Server is the coordinator. Create it with New, mount it on any
+// http.Server (it implements http.Handler), and Close it to stop the
+// eviction loop, the prober and every member tailer.
+type Server struct {
+	opts    Options
+	reg     *registry
+	mux     *http.ServeMux
+	hub     *hub
+	client  *http.Client
+	started time.Time
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+
+	fanouts        atomic.Int64 // fan-out requests served
+	fanoutFailures atomic.Int64 // member applications that failed, summed
+}
+
+// New builds a coordinator and joins the static members. It fails fast on
+// an unparsable static member URL.
+func New(opts Options) (*Server, error) {
+	if opts.TTL <= 0 {
+		opts.TTL = DefaultTTL
+	}
+	if opts.ProbeInterval == 0 {
+		opts.ProbeInterval = DefaultProbeInterval
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = DefaultTimeout
+	}
+	if opts.Retries == 0 {
+		opts.Retries = DefaultRetries
+	} else if opts.Retries < 0 {
+		opts.Retries = 0
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = DefaultBackoff
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:    opts,
+		mux:     http.NewServeMux(),
+		hub:     newHub(),
+		client:  client,
+		started: time.Now(),
+		baseCtx: ctx,
+		stop:    cancel,
+	}
+	s.reg = newRegistry(opts.TTL, s.memberJoined, s.memberLeft)
+
+	s.mux.HandleFunc("POST /v1/fleet/register", s.handleRegister)
+	s.mux.HandleFunc("GET /v1/fleet/status", s.handleFleetStatus)
+	s.mux.HandleFunc("GET /v1/fleet/report", s.handleFleetReport)
+	s.mux.HandleFunc("GET /v1/fleet/events", s.handleEvents)
+	s.mux.HandleFunc("POST /v1/select", s.fanoutHandler("/v1/select"))
+	s.mux.HandleFunc("POST /v1/sampling", s.fanoutHandler("/v1/sampling"))
+	s.mux.HandleFunc("POST /v1/adapt", s.fanoutHandler("/v1/adapt"))
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /{$}", s.handleIndex)
+
+	for _, raw := range opts.Members {
+		name, base, err := normalizeMemberURL(raw, "")
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("fleet: static member %q: %w", raw, err)
+		}
+		s.reg.upsert(name, base, "", true)
+	}
+	if opts.ProbeInterval > 0 {
+		s.wg.Add(1)
+		go s.probeLoop()
+	}
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops the eviction loop, the prober and every member tailer, and
+// disconnects the SSE subscribers. It blocks until every goroutine the
+// coordinator started has exited — which is what the no-leak test pins.
+func (s *Server) Close() {
+	s.stop()
+	s.reg.close()
+	s.hub.shutdown()
+	s.wg.Wait()
+}
+
+// memberJoined starts the member's SSE tailer and announces the join on
+// the fleet stream. Called by the registry with its lock held; the
+// returned cancel stops the tailer on eviction.
+func (s *Server) memberJoined(m *member) context.CancelFunc {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	s.wg.Add(1)
+	go s.tailMember(ctx, m)
+	s.hub.publish("fleet", lifecycleEvent{Member: m.name, URL: m.url, State: "registered"})
+	return cancel
+}
+
+// memberLeft announces an eviction/replacement on the fleet stream.
+func (s *Server) memberLeft(name, reason string) {
+	s.hub.publish("fleet", lifecycleEvent{Member: name, State: reason})
+}
+
+// lifecycleEvent is the payload of the fleet's own "fleet" SSE events.
+type lifecycleEvent struct {
+	Member string `json:"member"`
+	URL    string `json:"url,omitempty"`
+	State  string `json:"state"`
+}
+
+// normalizeMemberURL validates a member base URL and derives the member
+// name (explicit name, else the URL's host:port).
+func normalizeMemberURL(raw, name string) (string, string, error) {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return "", "", err
+	}
+	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return "", "", fmt.Errorf("need an absolute http(s) base URL, got %q", raw)
+	}
+	base := u.Scheme + "://" + u.Host + u.Path
+	for len(base) > 0 && base[len(base)-1] == '/' {
+		base = base[:len(base)-1]
+	}
+	if name == "" {
+		name = u.Host
+	}
+	return name, base, nil
+}
+
+// RegisterRequest is the POST /v1/fleet/register body. URL is the member's
+// reachable base URL (required); Name defaults to the URL's host:port; App
+// names the member's workload in the member table. Re-POSTing is the
+// heartbeat: same name, deadline moves.
+type RegisterRequest struct {
+	URL  string `json:"url"`
+	Name string `json:"name,omitempty"`
+	App  string `json:"app,omitempty"`
+}
+
+// RegisterResponse acknowledges a registration or heartbeat.
+type RegisterResponse struct {
+	Name       string  `json:"name"`
+	TTLSeconds float64 `json:"ttlSeconds"`
+	Members    int     `json:"members"`
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeFieldErr(w, http.StatusBadRequest, "body", "decoding request: %v", err)
+		return
+	}
+	if req.URL == "" {
+		writeFieldErr(w, http.StatusBadRequest, "url", "url is required")
+		return
+	}
+	name, base, err := normalizeMemberURL(req.URL, req.Name)
+	if err != nil {
+		writeFieldErr(w, http.StatusBadRequest, "url", "%v", err)
+		return
+	}
+	if !s.reg.upsert(name, base, req.App, false) {
+		writeErr(w, http.StatusServiceUnavailable, "coordinator is shutting down")
+		return
+	}
+	writeJSON(w, http.StatusOK, RegisterResponse{
+		Name:       name,
+		TTLSeconds: s.opts.TTL.Seconds(),
+		Members:    s.reg.count(),
+	})
+}
+
+// HealthzResponse is the GET /v1/healthz document.
+type HealthzResponse struct {
+	OK            bool    `json:"ok"`
+	Members       int     `json:"members"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthzResponse{
+		OK:            true,
+		Members:       s.reg.count(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	})
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"fleet": true,
+		"endpoints": []string{
+			"POST /v1/fleet/register", "GET /v1/fleet/status",
+			"GET /v1/fleet/report", "GET /v1/fleet/events",
+			"POST /v1/select", "POST /v1/sampling", "POST /v1/adapt",
+			"GET /v1/healthz", "GET /metrics",
+		},
+	})
+}
+
+// probeLoop polls every member's GET /v1/healthz at ProbeInterval and
+// records the outcome in the member table. Static members have no
+// heartbeat, so the probe is their only liveness signal; for registered
+// members it colors the table between heartbeats (eviction stays
+// TTL-driven).
+func (s *Server) probeLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.opts.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-t.C:
+		}
+		for _, m := range s.reg.snapshot() {
+			_, code, err := s.getMember(m.URL, "/v1/healthz")
+			if err != nil {
+				s.reg.setHealth(m.Name, false, err.Error(), false)
+			} else if code != http.StatusOK {
+				s.reg.setHealth(m.Name, false, fmt.Sprintf("healthz status %d", code), false)
+			} else {
+				s.reg.setHealth(m.Name, true, "", true)
+			}
+		}
+	}
+}
+
+// getMember GETs one member path under the per-request timeout.
+func (s *Server) getMember(base, path string) ([]byte, int, error) {
+	ctx, cancel := context.WithTimeout(s.baseCtx, s.opts.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return nil, resp.StatusCode, err
+	}
+	return body, resp.StatusCode, nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeFieldErr names the request field a 400 rejects, mirroring ctl.
+func writeFieldErr(w http.ResponseWriter, code int, field, format string, args ...any) {
+	writeJSON(w, code, map[string]string{
+		"error": fmt.Sprintf(format, args...),
+		"field": field,
+	})
+}
+
+// sortedNames returns the map's keys sorted (stable JSON and metrics).
+func sortedNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,322 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"capi/internal/ctl"
+	"capi/internal/pop"
+)
+
+// MemberStatus is one row of the GET /v1/fleet/status member table: the
+// registry's view of the member plus its own /v1/status document (absent,
+// with Error set, when the member could not be reached).
+type MemberStatus struct {
+	Member          string  `json:"member"`
+	URL             string  `json:"url"`
+	Static          bool    `json:"static,omitempty"`
+	Healthy         bool    `json:"healthy"`
+	LastSeenSeconds float64 `json:"lastSeenSeconds"`
+	// TTLSeconds is the time left before heartbeat eviction; omitted for
+	// static members, which are never evicted.
+	TTLSeconds    float64             `json:"ttlSeconds,omitempty"`
+	EventsRelayed int64               `json:"eventsRelayed"`
+	Error         string              `json:"error,omitempty"`
+	Status        *ctl.StatusResponse `json:"status,omitempty"`
+}
+
+// Rollup sums the fleet's live counters over every reachable member.
+// DetachedBackends and OpenBreakers surface the circuit-breaker state
+// cluster-wide: a single member tripping a breaker shows up here without
+// reading N status documents.
+type Rollup struct {
+	Members          int      `json:"members"`
+	Reachable        int      `json:"reachable"`
+	Runs             int      `json:"runs"`
+	Events           int64    `json:"events"`
+	Reconfigs        int      `json:"reconfigs"`
+	ActiveFunctions  int      `json:"activeFunctions"`
+	DroppedAsync     int64    `json:"droppedAsync"`
+	DroppedPanicked  int64    `json:"droppedPanicked"`
+	DetachedBackends []string `json:"detachedBackends,omitempty"`
+	// OpenBreakers lists "member/backend" for every breaker currently
+	// tripped or detached somewhere in the fleet.
+	OpenBreakers []string `json:"openBreakers,omitempty"`
+	// PipelineHints relays every member's ring-sizing hint keyed by
+	// member name, so back-pressure anywhere in the fleet is visible from
+	// the coordinator.
+	PipelineHints map[string]string `json:"pipelineHints,omitempty"`
+}
+
+// FleetStatusResponse is the GET /v1/fleet/status document.
+type FleetStatusResponse struct {
+	Coordinator  CoordinatorStatus `json:"coordinator"`
+	Rollup       Rollup            `json:"rollup"`
+	MemberStatus []MemberStatus    `json:"members"`
+}
+
+// CoordinatorStatus is the coordinator's own counters.
+type CoordinatorStatus struct {
+	UptimeSeconds  float64 `json:"uptimeSeconds"`
+	Registrations  int64   `json:"registrations"`
+	Evictions      int64   `json:"evictions"`
+	Fanouts        int64   `json:"fanouts"`
+	FanoutFailures int64   `json:"fanoutFailures"`
+	SSEClients     int     `json:"sseClients"`
+}
+
+func (s *Server) handleFleetStatus(w http.ResponseWriter, r *http.Request) {
+	members := s.reg.snapshot()
+	now := time.Now()
+	rows := make([]MemberStatus, len(members))
+	var wg sync.WaitGroup
+	for i, m := range members {
+		row := MemberStatus{
+			Member:          m.Name,
+			URL:             m.URL,
+			Static:          m.Static,
+			Healthy:         m.Healthy,
+			LastSeenSeconds: now.Sub(m.LastSeen).Seconds(),
+			EventsRelayed:   m.Events,
+		}
+		if !m.Static && !m.Deadline.IsZero() {
+			row.TTLSeconds = time.Until(m.Deadline).Seconds()
+		}
+		rows[i] = row
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body, code, err := s.getMember(m.URL, "/v1/status")
+			if err != nil {
+				rows[i].Error = err.Error()
+				rows[i].Healthy = false
+				return
+			}
+			if code != http.StatusOK {
+				rows[i].Error = fmt.Sprintf("status %d from member", code)
+				rows[i].Healthy = false
+				return
+			}
+			var st ctl.StatusResponse
+			if err := json.Unmarshal(body, &st); err != nil {
+				rows[i].Error = fmt.Sprintf("decoding member status: %v", err)
+				return
+			}
+			rows[i].Status = &st
+			rows[i].Healthy = true
+		}()
+	}
+	wg.Wait()
+
+	roll := Rollup{Members: len(rows)}
+	for _, row := range rows {
+		if row.Status == nil {
+			continue
+		}
+		roll.Reachable++
+		st := row.Status
+		roll.Runs += st.Runs
+		roll.Events += st.Events
+		roll.Reconfigs += st.Reconfigs
+		roll.ActiveFunctions += st.ActiveFunctions
+		roll.DroppedAsync += st.DroppedAsync
+		roll.DroppedPanicked += st.DroppedPanicked
+		for _, b := range st.DetachedBackends {
+			roll.DetachedBackends = append(roll.DetachedBackends, row.Member+"/"+b)
+		}
+		for _, b := range st.Breaker {
+			if b.Tripped {
+				roll.OpenBreakers = append(roll.OpenBreakers, row.Member+"/"+b.Backend)
+			}
+		}
+		if st.PipelineHint != "" {
+			if roll.PipelineHints == nil {
+				roll.PipelineHints = map[string]string{}
+			}
+			roll.PipelineHints[row.Member] = st.PipelineHint
+		}
+	}
+	sort.Strings(roll.DetachedBackends)
+	sort.Strings(roll.OpenBreakers)
+
+	writeJSON(w, http.StatusOK, FleetStatusResponse{
+		Coordinator: CoordinatorStatus{
+			UptimeSeconds:  time.Since(s.started).Seconds(),
+			Registrations:  s.reg.registrations.Load(),
+			Evictions:      s.reg.evictions.Load(),
+			Fanouts:        s.fanouts.Load(),
+			FanoutFailures: s.fanoutFailures.Load(),
+			SSEClients:     s.hub.clients(),
+		},
+		Rollup:       roll,
+		MemberStatus: rows,
+	})
+}
+
+// BackendReports groups one backend's reports across the fleet: the raw
+// per-member report documents, verbatim, keyed by member name.
+type BackendReports struct {
+	Kind    string                     `json:"kind"`
+	Reports map[string]json.RawMessage `json:"reports"`
+}
+
+// RegionPOP is one region's fleet-wide POP breakdown, re-derived from the
+// members' per-rank TALP times. Derived efficiencies cannot be averaged
+// across members — a mean of load balances is not the load balance of the
+// merged job — so the coordinator concatenates every member's rank set
+// (pop.Merge) and recomputes the metrics over the federated set
+// (pop.Compute). Members lists who contributed; a region missing on some
+// member simply has fewer ranks.
+type RegionPOP struct {
+	Name                    string   `json:"name"`
+	Members                 []string `json:"members"`
+	Ranks                   int      `json:"ranks"`
+	Visits                  int64    `json:"visits"`
+	ElapsedNs               int64    `json:"elapsedNs"`
+	AvgUsefulNs             int64    `json:"avgUsefulNs"`
+	MaxUsefulNs             int64    `json:"maxUsefulNs"`
+	LoadBalance             float64  `json:"loadBalance"`
+	CommunicationEfficiency float64  `json:"communicationEfficiency"`
+	ParallelEfficiency      float64  `json:"parallelEfficiency"`
+}
+
+// FleetReportResponse is the GET /v1/fleet/report document.
+type FleetReportResponse struct {
+	Members  []string                  `json:"members"`
+	Failed   map[string]string         `json:"failed,omitempty"`
+	Backends map[string]BackendReports `json:"backends"`
+	// WorldSize is the federated rank count (sum of member TALP worlds).
+	WorldSize int         `json:"worldSize,omitempty"`
+	Regions   []RegionPOP `json:"regions,omitempty"`
+}
+
+// talpDoc mirrors the fields of internal/talp's WriteJSON document that
+// the merge needs: the world size and each region's raw per-rank times.
+type talpDoc struct {
+	WorldSize int `json:"worldSize"`
+	Regions   []struct {
+		Name    string `json:"name"`
+		Visits  int64  `json:"visits"`
+		PerRank []struct {
+			UsefulNs int64 `json:"usefulNs"`
+			MPINs    int64 `json:"mpiNs"`
+		} `json:"perRank"`
+	} `json:"regions"`
+}
+
+func (s *Server) handleFleetReport(w http.ResponseWriter, r *http.Request) {
+	members := s.reg.snapshot()
+	if len(members) == 0 {
+		writeErr(w, http.StatusServiceUnavailable, "fleet has no members")
+		return
+	}
+	type fetched struct {
+		member string
+		resp   *ctl.ReportResponse
+		err    string
+	}
+	results := make([]fetched, len(members))
+	var wg sync.WaitGroup
+	for i, m := range members {
+		results[i].member = m.Name
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body, code, err := s.getMember(m.URL, "/v1/report")
+			switch {
+			case err != nil:
+				results[i].err = err.Error()
+			case code == http.StatusNotFound:
+				results[i].err = "no report yet"
+			case code != http.StatusOK:
+				results[i].err = fmt.Sprintf("status %d from member", code)
+			default:
+				var rep ctl.ReportResponse
+				if err := json.Unmarshal(body, &rep); err != nil {
+					results[i].err = fmt.Sprintf("decoding member report: %v", err)
+				} else {
+					results[i].resp = &rep
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	out := FleetReportResponse{Backends: map[string]BackendReports{}}
+	type regionAcc struct {
+		members []string
+		visits  int64
+		sets    [][]pop.RankTimes
+	}
+	regions := map[string]*regionAcc{}
+	for _, res := range results {
+		if res.resp == nil {
+			if out.Failed == nil {
+				out.Failed = map[string]string{}
+			}
+			out.Failed[res.member] = res.err
+			continue
+		}
+		out.Members = append(out.Members, res.member)
+		for backend, entry := range res.resp.Reports {
+			group, ok := out.Backends[backend]
+			if !ok {
+				group = BackendReports{Kind: entry.Kind, Reports: map[string]json.RawMessage{}}
+				out.Backends[backend] = group
+			}
+			group.Reports[res.member] = entry.Report
+			if backend != "talp" {
+				continue
+			}
+			var doc talpDoc
+			if err := json.Unmarshal(entry.Report, &doc); err != nil {
+				continue // per-member document stays readable verbatim
+			}
+			out.WorldSize += doc.WorldSize
+			for _, reg := range doc.Regions {
+				acc := regions[reg.Name]
+				if acc == nil {
+					acc = &regionAcc{}
+					regions[reg.Name] = acc
+				}
+				acc.members = append(acc.members, res.member)
+				acc.visits += reg.Visits
+				set := make([]pop.RankTimes, len(reg.PerRank))
+				for k, rt := range reg.PerRank {
+					set[k] = pop.RankTimes{Useful: rt.UsefulNs, MPI: rt.MPINs}
+				}
+				acc.sets = append(acc.sets, set)
+			}
+		}
+	}
+	sort.Strings(out.Members)
+
+	for _, name := range sortedNames(regions) {
+		acc := regions[name]
+		merged := pop.Merge(acc.sets...)
+		m := pop.Compute(merged)
+		sort.Strings(acc.members)
+		out.Regions = append(out.Regions, RegionPOP{
+			Name:                    name,
+			Members:                 acc.members,
+			Ranks:                   len(merged),
+			Visits:                  acc.visits,
+			ElapsedNs:               m.Elapsed,
+			AvgUsefulNs:             m.AvgUseful,
+			MaxUsefulNs:             m.MaxUseful,
+			LoadBalance:             m.LoadBalance,
+			CommunicationEfficiency: m.CommunicationEfficiency,
+			ParallelEfficiency:      m.ParallelEfficiency,
+		})
+	}
+
+	code := http.StatusOK
+	if len(out.Members) == 0 {
+		code = http.StatusBadGateway
+	}
+	writeJSON(w, code, out)
+}

@@ -1,0 +1,215 @@
+package fleet
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Tailer reconnect backoff bounds: first retry after tailBackoffMin,
+// doubling to tailBackoffMax while the member stays unreachable, reset on
+// the next successful connection.
+const (
+	tailBackoffMin = 100 * time.Millisecond
+	tailBackoffMax = 5 * time.Second
+)
+
+// event is one multiplexed server-sent event (same shape as ctl's).
+type event struct {
+	id   int64
+	name string
+	data []byte
+}
+
+// hub fans the multiplexed member events out to the fleet's SSE clients.
+// Same contract as ctl's hub: publishing never blocks, a subscriber that
+// cannot keep up loses events, and the authoritative state is always one
+// GET /v1/fleet/status away.
+type hub struct {
+	mu     sync.Mutex
+	next   int64                   //capi:guardedby mu
+	closed bool                    //capi:guardedby mu
+	subs   map[chan event]struct{} //capi:guardedby mu
+}
+
+func newHub() *hub {
+	return &hub{subs: map[chan event]struct{}{}}
+}
+
+func (h *hub) subscribe() chan event {
+	ch := make(chan event, 32)
+	h.mu.Lock()
+	if h.closed {
+		close(ch)
+	} else {
+		h.subs[ch] = struct{}{}
+	}
+	h.mu.Unlock()
+	return ch
+}
+
+func (h *hub) shutdown() {
+	h.mu.Lock()
+	h.closed = true
+	for ch := range h.subs {
+		close(ch)
+		delete(h.subs, ch)
+	}
+	h.mu.Unlock()
+}
+
+func (h *hub) unsubscribe(ch chan event) {
+	h.mu.Lock()
+	delete(h.subs, ch)
+	h.mu.Unlock()
+}
+
+func (h *hub) clients() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+func (h *hub) publish(name string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	h.mu.Lock()
+	h.next++
+	ev := event{id: h.next, name: name, data: data}
+	for ch := range h.subs {
+		select {
+		case ch <- ev:
+		default: // slow client: drop rather than stall the mux
+		}
+	}
+	h.mu.Unlock()
+}
+
+// MemberEvent is the payload of every relayed fleet SSE event: the origin
+// member plus the member's own event document, verbatim. The event name
+// ("reconfigure", "run", ...) is the member's own; coordinator lifecycle
+// events use the name "fleet" with a lifecycleEvent payload instead.
+type MemberEvent struct {
+	Member string          `json:"member"`
+	Data   json.RawMessage `json:"data"`
+}
+
+// tailMember follows one member's GET /v1/events stream for the member's
+// whole registration, republishing each event on the fleet hub tagged
+// with the member name. A dropped stream (member restart, network blip)
+// is retried with doubling backoff; a successful reconnect resets the
+// backoff, so a member that comes back after a restart resumes streaming
+// within tailBackoffMax. ctx is canceled on eviction or Close — the
+// goroutine never outlives either.
+func (s *Server) tailMember(ctx context.Context, m *member) {
+	defer s.wg.Done()
+	backoff := tailBackoffMin
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		connected := s.tailOnce(ctx, m)
+		if ctx.Err() != nil {
+			return
+		}
+		if connected {
+			backoff = tailBackoffMin
+		} else if backoff < tailBackoffMax {
+			backoff *= 2
+			if backoff > tailBackoffMax {
+				backoff = tailBackoffMax
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(backoff):
+		}
+	}
+}
+
+// tailOnce opens one streaming connection and relays events until the
+// stream ends. Returns whether the member accepted the stream (used for
+// backoff reset); relaying zero events over a healthy stream still counts.
+func (s *Server) tailOnce(ctx context.Context, m *member) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.url+"/v1/events", nil)
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+
+	// Minimal text/event-stream parse: accumulate "event:"/"data:" fields,
+	// dispatch on the blank separator line, ignore comments and ids (the
+	// fleet assigns its own ids — member id sequences restart on member
+	// restart and would collide across members).
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 4096), maxBodyBytes)
+	var name, data string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if name != "" && data != "" {
+				m.events.Add(1)
+				s.hub.publish(name, MemberEvent{Member: m.name, Data: jsonOrNil([]byte(data))})
+			}
+			name, data = "", ""
+		case strings.HasPrefix(line, "event:"):
+			name = strings.TrimSpace(line[len("event:"):])
+		case strings.HasPrefix(line, "data:"):
+			data = strings.TrimSpace(line[len("data:"):])
+		}
+	}
+	return true
+}
+
+// handleEvents streams the multiplexed feed as text/event-stream: every
+// member's "reconfigure"/"run"/... events wrapped in MemberEvent, plus
+// the coordinator's own "fleet" lifecycle events (registered, evicted,
+// replaced).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	ch := s.hub.subscribe()
+	defer s.hub.unsubscribe(ch)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, ": capi fleet mux, %d members\n\n", s.reg.count())
+	fl.Flush()
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-ch:
+			if !ok {
+				return // hub shut down
+			}
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.id, ev.name, ev.data); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}

@@ -22,6 +22,33 @@ type Metrics struct {
 	Elapsed   int64 // max over ranks of useful+MPI — the region wall time
 }
 
+// Merge concatenates per-process rank sets into one fleet-wide set. Ranks
+// from different processes are distinct even when their per-process rank
+// IDs collide — every MPI world numbers its ranks from 0 — so merging
+// never sums or deduplicates by position: rank 0 of member A and rank 0 of
+// member B are two ranks of the federated job. Empty sets contribute
+// nothing. The result is a fresh slice; the inputs are never aliased.
+func Merge(sets ...[]RankTimes) []RankTimes {
+	var n int
+	for _, s := range sets {
+		n += len(s)
+	}
+	out := make([]RankTimes, 0, n)
+	for _, s := range sets {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// ComputeMerged derives POP metrics over the concatenation of per-process
+// rank sets — the multi-process analogue of Compute, used by the fleet
+// control plane to turn many members' per-rank TALP times into one
+// fleet-wide efficiency breakdown. Clamping of negative inputs follows
+// Compute exactly.
+func ComputeMerged(sets ...[]RankTimes) Metrics {
+	return Compute(Merge(sets...))
+}
+
 // Compute derives the POP metrics from per-rank times. With no ranks or an
 // empty region all efficiencies are defined as 1 (nothing was lost).
 func Compute(times []RankTimes) Metrics {

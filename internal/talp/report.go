@@ -50,15 +50,24 @@ func (r *Report) WriteText(w io.Writer) error {
 // WriteJSON renders the report as JSON (the runtime-queryable form the
 // paper mentions: schedulers/resource managers can consume the metrics).
 func (r *Report) WriteJSON(w io.Writer) error {
+	// rankJSON is one rank's raw time breakdown. It rides in the JSON form
+	// so a federated aggregator can re-derive POP metrics over the union of
+	// many processes' ranks (pop.ComputeMerged) — the derived efficiencies
+	// alone cannot be merged, only the underlying times can.
+	type rankJSON struct {
+		UsefulNs int64 `json:"usefulNs"`
+		MPINs    int64 `json:"mpiNs"`
+	}
 	type regionJSON struct {
-		Name        string  `json:"name"`
-		Visits      int64   `json:"visits"`
-		ElapsedNs   int64   `json:"elapsedNs"`
-		ParallelEff float64 `json:"parallelEfficiency"`
-		CommEff     float64 `json:"communicationEfficiency"`
-		LoadBalance float64 `json:"loadBalance"`
-		AvgUsefulNs int64   `json:"avgUsefulNs"`
-		MaxUsefulNs int64   `json:"maxUsefulNs"`
+		Name        string     `json:"name"`
+		Visits      int64      `json:"visits"`
+		ElapsedNs   int64      `json:"elapsedNs"`
+		ParallelEff float64    `json:"parallelEfficiency"`
+		CommEff     float64    `json:"communicationEfficiency"`
+		LoadBalance float64    `json:"loadBalance"`
+		AvgUsefulNs int64      `json:"avgUsefulNs"`
+		MaxUsefulNs int64      `json:"maxUsefulNs"`
+		PerRank     []rankJSON `json:"perRank"`
 	}
 	out := struct {
 		WorldSize     int          `json:"worldSize"`
@@ -67,7 +76,7 @@ func (r *Report) WriteJSON(w io.Writer) error {
 		FailedEntries []string     `json:"failedEntries,omitempty"`
 	}{WorldSize: r.WorldSize, FailedPreInit: r.FailedPreInit, FailedEntries: r.FailedEntries}
 	for _, reg := range r.Regions {
-		out.Regions = append(out.Regions, regionJSON{
+		rj := regionJSON{
 			Name:        reg.Name,
 			Visits:      reg.Visits,
 			ElapsedNs:   reg.Elapsed,
@@ -76,7 +85,12 @@ func (r *Report) WriteJSON(w io.Writer) error {
 			LoadBalance: reg.Metrics.LoadBalance,
 			AvgUsefulNs: reg.Metrics.AvgUseful,
 			MaxUsefulNs: reg.Metrics.MaxUseful,
-		})
+			PerRank:     make([]rankJSON, 0, len(reg.PerRank)),
+		}
+		for _, rt := range reg.PerRank {
+			rj.PerRank = append(rj.PerRank, rankJSON{UsefulNs: rt.Useful, MPINs: rt.MPI})
+		}
+		out.Regions = append(out.Regions, rj)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
