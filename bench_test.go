@@ -27,6 +27,7 @@ import (
 	"capi/internal/mpi"
 	"capi/internal/workload"
 	"capi/internal/xray"
+	"capi/middleware"
 )
 
 // benchOpts keeps every benchmark iteration bounded.
@@ -399,6 +400,55 @@ func BenchmarkDispatchReconfigure(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	}
+}
+
+// BenchmarkDispatchHTTP measures the full middleware request path: one
+// iteration is one webservice request to the hot feed route — pool
+// checkout, the compiled script walk (FunctionActive gate, enter/exit
+// dispatch per instrumented function, virtual-clock work advances) and
+// the endpoint latency accounting. ns/op divided by EventPairs×2 is the
+// per-event cost the benchdiff http_vs_none_cap gate watches: the
+// serving path must amortize its per-request overhead to stay within a
+// small factor of the bare dispatch baseline.
+func BenchmarkDispatchHTTP(b *testing.B) {
+	const route = "GET /api/feed"
+	for _, backend := range []string{
+		experiments.BackendNone,
+		experiments.BackendExtrae,
+	} {
+		b.Run(backend, func(b *testing.B) {
+			session, err := capi.NewAppSession("webservice", 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			inst, err := session.Start(nil, capi.RunOptions{
+				PatchAll:    true,
+				Backends:    []string{backend},
+				Ranks:       1,
+				HTTPWorkers: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer inst.Close()
+			svc, err := middleware.New(inst, session.Program(), capi.WebserviceEndpoints(), middleware.Options{Workers: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			pairs := svc.EventPairs(route)
+			if pairs == 0 {
+				b.Fatal("feed route compiled to no event pairs")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := svc.Do(route); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*pairs*2), "ns/event")
+		})
 	}
 }
 

@@ -51,6 +51,13 @@ type (
 	AdaptOptions = adapt.Options
 	// AdaptEpoch records one controller decision (per epoch boundary).
 	AdaptEpoch = adapt.Epoch
+	// SLOStatus is the SLO-mode controller snapshot (per-endpoint tail
+	// latency vs. target, plus the ladder steps in effect).
+	SLOStatus = adapt.SLOStatus
+	// SLOEndpoint is one endpoint row of SLOStatus.
+	SLOEndpoint = adapt.SLOEndpoint
+	// WebEndpoint describes one route of the Webservice workload.
+	WebEndpoint = workload.Endpoint
 	// ReconfigReport summarizes one live re-selection (delta re-patch).
 	ReconfigReport = dyncapi.ReconfigReport
 	// TraceReport is the extrae backend's end-of-run trace summary:
@@ -83,6 +90,12 @@ var (
 	OpenFOAM = workload.OpenFOAM
 	// Quickstart generates a ~35-function miniature MPI application.
 	Quickstart = workload.Quickstart
+	// Webservice generates the request-serving web-service workload whose
+	// endpoints the capi/middleware package serves over net/http.
+	Webservice = workload.Webservice
+	// WebserviceEndpoints returns the Webservice route table (mux pattern,
+	// handler function, traffic weight, lognormal latency shape).
+	WebserviceEndpoints = workload.WebserviceEndpoints
 )
 
 // Backend names the measurement system a Run feeds (Fig. 3). The set is
@@ -133,10 +146,10 @@ type Session struct {
 }
 
 // NewAppSession prepares a session over one of the named stand-in
-// workloads — "quickstart", "lulesh" or "openfoam" (scale sizes the
-// OpenFOAM call graph; it is ignored otherwise). The optimization levels
-// match the paper's builds (LULESH at -O3, the rest at -O2). This is the
-// shared entry point of the CLI tools' -app flags.
+// workloads — "quickstart", "lulesh", "openfoam" or "webservice" (scale
+// sizes the OpenFOAM call graph; it is ignored otherwise). The
+// optimization levels match the paper's builds (LULESH at -O3, the rest
+// at -O2). This is the shared entry point of the CLI tools' -app flags.
 func NewAppSession(app string, scale float64) (*Session, error) {
 	switch app {
 	case "quickstart":
@@ -145,6 +158,8 @@ func NewAppSession(app string, scale float64) (*Session, error) {
 		return NewSession(Lulesh(LuleshOptions{}), SessionOptions{OptLevel: 3})
 	case "openfoam":
 		return NewSession(OpenFOAM(OpenFOAMOptions{Scale: scale}), SessionOptions{OptLevel: 2})
+	case "webservice":
+		return NewSession(Webservice(), SessionOptions{OptLevel: 2})
 	default:
 		return nil, fmt.Errorf("capi: unknown app %q", app)
 	}
@@ -288,6 +303,12 @@ type RunOptions struct {
 	// AsyncBuf is the per-rank ring capacity in events (0 = the
 	// dyncapi.DefaultAsyncBuf default). Only meaningful with Async.
 	AsyncBuf int
+	// HTTPWorkers sizes the pool of request contexts the capi/middleware
+	// package may check out (Instance.NewRequestContexts): each worker is
+	// a dedicated dispatch rank beyond the MPI world, with its own async
+	// pipeline shard and sampler slot, so concurrent HTTP requests keep
+	// the single-writer hot-path contract. 0 means no middleware pool.
+	HTTPWorkers int
 	// PanicLimit is the per-backend circuit-breaker threshold: every
 	// registry-built backend runs behind a panic barrier, and after this
 	// many recovered panics in one backend's delivery paths (events,
@@ -447,6 +468,11 @@ type Instance struct {
 	// selections and sampling overrides (see ttl.go). It has its own lock;
 	// the ttl.mu → (rt locks) order matches mu's.
 	ttl ttlState
+
+	// http is the middleware support state: the request-context allocator,
+	// lazy name→ID index and per-endpoint latency accounting (http.go). It
+	// has its own lock, never held together with mu.
+	http httpState
 }
 
 // Start prepares a live instance: the build is loaded, the XRay runtime
@@ -481,7 +507,9 @@ func (s *Session) Start(sel *Selection, opts RunOptions) (*Instance, error) {
 	}
 
 	backends, backend, err := buildMeasurementBackends(opts.backendNames(), BackendConfig{
-		Ranks:          opts.Ranks,
+		// Per-rank backend state (scorep, extrae) is sized to cover the
+		// middleware's worker ranks too — they dispatch past the MPI world.
+		Ranks:          opts.Ranks + opts.HTTPWorkers,
 		Proc:           proc,
 		World:          world,
 		EmulateTALPBug: opts.EmulateTALPBug,
@@ -493,7 +521,11 @@ func (s *Session) Start(sel *Selection, opts RunOptions) (*Instance, error) {
 	inst.backends = backends
 	inst.guards = guardsOf(backends)
 	if opts.Adapt != nil {
-		if opts.Async {
+		if opts.Async && opts.Adapt.SLOTargetP99Ns <= 0 {
+			// Budget mode stays incompatible with the pipeline. SLO mode is
+			// fine: its decisions are driven by request latencies observed on
+			// the middleware's live worker clocks, not by backend-chain
+			// events, so replay does not starve the controller.
 			return nil, fmt.Errorf("capi: Async and Adapt are incompatible: the overhead-budget controller detects epoch boundaries on live rank clocks, which the replayed pipeline events do not advance")
 		}
 		inst.ctrl = adapt.New(backend, *opts.Adapt)
@@ -501,7 +533,10 @@ func (s *Session) Start(sel *Selection, opts RunOptions) (*Instance, error) {
 	}
 	rt, err := dyncapi.New(proc, xr, cfg, backend, dyncapi.Options{
 		PatchAll: opts.PatchAll,
-		Ranks:    opts.Ranks,
+		// HTTP middleware workers are extra dispatch ranks past the MPI
+		// world: sized here so each gets its own pipeline shard and sampler
+		// slot instead of overflowing to the cold paths.
+		Ranks:    opts.Ranks + opts.HTTPWorkers,
 		Async:    opts.Async,
 		AsyncBuf: opts.AsyncBuf,
 	})
@@ -638,6 +673,17 @@ func (i *Instance) Sampling() SamplingSnapshot {
 	return i.rt.SamplingSnapshot()
 }
 
+// FlushSampling publishes the exact per-rank sampling counters, HTTP
+// worker ranks included (Run flushes only the MPI world's). Quiescent
+// only: no phase may be executing and no request may be dispatching —
+// stop the traffic first. Serving processes call it before reading a
+// final, exact Sampling() accounting of their request traffic.
+func (i *Instance) FlushSampling() {
+	if i.rt != nil {
+		i.rt.FlushSampling()
+	}
+}
+
 // Adaptive reports whether the instance runs under the overhead-budget
 // controller.
 func (i *Instance) Adaptive() bool { return i.ctrl != nil }
@@ -667,13 +713,14 @@ func (i *Instance) Reconfigs() int {
 	return i.rt.Reconfigs()
 }
 
-// traceOptionsFor copies the run's trace tuning with Ranks filled in.
+// traceOptionsFor copies the run's trace tuning with Ranks filled in
+// (including the middleware worker ranks, which shard like MPI ranks).
 func traceOptionsFor(opts RunOptions) *TraceOptions {
 	t := trace.Options{}
 	if opts.Trace != nil {
 		t = *opts.Trace
 	}
-	t.Ranks = opts.Ranks
+	t.Ranks = opts.Ranks + opts.HTTPWorkers
 	return &t
 }
 
@@ -922,6 +969,11 @@ type InstanceStatus struct {
 	// TTL is the ephemeral-probe scheduler's state: pending auto-reverts
 	// and the scheduled/expired/canceled counters.
 	TTL TTLStatus `json:"ttl"`
+	// HTTP is the middleware's per-endpoint request/latency view; nil
+	// until a request was observed. SLO is the adapt controller's SLO-mode
+	// snapshot; nil in budget mode or on non-adaptive instances.
+	HTTP *HTTPStatus `json:"http,omitempty"`
+	SLO  *SLOStatus  `json:"slo,omitempty"`
 }
 
 // Status returns a consistent snapshot of the instance's live counters.
@@ -962,6 +1014,10 @@ func (i *Instance) Status() InstanceStatus {
 	if snap.Sampling.Configured || snap.Sampling.Counters.Enters > 0 {
 		sampling := snap.Sampling
 		st.Sampling = &sampling
+	}
+	st.HTTP = i.HTTPSnapshot()
+	if i.ctrl != nil {
+		st.SLO = i.ctrl.SLOSnapshot()
 	}
 	return st
 }
@@ -1111,9 +1167,16 @@ func (i *Instance) Run() (*RunResult, error) {
 		// the pipeline first — events still queued in the rings have not
 		// reached the backends yet, and capturing RunResult or backend
 		// reports before they land would short-count the phase. Only then
-		// publish the exact sampling counters.
+		// publish the exact sampling counters — but only the world's:
+		// HTTP worker ranks may still be dispatching request traffic, and
+		// their slots are single-writer hot-path state (FlushSampling on
+		// a serving instance is the caller's call, once traffic stops).
 		i.rt.DrainPipeline()
-		i.rt.FlushSampling()
+		if i.opts.HTTPWorkers > 0 {
+			i.rt.FlushSamplingRanks(i.opts.Ranks)
+		} else {
+			i.rt.FlushSampling()
+		}
 	}
 
 	out := &RunResult{InitSeconds: -1}

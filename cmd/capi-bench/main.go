@@ -48,6 +48,7 @@ import (
 	"capi/internal/report"
 	"capi/internal/talp"
 	"capi/internal/xray"
+	"capi/middleware"
 )
 
 func main() {
@@ -92,6 +93,12 @@ func main() {
 			// against the direct extrae path, and the talp+extrae combo.
 			"mux:" + experiments.BackendExtrae,
 			experiments.BackendTALP + "," + experiments.BackendExtrae,
+			// The serving path: one webservice request through
+			// capi/middleware, cost expressed per dispatched event. The
+			// http_vs_none_cap gate asserts the script walk, worker
+			// checkout and latency accounting amortize to within
+			// benchcmp.HTTPVsNoneLimit of the same run's none baseline.
+			"http:" + experiments.BackendNone,
 		}
 		sampleTarget := experiments.BackendExtrae
 		if *backend != "" {
@@ -156,6 +163,59 @@ func main() {
 	}
 }
 
+// httpDispatchEntry measures the serving path: one iteration is one
+// webservice request to the hot feed route through capi/middleware —
+// worker checkout, the compiled script walk dispatching every
+// instrumented enter/exit pair, and the endpoint latency accounting. The
+// cost is normalized per dispatched event so the http_vs_none_cap gate
+// can compare it against the bare dispatch baseline of the same run. No
+// adaptation is enabled: the selection (and with it the pairs-per-request
+// divisor) must stay fixed across the timed window.
+func httpDispatchEntry(entry, backendSpec string) (benchcmp.Dispatch, error) {
+	session, err := capi.NewAppSession("webservice", 0)
+	if err != nil {
+		return benchcmp.Dispatch{}, err
+	}
+	inst, err := session.Start(nil, capi.RunOptions{
+		PatchAll:    true,
+		Backends:    strings.Split(backendSpec, ","),
+		Ranks:       1,
+		HTTPWorkers: 1,
+	})
+	if err != nil {
+		return benchcmp.Dispatch{}, err
+	}
+	defer inst.Close()
+	svc, err := middleware.New(inst, session.Program(), capi.WebserviceEndpoints(), middleware.Options{Workers: 1})
+	if err != nil {
+		return benchcmp.Dispatch{}, err
+	}
+	const route = "GET /api/feed"
+	pairs := svc.EventPairs(route)
+	if pairs == 0 {
+		return benchcmp.Dispatch{}, fmt.Errorf("capi-bench: %s compiled to no event pairs", route)
+	}
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := svc.Do(route); err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+		}
+	})
+	if benchErr != nil {
+		return benchcmp.Dispatch{}, benchErr
+	}
+	perReq := float64(r.T.Nanoseconds()) / float64(r.N)
+	return benchcmp.Dispatch{
+		Backend:    entry,
+		NsPerPair:  perReq / float64(pairs),
+		NsPerEvent: perReq / float64(pairs*2),
+		Iters:      r.N,
+	}, nil
+}
+
 // runBenchJSON measures wall-clock dispatch throughput per backend and the
 // batch-patching path, and emits one JSON document on stdout. The document
 // types live in internal/benchcmp — the regression gate (cmd/benchdiff)
@@ -163,6 +223,14 @@ func main() {
 func runBenchJSON(opts experiments.Options, suite []string) error {
 	out := benchcmp.Doc{Schema: benchcmp.Schema, App: "openfoam", Scale: opts.Scale}
 	for _, backend := range suite {
+		if inner, ok := strings.CutPrefix(backend, "http:"); ok {
+			d, err := httpDispatchEntry(backend, inner)
+			if err != nil {
+				return err
+			}
+			out.Dispatch = append(out.Dispatch, d)
+			continue
+		}
 		h, err := experiments.NewDispatchHarness(backend, nil)
 		if err != nil {
 			return err

@@ -12,6 +12,14 @@
 //	capi-serve -app lulesh -builtin mpi -backend talp,extrae   # fan-out
 //	capi-serve -app lulesh -full -adapt -budget 0.01
 //	capi-serve -app lulesh -builtin mpi -fleet http://127.0.0.1:8070  # join a fleet
+//	capi-serve -app webservice -full -http-workers 4 -slo-p99-ms 8    # serve traffic
+//
+// With -app webservice and -http-workers, the synthetic web service is
+// mounted under /app/ (e.g. GET /app/api/feed): every request executes
+// its handler's instrumented call tree, and -slo-p99-ms switches the
+// adaptation controller to tail-latency mode — it demotes and deselects
+// per-endpoint instrumentation until each endpoint's p99 meets the
+// target, keeping as much coverage as the SLO affords.
 //
 // -backend takes a comma-separated list of registry names (fail-fast on
 // unknown ones); with several, one run feeds every backend and GET
@@ -45,12 +53,13 @@ import (
 	"capi/internal/experiments"
 	"capi/internal/fleet"
 	"capi/internal/vtime"
+	"capi/middleware"
 )
 
 func main() {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:7070", "listen address")
-		app      = flag.String("app", "quickstart", "workload: quickstart, lulesh or openfoam")
+		app      = flag.String("app", "quickstart", "workload: quickstart, lulesh, openfoam or webservice")
 		scale    = flag.Float64("scale", 0.1, "openfoam call-graph scale")
 		builtin  = flag.String("builtin", "mpi", `initial built-in spec name (e.g. "mpi", "kernels coarse")`)
 		spec     = flag.String("spec", "", "initial specification file (overrides -builtin)")
@@ -65,6 +74,8 @@ func main() {
 		async    = flag.Bool("async", false, "asynchronous event pipeline: backends consume off the dispatch hot path (incompatible with -adapt)")
 		asyncBuf = flag.Int("async-buf", 0, "async: per-rank ring capacity in events (0 = default 65536)")
 		panicLim = flag.Int("panic-limit", 0, "per-backend circuit breaker: recovered panics before auto-detach (0 = default 3, negative = never detach)")
+		httpWork = flag.Int("http-workers", 0, "serve the synthetic web service under /app/ with this many request-context workers (requires -app webservice)")
+		sloP99   = flag.Float64("slo-p99-ms", 0, "tail-latency SLO: adapt each endpoint's instrumentation until its p99 is at or under this many ms (implies -adapt; requires -http-workers)")
 		fleetURL = flag.String("fleet", "", "capi-fleet coordinator base URL: self-register and heartbeat (e.g. http://127.0.0.1:8070)")
 		fleetNm  = flag.String("fleet-name", "", "member name to register under (default: the advertised host:port)")
 		advert   = flag.String("advertise", "", "base URL the coordinator should reach this member at (default http://<-addr>)")
@@ -96,16 +107,28 @@ func main() {
 			sel.IC.Len(), sel.Pre, sel.Added)
 	}
 
-	runOpts := capi.RunOptions{
-		Backends:   backends,
-		Ranks:      *ranks,
-		PatchAll:   *full,
-		Async:      *async,
-		AsyncBuf:   *asyncBuf,
-		PanicLimit: *panicLim,
+	if *sloP99 > 0 && *httpWork <= 0 {
+		fatal(errors.New("-slo-p99-ms needs request traffic to measure: set -http-workers (and -app webservice)"))
 	}
-	if *adapt || *budget > 0 || *epoch > 0 {
-		runOpts.Adapt = &capi.AdaptOptions{Budget: *budget, Epoch: vtime.Seconds(*epoch)}
+	if *httpWork > 0 && *app != "webservice" {
+		fatal(fmt.Errorf("-http-workers serves the synthetic web service; use -app webservice (got -app %s)", *app))
+	}
+
+	runOpts := capi.RunOptions{
+		Backends:    backends,
+		Ranks:       *ranks,
+		PatchAll:    *full,
+		Async:       *async,
+		AsyncBuf:    *asyncBuf,
+		PanicLimit:  *panicLim,
+		HTTPWorkers: *httpWork,
+	}
+	if *adapt || *budget > 0 || *epoch > 0 || *sloP99 > 0 {
+		runOpts.Adapt = &capi.AdaptOptions{
+			Budget:         *budget,
+			Epoch:          vtime.Seconds(*epoch),
+			SLOTargetP99Ns: int64(*sloP99 * float64(vtime.Millisecond)),
+		}
 	}
 	if *sample > 0 || *suppress > 0 {
 		runOpts.Sampling = &capi.SamplingOptions{Default: &capi.SamplingPolicy{
@@ -121,9 +144,25 @@ func main() {
 		*app, inst.Status().Patched, inst.InitSeconds())
 
 	cp := ctl.New(session, inst, *app)
+	var handler http.Handler = cp
+	if *httpWork > 0 {
+		svc, err := middleware.New(inst, session.Program(), capi.WebserviceEndpoints(), middleware.Options{Workers: *httpWork})
+		if err != nil {
+			fatal(err)
+		}
+		root := http.NewServeMux()
+		root.Handle("/app/", http.StripPrefix("/app", svc))
+		root.Handle("/", cp)
+		handler = root
+		fmt.Fprintf(os.Stderr, "capi-serve: web service under /app/ (%d workers", *httpWork)
+		if *sloP99 > 0 {
+			fmt.Fprintf(os.Stderr, ", SLO p99 <= %gms", *sloP99)
+		}
+		fmt.Fprintln(os.Stderr, ")")
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           cp,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	// Open SSE streams would otherwise hold Shutdown until its timeout.

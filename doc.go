@@ -52,14 +52,32 @@
 //	          boundaries while the program runs — hottest low-duration
 //	          functions first demoted to 1-in-N sampling (the gentler
 //	          knob; no re-patch), then deselected if still over budget,
-//	          re-promoted with hysteresis when pressure subsides
+//	          re-promoted with hysteresis when pressure subsides; its SLO
+//	          mode (slo.go) instead targets a per-endpoint tail-latency
+//	          bound for serving workloads — narrow each violating
+//	          endpoint's instrumentation (same ladder, scoped to the
+//	          endpoint's functions) until the observed p99 meets the
+//	          target, widen back when latency recovers headroom, with a
+//	          per-endpoint doubling backoff so endpoints sharing
+//	          functions cannot ping-pong a shared subtree
 //	mpi       simulated MPI with PMPI interception
 //	scorep    Score-P measurement substrate
 //	talp/pop  TALP regions + POP efficiency metrics
 //	trace     Extrae-style event tracing: per-rank sharded ring buffers,
 //	          batched segment flush, merged virtual-time timeline
 //	exec      deterministic virtual-time execution engine
-//	workload  LULESH / OpenFOAM-icoFoam workload generators
+//	workload  LULESH / OpenFOAM-icoFoam workload generators, plus the
+//	          request-serving webservice workload (feed/user/order/search/
+//	          asset/health routes over a shared helper layer) whose
+//	          endpoints the SLO mode adapts
+//	middleware net/http integration (package capi/middleware): Tap wraps
+//	          any http.Handler with one enter/exit dispatch per request;
+//	          Service executes a webservice endpoint's full call tree per
+//	          request on a per-worker virtual clock — inline backends
+//	          charge their event costs to the same clock, so narrowing
+//	          visibly improves the measured tail — with request contexts
+//	          drawn from the instance's HTTP worker pool
+//	          (RunOptions.HTTPWorkers: dedicated ranks past the MPI world)
 //	ctl       HTTP/JSON control plane over a live instance: remote
 //	          re-selection (optionally TTL'd: ephemeral probes that
 //	          auto-revert), phase execution, report scrapes, Prometheus

@@ -1,0 +1,317 @@
+package capi
+
+// Serving-traffic support: the capi/middleware package maps live HTTP
+// requests onto the instrumented dispatch path. Each middleware worker
+// owns a RequestContext — a dedicated dispatch rank *beyond* the MPI
+// world (RunOptions.HTTPWorkers sizes the pool) with its own virtual
+// clock, async pipeline shard and sampler slot, so concurrent requests
+// keep the single-writer hot-path contract without touching the
+// workload's ranks. A RequestContext carries no MPI rank: the TALP
+// backend (an MPI-region tool) skips its events by design, while none,
+// scorep and extrae receive them like any rank's.
+//
+// The Instance additionally keeps per-endpoint request accounting —
+// fixed-boundary latency histograms plus a recent-window ring for
+// p50/p99 — and, on an SLO-adaptive instance, forwards every observed
+// request latency to the adapt controller as its tail-latency signal.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"capi/internal/vtime"
+	"capi/internal/xray"
+)
+
+// httpBucketBoundsNs are the fixed per-endpoint latency histogram
+// boundaries (a classic web-latency spread, 0.5ms..1s); the implicit
+// +Inf bucket is the endpoint's total request count.
+var httpBucketBoundsNs = [...]int64{
+	500 * vtime.Microsecond,
+	1 * vtime.Millisecond,
+	int64(2.5 * float64(vtime.Millisecond)),
+	5 * vtime.Millisecond,
+	10 * vtime.Millisecond,
+	25 * vtime.Millisecond,
+	50 * vtime.Millisecond,
+	100 * vtime.Millisecond,
+	250 * vtime.Millisecond,
+	500 * vtime.Millisecond,
+	1000 * vtime.Millisecond,
+}
+
+// httpLatencyRing is the per-endpoint recent-latency window the snapshot
+// percentiles are computed over.
+const httpLatencyRing = 1024
+
+// httpState is the Instance's middleware support state.
+type httpState struct {
+	mu        sync.Mutex
+	allocated int                      //capi:guardedby mu — request-context ranks handed out
+	nameToID  map[string]int32         //capi:guardedby mu — lazy function-name index
+	endpoints map[string]*httpEndpoint //capi:guardedby mu — map itself; values have own sync
+}
+
+// httpEndpoint is one endpoint's request accounting. The hot-path fields
+// are atomics (many workers observe concurrently); the percentile ring
+// has its own small lock.
+type httpEndpoint struct {
+	name    string
+	funcIDs []int32 // sorted; replaced wholesale under httpState.mu
+
+	requests atomic.Int64
+	sumNs    atomic.Int64
+	buckets  [len(httpBucketBoundsNs)]atomic.Int64 // raw per-bucket counts (not cumulative)
+	overflow atomic.Int64                          // > largest boundary
+
+	mu      sync.Mutex
+	ring    [httpLatencyRing]int64 //capi:guardedby mu
+	written int                    //capi:guardedby mu
+}
+
+// RequestContext is one middleware worker's exclusive dispatch context: a
+// dedicated rank ID past the MPI world with its own virtual clock. It
+// implements the xray thread-context contract, so Enter/Exit feed the
+// exact same handler chain — sampler, async pipeline, backends — as the
+// workload's ranks. NOT safe for concurrent use; the middleware enforces
+// exclusivity with a checkout pool.
+type RequestContext struct {
+	inst   *Instance
+	rankID int
+	clk    vtime.Clock
+}
+
+// RankID implements the dispatch thread context.
+func (rc *RequestContext) RankID() int { return rc.rankID }
+
+// Clock implements the dispatch thread context.
+func (rc *RequestContext) Clock() *vtime.Clock { return &rc.clk }
+
+// Now returns the context's virtual clock value.
+func (rc *RequestContext) Now() int64 { return rc.clk.Now() }
+
+// Advance moves the context's virtual clock forward by ns (modelled
+// request work or instrumentation cost).
+func (rc *RequestContext) Advance(ns int64) { rc.clk.Advance(ns) }
+
+// Enter dispatches a function-entry event for id on this context's rank.
+func (rc *RequestContext) Enter(id int32) { rc.inst.xr.Dispatch(rc, id, xray.Entry) }
+
+// Exit dispatches a function-exit event for id on this context's rank.
+func (rc *RequestContext) Exit(id int32) { rc.inst.xr.Dispatch(rc, id, xray.Exit) }
+
+// NewRequestContexts allocates n exclusive request contexts with rank IDs
+// directly after the MPI world. The instance-wide total is bounded by
+// RunOptions.HTTPWorkers — each context needs the async pipeline shard
+// and sampler slot that Start sized for it.
+func (i *Instance) NewRequestContexts(n int) ([]*RequestContext, error) {
+	if i.rt == nil {
+		return nil, fmt.Errorf("capi: instance is not instrumented")
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("capi: request context count %d < 1", n)
+	}
+	i.http.mu.Lock()
+	defer i.http.mu.Unlock()
+	if i.http.allocated+n > i.opts.HTTPWorkers {
+		return nil, fmt.Errorf("capi: %d request contexts requested, %d of %d remaining (RunOptions.HTTPWorkers)",
+			n, i.opts.HTTPWorkers-i.http.allocated, i.opts.HTTPWorkers)
+	}
+	out := make([]*RequestContext, n)
+	for k := range out {
+		out[k] = &RequestContext{inst: i, rankID: i.opts.Ranks + i.http.allocated + k}
+	}
+	i.http.allocated += n
+	return out, nil
+}
+
+// ResolveFunctionName maps a function name to its packed XRay ID. The
+// index over the resolved set is built lazily on first use. Ambiguous
+// names (several instrumented copies) resolve to the lowest ID.
+func (i *Instance) ResolveFunctionName(name string) (int32, bool) {
+	if i.rt == nil {
+		return 0, false
+	}
+	i.http.mu.Lock()
+	if i.http.nameToID == nil {
+		idx := map[string]int32{}
+		for _, rf := range i.rt.Funcs() {
+			if rf.Name == "" {
+				continue
+			}
+			if _, ok := idx[rf.Name]; !ok {
+				idx[rf.Name] = rf.PackedID
+			}
+		}
+		i.http.nameToID = idx
+	}
+	id, ok := i.http.nameToID[name]
+	i.http.mu.Unlock()
+	return id, ok
+}
+
+// FunctionActive reports whether the function is in the current
+// selection. False for uninstrumented instances and unknown IDs.
+func (i *Instance) FunctionActive(id int32) bool {
+	return i.rt != nil && i.rt.Active(id)
+}
+
+// FunctionStride returns the function's effective 1-in-N sampling stride
+// (1 = full delivery) — the signal that the adapt ladder demoted a
+// function: only every Nth call pays the backend's per-event cost.
+func (i *Instance) FunctionStride(id int32) int {
+	if i.rt == nil {
+		return 1
+	}
+	return i.rt.FuncStride(id)
+}
+
+// RegisterHTTPEndpoint declares one served endpoint and the packed IDs of
+// its instrumented call tree. On an SLO-adaptive instance the endpoint is
+// also registered with the controller, scoping its ladder to these
+// functions. Re-registering a name replaces the function set but keeps
+// the accumulated latency accounting.
+func (i *Instance) RegisterHTTPEndpoint(name string, funcIDs []int32) {
+	ids := append([]int32(nil), funcIDs...)
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	i.http.mu.Lock()
+	if i.http.endpoints == nil {
+		i.http.endpoints = map[string]*httpEndpoint{}
+	}
+	ep, ok := i.http.endpoints[name]
+	if !ok {
+		ep = &httpEndpoint{name: name}
+		i.http.endpoints[name] = ep
+	}
+	ep.funcIDs = ids
+	i.http.mu.Unlock()
+	if i.ctrl != nil {
+		i.ctrl.RegisterEndpoint(name, ids)
+	}
+}
+
+// ObserveHTTPRequest records one completed request's latency for a
+// registered endpoint and, on an SLO-adaptive instance, feeds it to the
+// controller as the tail-latency signal. Unregistered endpoints are
+// ignored. Safe for concurrent use.
+func (i *Instance) ObserveHTTPRequest(endpoint string, latencyNs int64) {
+	i.http.mu.Lock()
+	ep := i.http.endpoints[endpoint]
+	i.http.mu.Unlock()
+	if ep == nil {
+		return
+	}
+	ep.requests.Add(1)
+	ep.sumNs.Add(latencyNs)
+	slot := sort.Search(len(httpBucketBoundsNs), func(k int) bool { return latencyNs <= httpBucketBoundsNs[k] })
+	if slot < len(httpBucketBoundsNs) {
+		ep.buckets[slot].Add(1)
+	} else {
+		ep.overflow.Add(1)
+	}
+	ep.mu.Lock()
+	ep.ring[ep.written%httpLatencyRing] = latencyNs
+	ep.written++
+	ep.mu.Unlock()
+	if i.ctrl != nil {
+		i.ctrl.ObserveRequest(endpoint, latencyNs)
+	}
+}
+
+// HTTPBucket is one cumulative histogram bucket (requests with latency
+// ≤ LeMs).
+type HTTPBucket struct {
+	LeMs  float64 `json:"leMs"`
+	Count int64   `json:"count"`
+}
+
+// HTTPEndpointStatus is one endpoint's request/latency view: totals, the
+// cumulative histogram (the implicit +Inf bucket is Requests), recent
+// p50/p99, and how much of the endpoint's call tree is still
+// instrumented — the coverage the SLO ladder trades against latency.
+type HTTPEndpointStatus struct {
+	Endpoint string  `json:"endpoint"`
+	Requests int64   `json:"requests"`
+	SumMs    float64 `json:"sumMs"`
+	// P50Ms and P99Ms are computed over the recent-latency window (up to
+	// the last 1024 requests), not the full history.
+	P50Ms   float64      `json:"p50Ms"`
+	P99Ms   float64      `json:"p99Ms"`
+	Buckets []HTTPBucket `json:"buckets"`
+	// TotalFunctions is the size of the endpoint's registered call tree;
+	// ActiveFunctions how many are currently selected; DemotedFunctions
+	// how many of those run at a reduced sampling stride.
+	TotalFunctions   int `json:"totalFunctions"`
+	ActiveFunctions  int `json:"activeFunctions"`
+	DemotedFunctions int `json:"demotedFunctions"`
+}
+
+// HTTPStatus is the middleware's instance-wide snapshot, served on
+// /v1/status and exported as capi_http_* Prometheus series.
+type HTTPStatus struct {
+	Workers   int                  `json:"workers"`
+	Requests  int64                `json:"requests"`
+	Endpoints []HTTPEndpointStatus `json:"endpoints"`
+}
+
+// HTTPSnapshot returns the per-endpoint request/latency view, or nil when
+// no endpoint was ever registered (no middleware attached).
+func (i *Instance) HTTPSnapshot() *HTTPStatus {
+	i.http.mu.Lock()
+	eps := make([]*httpEndpoint, 0, len(i.http.endpoints))
+	for _, ep := range i.http.endpoints {
+		eps = append(eps, ep)
+	}
+	workers := i.http.allocated
+	i.http.mu.Unlock()
+	if len(eps) == 0 {
+		return nil
+	}
+	out := &HTTPStatus{Workers: workers}
+	for _, ep := range eps {
+		row := HTTPEndpointStatus{Endpoint: ep.name, Requests: ep.requests.Load()}
+		row.SumMs = float64(ep.sumNs.Load()) / 1e6
+		var cum int64
+		for k, bound := range httpBucketBoundsNs {
+			cum += ep.buckets[k].Load()
+			row.Buckets = append(row.Buckets, HTTPBucket{LeMs: float64(bound) / 1e6, Count: cum})
+		}
+		ep.mu.Lock()
+		n := min(ep.written, httpLatencyRing)
+		window := append([]int64(nil), ep.ring[:n]...)
+		ep.mu.Unlock()
+		if n > 0 {
+			sort.Slice(window, func(a, b int) bool { return window[a] < window[b] })
+			row.P50Ms = float64(quantileOf(window, 0.50)) / 1e6
+			row.P99Ms = float64(quantileOf(window, 0.99)) / 1e6
+		}
+		row.TotalFunctions = len(ep.funcIDs)
+		for _, id := range ep.funcIDs {
+			if !i.FunctionActive(id) {
+				continue
+			}
+			row.ActiveFunctions++
+			if i.FunctionStride(id) > 1 {
+				row.DemotedFunctions++
+			}
+		}
+		out.Requests += row.Requests
+		out.Endpoints = append(out.Endpoints, row)
+	}
+	sort.Slice(out.Endpoints, func(a, b int) bool { return out.Endpoints[a].Endpoint < out.Endpoints[b].Endpoint })
+	return out
+}
+
+// quantileOf reads the q-quantile from an already sorted window.
+func quantileOf(sorted []int64, q float64) int64 {
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,264 @@
+package capi_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	capi "capi"
+	"capi/internal/ic"
+	"capi/middleware"
+)
+
+// startWebService boots a fully-instrumented webservice instance plus the
+// middleware service that drives request traffic through it.
+func startWebService(t *testing.T, opts capi.RunOptions, workers int) (*capi.Instance, *middleware.Service) {
+	t.Helper()
+	session, err := capi.NewAppSession("webservice", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := session.Start(nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(inst.Close)
+	svc, err := middleware.New(inst, session.Program(), capi.WebserviceEndpoints(), middleware.Options{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst, svc
+}
+
+// TestHTTPSLONarrowsToTarget is the end-to-end acceptance test for SLO
+// mode: a webservice starts fully instrumented with the inline extrae
+// backend charging its real per-event trace cost to each request's
+// virtual clock, so the hot feed endpoint (hundreds of enter/exit pairs
+// per request) misses a 5ms p99 by a wide margin. Driving seeded traffic
+// must make the controller walk the demote → deselect ladder until every
+// trafficked endpoint meets the target — while keeping the instrumentation
+// it can afford, and while the sampler's conservation identity stays
+// exact.
+func TestHTTPSLONarrowsToTarget(t *testing.T) {
+	const target = int64(5 * time.Millisecond)
+	inst, svc := startWebService(t, capi.RunOptions{
+		PatchAll:    true,
+		Backends:    []string{"extrae"},
+		Ranks:       2,
+		HTTPWorkers: 4,
+		Adapt:       &capi.AdaptOptions{SLOTargetP99Ns: target},
+		Sampling:    &capi.SamplingOptions{Default: &capi.SamplingPolicy{Stride: 1}},
+	}, 4)
+
+	full := inst.ActiveFunctions()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 30000; i++ {
+		if _, err := svc.Do(svc.RandomRoute(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st := inst.Status()
+	if st.HTTP == nil || st.SLO == nil {
+		t.Fatalf("status missing http/slo sections: http=%v slo=%v", st.HTTP, st.SLO)
+	}
+	if st.SLO.TargetP99Ms != 5 {
+		t.Errorf("SLO target = %.2fms, want 5ms", st.SLO.TargetP99Ms)
+	}
+	if st.HTTP.Requests != 30000 {
+		t.Errorf("HTTP requests = %d, want 30000", st.HTTP.Requests)
+	}
+	for _, ep := range st.SLO.Endpoints {
+		if ep.Requests == 0 {
+			continue
+		}
+		if !ep.Met {
+			t.Errorf("endpoint %s: p99 %.2fms still misses the %.0fms SLO after 30000 requests",
+				ep.Endpoint, ep.P99Ms, st.SLO.TargetP99Ms)
+		}
+	}
+
+	// The controller must actually have narrowed — and stopped short of
+	// stripping the instrumentation entirely (max coverage under the SLO).
+	if inst.Reconfigs() == 0 {
+		t.Error("SLO controller never reconfigured the selection")
+	}
+	active := inst.ActiveFunctions()
+	if active >= full {
+		t.Errorf("selection never narrowed: %d active of %d at start", active, full)
+	}
+	if active == 0 {
+		t.Error("SLO controller stripped the selection bare; it must keep affordable coverage")
+	}
+
+	// Traffic has stopped; flush the per-rank sampler counters so the
+	// conservation identity can be checked exactly, request traffic
+	// included.
+	inst.FlushSampling()
+	c := inst.Sampling().Counters
+	if c.Enters == 0 {
+		t.Fatal("sampler accounted no enters")
+	}
+	if got := c.Delivered + c.SampledEvents + c.SuppressedPairs + c.CollapsedCalls; got != c.Enters {
+		t.Fatalf("conservation broken: delivered %d + sampled %d + suppressed %d + collapsed %d = %d != enters %d",
+			c.Delivered, c.SampledEvents, c.SuppressedPairs, c.CollapsedCalls, got, c.Enters)
+	}
+	if d := inst.DroppedAsync(); d != 0 {
+		t.Errorf("inline instance reported %d async-dropped pairs", d)
+	}
+}
+
+// TestHTTPServeConservationInterleavings hammers a serving instance with
+// concurrent request traffic while a mutator interleaves live control
+// actions — SLO retunes, mid-phase re-selections, TTL'd overrides — in
+// both inline and async dispatch modes, with an execution phase running
+// under the traffic. Run with -race.
+//
+// The acceptance invariant, per interleaving: the sampler's conservation
+// identity holds exactly (enters == delivered + sampled-out + suppressed
+// + collapsed) and the independent race-count backend saw exactly the
+// delivered enters minus the back-pressure-dropped pairs — no event
+// invented, none lost untracked, even with the middleware feeding the
+// async pipeline.
+func TestHTTPServeConservationInterleavings(t *testing.T) {
+	cases := []struct {
+		name   string
+		async  bool
+		mutate string
+	}{
+		{"inline/retune", false, "retune"},
+		{"inline/reselect", false, "reselect"},
+		{"inline/ttl", false, "ttl"},
+		{"async/retune", true, "retune"},
+		{"async/reselect", true, "reselect"},
+		{"async/ttl", true, "ttl"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			raceCounter.enters.Store(0)
+			raceCounter.exits.Store(0)
+			inst, svc := startWebService(t, capi.RunOptions{
+				PatchAll:    true,
+				Backends:    []string{"race-count"},
+				Ranks:       2,
+				HTTPWorkers: 4,
+				Async:       tc.async,
+				AsyncBuf:    256, // small ring: force back-pressure drops under load
+				Adapt:       &capi.AdaptOptions{SLOTargetP99Ns: int64(2 * time.Millisecond)},
+				Sampling:    &capi.SamplingOptions{Default: &capi.SamplingPolicy{Stride: 2}},
+			}, 4)
+
+			all := inst.ActiveFunctionNames()
+			if len(all) < 4 {
+				t.Fatalf("webservice resolved only %d functions", len(all))
+			}
+			narrowIC := ic.New("webservice", "race", all[:len(all)/2])
+			wideIC := ic.New("webservice", "race", all)
+			narrow := &capi.Selection{IC: narrowIC, Selected: narrowIC.Len()}
+			wide := &capi.Selection{IC: wideIC, Selected: wideIC.Len()}
+			if tc.mutate == "ttl" {
+				// TTL'd overrides revert to the last explicit selection;
+				// a PatchAll start has none until one is installed.
+				if _, err := inst.Reconfigure(wide); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			done := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() { // live control-plane mutator
+				defer wg.Done()
+				for j := 0; ; j++ {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					switch tc.mutate {
+					case "retune": // SLO target flaps: narrow hard, then relax
+						target := int64(1 * time.Millisecond)
+						if j%2 == 1 {
+							target = int64(50 * time.Millisecond)
+						}
+						if _, err := inst.Retune(capi.AdaptOptions{SLOTargetP99Ns: target}); err != nil {
+							t.Errorf("retune: %v", err)
+							return
+						}
+					case "reselect": // fights the SLO controller's own reconfigs
+						sel := narrow
+						if j%2 == 1 {
+							sel = wide
+						}
+						if _, err := inst.Reconfigure(sel); err != nil {
+							t.Errorf("reconfigure: %v", err)
+							return
+						}
+					case "ttl": // ephemeral probes expiring under live traffic
+						if _, err := inst.ReconfigureTTL(narrow, time.Millisecond); err != nil {
+							t.Errorf("reconfigure ttl: %v", err)
+							return
+						}
+						if err := inst.SetSamplingTTL(capi.SamplingOptions{
+							Default: &capi.SamplingPolicy{Stride: 8},
+						}, time.Millisecond); err != nil {
+							t.Errorf("sampling ttl: %v", err)
+							return
+						}
+						time.Sleep(time.Millisecond / 2)
+					}
+				}
+			}()
+
+			const drivers, perDriver = 4, 1000
+			var dwg sync.WaitGroup
+			for d := 0; d < drivers; d++ {
+				dwg.Add(1)
+				go func(seed int64) {
+					defer dwg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < perDriver; i++ {
+						if _, err := svc.Do(svc.RandomRoute(rng)); err != nil {
+							t.Errorf("do: %v", err)
+							return
+						}
+					}
+				}(int64(d + 1))
+			}
+
+			// An execution phase runs underneath the request traffic, so
+			// the control actions above really are mid-phase.
+			if _, err := inst.Run(); err != nil {
+				t.Fatal(err)
+			}
+
+			dwg.Wait()
+			close(done)
+			wg.Wait()
+
+			// Everything is quiescent now: drain what is still in flight
+			// in the async shards, then publish the exact per-rank
+			// counters — HTTP worker ranks included.
+			inst.DrainPipeline()
+			inst.FlushSampling()
+
+			c := inst.Sampling().Counters
+			if c.Enters == 0 {
+				t.Fatal("sampler accounted no enters")
+			}
+			if got := c.Delivered + c.SampledEvents + c.SuppressedPairs + c.CollapsedCalls; got != c.Enters {
+				t.Fatalf("conservation broken: delivered %d + sampled %d + suppressed %d + collapsed %d = %d != enters %d",
+					c.Delivered, c.SampledEvents, c.SuppressedPairs, c.CollapsedCalls, got, c.Enters)
+			}
+			dropped := inst.DroppedAsync()
+			if !tc.async && dropped != 0 {
+				t.Errorf("inline instance reported %d async-dropped pairs", dropped)
+			}
+			if got, want := raceCounter.enters.Load(), c.Delivered-dropped; got != want {
+				t.Fatalf("backend saw %d enters; sampler delivered %d, ring dropped %d pairs — %d unaccounted",
+					got, c.Delivered, dropped, want-got)
+			}
+		})
+	}
+}

@@ -77,6 +77,18 @@ type Options struct {
 	// above the full budget). 0 uses the default (0.25); negative disables
 	// re-promotion.
 	PromoteBelow float64
+	// SLOTargetP99Ns switches the controller to SLO mode (see slo.go):
+	// instead of evaluating the overhead budget at epoch boundaries, the
+	// ladder is walked per endpoint so each endpoint's measured request
+	// p99 meets this target with maximum instrumentation coverage.
+	// 0 keeps budget mode.
+	SLOTargetP99Ns int64
+	// SLOWindow is the per-endpoint latency window (requests) the p99 is
+	// computed over. Default: 256.
+	SLOWindow int
+	// SLOMinSamples gates SLO evaluation until the window holds at least
+	// this many requests. Default: 64.
+	SLOMinSamples int
 }
 
 // DefaultDemoteStride is the 1-in-N sampling rate the demote ladder
@@ -101,6 +113,12 @@ func (o *Options) fill() {
 	}
 	if o.PromoteBelow == 0 {
 		o.PromoteBelow = 0.25
+	}
+	if o.SLOWindow <= 0 {
+		o.SLOWindow = DefaultSLOWindow
+	}
+	if o.SLOMinSamples <= 0 {
+		o.SLOMinSamples = DefaultSLOMinSamples
 	}
 }
 
@@ -137,6 +155,13 @@ type Epoch struct {
 	DroppedIDs   []int32
 	Reconfigured bool
 	Report       dyncapi.ReconfigReport
+	// SLO-mode decisions (Rank -1) additionally carry the endpoint whose
+	// window triggered them, the measured p99 and the target; Readded
+	// lists deselected functions restored by a widening step.
+	Endpoint string
+	P99Ns    int64
+	TargetNs int64
+	Readded  []string
 }
 
 // funcStat is the controller's per-function accumulator.
@@ -182,9 +207,10 @@ type Controller struct {
 
 	rt atomic.Pointer[dyncapi.Runtime]
 
-	stats  sync.Map // int32 -> *funcStat
-	ranks  sync.Map // int -> *rankState
-	events atomic.Int64
+	stats     sync.Map // int32 -> *funcStat
+	ranks     sync.Map // int -> *rankState
+	endpoints sync.Map // string -> *endpointStat (SLO mode, see slo.go)
+	events    atomic.Int64
 
 	nextEpoch atomic.Int64
 	lastNs    atomic.Int64 // clock value of the previous evaluation
@@ -263,6 +289,19 @@ func (c *Controller) Retune(o Options) Options {
 	}
 	if o.PromoteBelow != 0 {
 		cur.PromoteBelow = o.PromoteBelow
+	}
+	// SLOTargetP99Ns > 0 enters (or retargets) SLO mode; negative returns
+	// to budget mode — 0 must mean "keep", mirroring the other fields.
+	if o.SLOTargetP99Ns > 0 {
+		cur.SLOTargetP99Ns = o.SLOTargetP99Ns
+	} else if o.SLOTargetP99Ns < 0 {
+		cur.SLOTargetP99Ns = 0
+	}
+	if o.SLOWindow > 0 {
+		cur.SLOWindow = o.SLOWindow
+	}
+	if o.SLOMinSamples > 0 {
+		cur.SLOMinSamples = o.SLOMinSamples
 	}
 	c.opts.Store(&cur)
 	if o.Epoch > 0 {
@@ -373,6 +412,14 @@ func (c *Controller) maybeEpoch(tc xray.ThreadCtx) {
 	if now < c.nextEpoch.Load() { // another rank just evaluated this boundary
 		return
 	}
+	if c.opts.Load().SLOTargetP99Ns > 0 {
+		// SLO mode: tail latency steers the ladder (ObserveRequest), not
+		// the overhead budget. Keep re-arming the boundary so budget mode
+		// resumes cleanly if the target is retuned away.
+		c.lastNs.Store(now)
+		c.nextEpoch.Store(now + c.opts.Load().Epoch)
+		return
+	}
 	c.runEpoch(rt, tc, now)
 	c.lastNs.Store(now)
 	c.nextEpoch.Store(now + c.opts.Load().Epoch)
@@ -463,9 +510,26 @@ func (c *Controller) promote(rt *dyncapi.Runtime, ep *Epoch) {
 // whatever policy the new table gave the function.
 func (c *Controller) ResetLadder() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.demoted = nil
 	c.demotedSet = map[int32]bool{}
+	c.mu.Unlock()
+	// SLO endpoint ladders reference the same wiped sampling policies:
+	// forget their demote steps too, but keep deselections — the sampling
+	// table replacement did not touch the selection, so those steps are
+	// still in effect and must stay undoable.
+	c.endpoints.Range(func(_, v any) bool {
+		es := v.(*endpointStat)
+		es.mu.Lock()
+		kept := es.actions[:0]
+		for _, act := range es.actions {
+			if act.drop {
+				kept = append(kept, act)
+			}
+		}
+		es.actions = kept
+		es.mu.Unlock()
+		return true
+	})
 }
 
 // Demoted returns the functions currently demoted to 1-in-N sampling, in

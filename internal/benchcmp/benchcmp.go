@@ -40,6 +40,17 @@ const (
 // not paying for itself. Like the sampled cap, it never loosens with -tol.
 const AsyncVsInlineLimit = 0.6
 
+// HTTPVsNoneLimit is the hard cap on the serving path: an "http:X" entry
+// (one webservice request through capi/middleware, cost normalized per
+// dispatched event) must keep its ns/event within this factor of the
+// *same run's* "none" dispatch baseline (machine speed cancels out). The
+// request path adds a compiled-script walk, a worker-pool checkout and
+// the endpoint latency accounting per request; with hundreds of events
+// per request that overhead must amortize — measured ~2.1x of the bare
+// dispatch pair, capped with headroom for noisy runners. Like the other
+// same-run caps, it never loosens with -tol.
+const HTTPVsNoneLimit = 3.0
+
 // Dispatch is one backend's dispatch micro-benchmark result.
 type Dispatch struct {
 	Backend    string  `json:"backend"`
@@ -236,6 +247,23 @@ func Compare(base, cur *Doc, tol float64) []Result {
 			continue
 		}
 		out = append(out, compare(metric, curNone, c.NsPerEvent, SampledVsNoneLimit))
+	}
+	// Serving-path caps: an "http:X" entry is one webservice request
+	// through capi/middleware, normalized per dispatched event, so its
+	// ns/event must stay within HTTPVsNoneLimit of the *same run's*
+	// discarding "none" baseline — the acceptance bar for the request
+	// path's per-event amortization. Same-run ratio, so machine speed
+	// cancels out; the cap never loosens with -tol.
+	for _, c := range cur.Dispatch {
+		if !strings.HasPrefix(c.Backend, "http:") {
+			continue
+		}
+		metric := "dispatch/" + c.Backend + " http_vs_none_cap"
+		if curNone <= 0 {
+			out = append(out, Result{Metric: metric, Current: c.NsPerEvent, Limit: HTTPVsNoneLimit, Regressed: true, Missing: true})
+			continue
+		}
+		out = append(out, compare(metric, curNone, c.NsPerEvent, HTTPVsNoneLimit))
 	}
 	// Async-pipeline caps: an "async:X" (or "async@N:X") entry is the X
 	// backend behind the append-only asynchronous pipeline, so its ns/event

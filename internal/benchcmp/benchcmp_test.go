@@ -387,3 +387,50 @@ func TestSampledVsNoneCap(t *testing.T) {
 		t.Fatalf("sampled entry without none anchor passed: %v", regs)
 	}
 }
+
+// TestHTTPVsNoneCap: an http:X entry is capped at HTTPVsNoneLimit of the
+// same run's none baseline, independent of the wall-clock tolerance — a
+// generous -tol does not excuse a serving path that stopped amortizing.
+func TestHTTPVsNoneCap(t *testing.T) {
+	base, cur := doc(), doc()
+	entry := Dispatch{Backend: "http:none", NsPerPair: 240, NsPerEvent: 120, Iters: 1000}
+	base.Dispatch = append(base.Dispatch, entry)
+	cur.Dispatch = append(cur.Dispatch, entry)
+	// 120 vs none 50 = 2.4x: under the 3.0 cap.
+	if regs := Regressions(Compare(base, cur, 1.5)); len(regs) != 0 {
+		t.Fatalf("2.4x http dispatch flagged: %v", regs)
+	}
+	// 175 vs none 50 = 3.5x: over the cap, even with a huge tolerance and
+	// an equally slow baseline entry (absolute gate passes).
+	base.Dispatch[len(base.Dispatch)-1].NsPerEvent = 175
+	cur.Dispatch[len(cur.Dispatch)-1].NsPerEvent = 175
+	regs := Regressions(Compare(base, cur, 10))
+	found := false
+	for _, r := range regs {
+		if r.Metric == "dispatch/http:none http_vs_none_cap" {
+			if r.Limit != HTTPVsNoneLimit {
+				t.Fatalf("cap uses limit %v, want %v", r.Limit, HTTPVsNoneLimit)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("3.5x http dispatch passed a 10x tolerance: %v", regs)
+	}
+	// Without a none entry in the current run the cap has no anchor:
+	// missing, not a silent skip.
+	cur2 := doc()
+	cur2.Dispatch = append(cur2.Dispatch[1:], entry) // drop "none"
+	base2 := doc()
+	base2.Dispatch = append(base2.Dispatch[1:], entry)
+	regs = Regressions(Compare(base2, cur2, 1.5))
+	found = false
+	for _, r := range regs {
+		if r.Metric == "dispatch/http:none http_vs_none_cap" && r.Missing {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("http entry without none anchor passed: %v", regs)
+	}
+}

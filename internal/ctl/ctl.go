@@ -55,6 +55,7 @@ import (
 	"mime"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -551,22 +552,31 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 }
 
 // AdaptRequest is the POST /v1/adapt body; zero fields keep their current
-// value, MaxReconfigs < 0 lifts the bound.
+// value, MaxReconfigs < 0 lifts the bound. SLOTargetP99Ms > 0 switches the
+// controller to tail-latency SLO mode ("p99 ≤ X ms with maximum coverage",
+// driven by the middleware's per-endpoint request latencies); a negative
+// value switches back to overhead-budget mode.
 type AdaptRequest struct {
-	Budget       float64 `json:"budget,omitempty"`
-	EpochSeconds float64 `json:"epochSeconds,omitempty"`
-	PerEventNs   int64   `json:"perEventNs,omitempty"`
-	MinMeanNs    int64   `json:"minMeanNs,omitempty"`
-	MaxReconfigs int     `json:"maxReconfigs,omitempty"`
+	Budget         float64 `json:"budget,omitempty"`
+	EpochSeconds   float64 `json:"epochSeconds,omitempty"`
+	PerEventNs     int64   `json:"perEventNs,omitempty"`
+	MinMeanNs      int64   `json:"minMeanNs,omitempty"`
+	MaxReconfigs   int     `json:"maxReconfigs,omitempty"`
+	SLOTargetP99Ms float64 `json:"sloTargetP99Ms,omitempty"`
+	SLOWindow      int     `json:"sloWindow,omitempty"`
+	SLOMinSamples  int     `json:"sloMinSamples,omitempty"`
 }
 
 // AdaptResponse echoes the effective tuning after the retune.
 type AdaptResponse struct {
-	Budget       float64 `json:"budget"`
-	EpochSeconds float64 `json:"epochSeconds"`
-	PerEventNs   int64   `json:"perEventNs"`
-	MinMeanNs    int64   `json:"minMeanNs"`
-	MaxReconfigs int     `json:"maxReconfigs"`
+	Budget         float64 `json:"budget"`
+	EpochSeconds   float64 `json:"epochSeconds"`
+	PerEventNs     int64   `json:"perEventNs"`
+	MinMeanNs      int64   `json:"minMeanNs"`
+	MaxReconfigs   int     `json:"maxReconfigs"`
+	SLOTargetP99Ms float64 `json:"sloTargetP99Ms,omitempty"`
+	SLOWindow      int     `json:"sloWindow,omitempty"`
+	SLOMinSamples  int     `json:"sloMinSamples,omitempty"`
 }
 
 func (s *Server) handleAdapt(w http.ResponseWriter, r *http.Request) {
@@ -575,24 +585,40 @@ func (s *Server) handleAdapt(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
+	var sloNs int64
+	switch {
+	case req.SLOTargetP99Ms > 0:
+		sloNs = int64(req.SLOTargetP99Ms * float64(vtime.Millisecond))
+	case req.SLOTargetP99Ms < 0:
+		sloNs = -1
+	}
 	got, err := s.inst.Retune(capi.AdaptOptions{
-		Budget:       req.Budget,
-		Epoch:        vtime.Seconds(req.EpochSeconds),
-		PerEventNs:   req.PerEventNs,
-		MinMeanNs:    req.MinMeanNs,
-		MaxReconfigs: req.MaxReconfigs,
+		Budget:         req.Budget,
+		Epoch:          vtime.Seconds(req.EpochSeconds),
+		PerEventNs:     req.PerEventNs,
+		MinMeanNs:      req.MinMeanNs,
+		MaxReconfigs:   req.MaxReconfigs,
+		SLOTargetP99Ns: sloNs,
+		SLOWindow:      req.SLOWindow,
+		SLOMinSamples:  req.SLOMinSamples,
 	})
 	if err != nil {
 		writeErr(w, http.StatusConflict, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, AdaptResponse{
+	resp := AdaptResponse{
 		Budget:       got.Budget,
 		EpochSeconds: float64(got.Epoch) / float64(vtime.Second),
 		PerEventNs:   got.PerEventNs,
 		MinMeanNs:    got.MinMeanNs,
 		MaxReconfigs: got.MaxReconfigs,
-	})
+	}
+	if got.SLOTargetP99Ns > 0 {
+		resp.SLOTargetP99Ms = float64(got.SLOTargetP99Ns) / float64(vtime.Millisecond)
+		resp.SLOWindow = got.SLOWindow
+		resp.SLOMinSamples = got.SLOMinSamples
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // SamplingRequest is the POST /v1/sampling body: the default-policy fields
@@ -789,6 +815,52 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				tripped = 1
 			}
 			fmt.Fprintf(&b, "capi_breaker_tripped{backend=%q} %d\n", bs.Backend, tripped)
+		}
+	}
+	// Serving traffic: per-endpoint request counters and latency
+	// histograms appear once the middleware registered endpoints; the SLO
+	// series once the controller runs in tail-latency mode.
+	if st.HTTP != nil {
+		gauge("capi_http_workers", "Request contexts checked out by the HTTP middleware.", st.HTTP.Workers)
+		fmt.Fprintf(&b, "# HELP capi_http_requests_total Requests observed per endpoint.\n# TYPE capi_http_requests_total counter\n")
+		for _, ep := range st.HTTP.Endpoints {
+			fmt.Fprintf(&b, "capi_http_requests_total{endpoint=%q} %d\n", ep.Endpoint, ep.Requests)
+		}
+		fmt.Fprintf(&b, "# HELP capi_http_request_latency_ms Request latency per endpoint.\n# TYPE capi_http_request_latency_ms histogram\n")
+		for _, ep := range st.HTTP.Endpoints {
+			for _, bk := range ep.Buckets {
+				fmt.Fprintf(&b, "capi_http_request_latency_ms_bucket{endpoint=%q,le=%q} %d\n", ep.Endpoint, strconv.FormatFloat(bk.LeMs, 'g', -1, 64), bk.Count)
+			}
+			fmt.Fprintf(&b, "capi_http_request_latency_ms_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep.Endpoint, ep.Requests)
+			fmt.Fprintf(&b, "capi_http_request_latency_ms_sum{endpoint=%q} %g\n", ep.Endpoint, ep.SumMs)
+			fmt.Fprintf(&b, "capi_http_request_latency_ms_count{endpoint=%q} %d\n", ep.Endpoint, ep.Requests)
+		}
+		fmt.Fprintf(&b, "# HELP capi_http_endpoint_active_functions Instrumented functions still selected in the endpoint's call tree.\n# TYPE capi_http_endpoint_active_functions gauge\n")
+		for _, ep := range st.HTTP.Endpoints {
+			fmt.Fprintf(&b, "capi_http_endpoint_active_functions{endpoint=%q} %d\n", ep.Endpoint, ep.ActiveFunctions)
+		}
+		fmt.Fprintf(&b, "# HELP capi_http_endpoint_demoted_functions Selected functions running at a reduced sampling stride.\n# TYPE capi_http_endpoint_demoted_functions gauge\n")
+		for _, ep := range st.HTTP.Endpoints {
+			fmt.Fprintf(&b, "capi_http_endpoint_demoted_functions{endpoint=%q} %d\n", ep.Endpoint, ep.DemotedFunctions)
+		}
+	}
+	if st.SLO != nil {
+		gauge("capi_slo_target_p99_ms", "Tail-latency SLO target the controller narrows toward (0 = budget mode).", st.SLO.TargetP99Ms)
+		fmt.Fprintf(&b, "# HELP capi_slo_met 1 when the endpoint's recent p99 meets the SLO target.\n# TYPE capi_slo_met gauge\n")
+		for _, ep := range st.SLO.Endpoints {
+			met := 0
+			if ep.Met {
+				met = 1
+			}
+			fmt.Fprintf(&b, "capi_slo_met{endpoint=%q} %d\n", ep.Endpoint, met)
+		}
+		fmt.Fprintf(&b, "# HELP capi_slo_p99_ms Endpoint p99 over the controller's recent-latency window.\n# TYPE capi_slo_p99_ms gauge\n")
+		for _, ep := range st.SLO.Endpoints {
+			fmt.Fprintf(&b, "capi_slo_p99_ms{endpoint=%q} %g\n", ep.Endpoint, ep.P99Ms)
+		}
+		fmt.Fprintf(&b, "# HELP capi_slo_ladder_steps Demote/deselect steps the controller currently holds for the endpoint.\n# TYPE capi_slo_ladder_steps gauge\n")
+		for _, ep := range st.SLO.Endpoints {
+			fmt.Fprintf(&b, "capi_slo_ladder_steps{endpoint=%q} %d\n", ep.Endpoint, ep.Steps)
 		}
 	}
 	gauge("capi_attached_backends", "Measurement backends attached to the instance.", len(st.Backends))

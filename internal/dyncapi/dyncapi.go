@@ -936,6 +936,29 @@ func (rt *Runtime) Active(id int32) bool {
 	return m[id] != nil
 }
 
+// FuncStride returns the function's effective 1-in-N delivery stride:
+// its sampling state when one is materialized (SetSampling /
+// SetFuncSampling, including adapt demotions), the published table
+// default otherwise, and 1 (full delivery) when neither sets a stride or
+// the ID is unknown. Lock-free; the HTTP middleware reads it per event to
+// model a demoted function's reduced backend cost.
+func (rt *Runtime) FuncStride(id int32) int {
+	rf := rt.byID[id]
+	if rf == nil {
+		return 1
+	}
+	if st := rf.sample.Load(); st != nil {
+		if s := int(st.stride.Load()); s > 1 {
+			return s
+		}
+		return 1
+	}
+	if dp := rt.defaultSample.Load(); dp != nil && dp.Stride > 1 {
+		return dp.Stride
+	}
+	return 1
+}
+
 // ActiveIDs returns the packed IDs of the current selection, sorted.
 func (rt *Runtime) ActiveIDs() []int32 {
 	m, _ := rt.active.Load().(map[int32]*ResolvedFunc)

@@ -493,6 +493,18 @@ func (st *funcSampleState) flush() {
 	})
 }
 
+// flushRanks publishes the exact counters of the first n rank slots only,
+// leaving higher ranks (HTTP request workers) untouched — their slots are
+// single-writer state that may still be dispatching.
+func (st *funcSampleState) flushRanks(n int) {
+	if n > len(st.slots) {
+		n = len(st.slots)
+	}
+	for i := 0; i < n; i++ {
+		st.slots[i].publish()
+	}
+}
+
 // counters sums the published counters of every slot.
 func (st *funcSampleState) counters() SamplingCounters {
 	var c SamplingCounters
@@ -721,6 +733,17 @@ func (rt *Runtime) SamplingCounters() SamplingCounters {
 func (rt *Runtime) FlushSampling() {
 	for _, st := range rt.sampleStatesSnapshot() {
 		st.flush()
+	}
+}
+
+// FlushSamplingRanks publishes the exact counters of ranks [0, n) only.
+// Unlike FlushSampling it is safe while ranks >= n keep dispatching (each
+// slot is single-writer per rank): Instance.Run uses it to flush the MPI
+// world after the engine has joined, without touching HTTP worker ranks
+// that may still be serving request traffic.
+func (rt *Runtime) FlushSamplingRanks(n int) {
+	for _, st := range rt.sampleStatesSnapshot() {
+		st.flushRanks(n)
 	}
 }
 

@@ -98,6 +98,16 @@ func (s *Server) fanoutHandler(path string) http.HandlerFunc {
 // doubling backoff. Transport errors and 5xx responses are retried; a 4xx
 // is the member deterministically rejecting the document, so it is
 // reported immediately — retrying a rejection cannot converge the fleet.
+//
+// Health classification separates "reachable" from "applied": any response
+// carrying an HTTP status proves the member is alive, so only a transport
+// failure (no status received) marks it unhealthy. A member that answers
+// but rejects or fails the mutation stays healthy with the fan-out error
+// recorded as its lastErr — it is scrapeable even though divergent.
+// Classification itself is by status code whenever one was received: a
+// body-read failure after the status line is response truncation, not
+// unreachability, so a truncated 4xx is still a deterministic rejection
+// and must not be retried.
 func (s *Server) postMember(m memberSnap, path, ctype string, body []byte) MemberResult {
 	res := MemberResult{Member: m.Name, URL: m.URL}
 	attempts := 1 + s.opts.Retries
@@ -114,7 +124,8 @@ func (s *Server) postMember(m memberSnap, path, ctype string, body []byte) Membe
 			backoff *= 2
 		}
 		status, respBody, err := s.postOnce(m.URL+path, ctype, body)
-		if err != nil {
+		if status == 0 {
+			// No status line came back: the member is unreachable.
 			res.Status, res.Error = 0, err.Error()
 			s.reg.setHealth(m.Name, false, err.Error(), false)
 			continue
@@ -122,11 +133,18 @@ func (s *Server) postMember(m memberSnap, path, ctype string, body []byte) Membe
 		res.Status = status
 		res.Response = jsonOrNil(respBody)
 		if status >= 200 && status < 300 {
+			// The member applied the mutation; a truncated success body
+			// only loses the relayed response, not the outcome.
 			res.Error = ""
 			s.reg.setHealth(m.Name, true, "", true)
 			return res
 		}
-		res.Error = fmt.Sprintf("member returned status %d", status)
+		if err != nil {
+			res.Error = fmt.Sprintf("member returned status %d (body read failed: %v)", status, err)
+		} else {
+			res.Error = fmt.Sprintf("member returned status %d", status)
+		}
+		s.reg.setHealth(m.Name, true, res.Error, true)
 		if status >= 400 && status < 500 {
 			return res
 		}
